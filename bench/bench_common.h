@@ -1,0 +1,154 @@
+#ifndef DIVA_BENCH_BENCH_COMMON_H_
+#define DIVA_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "anon/anonymizer.h"
+#include "common/timer.h"
+#include "core/diva.h"
+#include "datagen/profiles.h"
+#include "metrics/metrics.h"
+
+namespace diva {
+namespace bench {
+
+/// Workload scale factor from DIVA_BENCH_SCALE (default 0.05). The
+/// paper's |R| axes are multiplied by this before running: the authors'
+/// Python implementation ran for minutes-to-hours per point on a 32-core
+/// server; scaled C++ runs preserve the curves' shapes on one core in
+/// seconds. Set DIVA_BENCH_SCALE=1 to run paper-size workloads.
+inline double Scale() {
+  if (const char* env = std::getenv("DIVA_BENCH_SCALE")) {
+    double scale = std::atof(env);
+    if (scale > 0.0) return scale;
+  }
+  return 0.05;
+}
+
+/// Repetitions per data point from DIVA_BENCH_REPS (default 3; the paper
+/// averages 5 executions).
+inline size_t Reps() {
+  if (const char* env = std::getenv("DIVA_BENCH_REPS")) {
+    long reps = std::atol(env);
+    if (reps > 0) return static_cast<size_t>(reps);
+  }
+  return 3;
+}
+
+/// Coloring step budget used by the figure benches; bounds DIVA-Basic's
+/// exponential search so sweeps terminate.
+inline uint64_t ColoringBudget() {
+  if (const char* env = std::getenv("DIVA_BENCH_BUDGET")) {
+    long long budget = std::atoll(env);
+    if (budget > 0) return static_cast<uint64_t>(budget);
+  }
+  return 150000;
+}
+
+struct RunResult {
+  double accuracy = 0.0;
+  double seconds = 0.0;
+  bool complete = false;
+};
+
+/// One DIVA run; accuracy per DESIGN.md §3 (discernibility x satisfied).
+inline RunResult RunDivaOnce(const Relation& relation,
+                             const ConstraintSet& constraints,
+                             SelectionStrategy strategy, size_t k,
+                             uint64_t seed) {
+  DivaOptions options;
+  options.k = k;
+  options.strategy = strategy;
+  options.seed = seed;
+  options.coloring_budget = ColoringBudget();
+  options.anonymizer.seed = seed;
+  options.anonymizer.sample_size = 64;  // sampled k-member (DESIGN.md §3)
+
+  StopWatch watch;
+  auto result = RunDiva(relation, constraints, options);
+  RunResult out;
+  out.seconds = watch.ElapsedSeconds();
+  if (result.ok()) {
+    out.accuracy = OverallAccuracy(result->relation, k, constraints);
+    out.complete = result->report.clustering_complete;
+  }
+  return out;
+}
+
+/// One baseline run (plain k-anonymization, then scored against the same
+/// constraints — baselines make no diversity promise).
+inline RunResult RunBaselineOnce(const Relation& relation,
+                                 const ConstraintSet& constraints,
+                                 BaselineAlgorithm algorithm, size_t k,
+                                 uint64_t seed) {
+  DivaOptions factory_options;
+  factory_options.baseline = algorithm;
+  factory_options.anonymizer.seed = seed;
+  factory_options.anonymizer.sample_size = 64;
+  auto anonymizer = MakeBaselineAnonymizer(factory_options);
+
+  StopWatch watch;
+  auto result = Anonymize(anonymizer.get(), relation, k);
+  RunResult out;
+  out.seconds = watch.ElapsedSeconds();
+  if (result.ok()) {
+    out.accuracy = OverallAccuracy(*result, k, constraints);
+    out.complete = true;
+  }
+  return out;
+}
+
+/// Averages `reps` runs of `fn(seed)`.
+template <typename Fn>
+RunResult Averaged(size_t reps, Fn&& fn) {
+  RunResult total;
+  for (size_t rep = 0; rep < reps; ++rep) {
+    RunResult one = fn(/*seed=*/1000 + 31 * rep);
+    total.accuracy += one.accuracy;
+    total.seconds += one.seconds;
+    total.complete = total.complete || one.complete;
+  }
+  double n = static_cast<double>(reps);
+  total.accuracy /= n;
+  total.seconds /= n;
+  return total;
+}
+
+/// printf-style aligned series table.
+class SeriesTable {
+ public:
+  SeriesTable(std::string x_label, std::vector<std::string> series)
+      : x_label_(std::move(x_label)), series_(std::move(series)) {
+    std::printf("%-14s", x_label_.c_str());
+    for (const auto& name : series_) std::printf("  %12s", name.c_str());
+    std::printf("\n");
+    std::printf("%s\n",
+                std::string(14 + series_.size() * 14, '-').c_str());
+  }
+
+  void Row(const std::string& x, const std::vector<double>& values) {
+    std::printf("%-14s", x.c_str());
+    for (double v : values) std::printf("  %12.4f", v);
+    std::printf("\n");
+  }
+
+ private:
+  std::string x_label_;
+  std::vector<std::string> series_;
+};
+
+inline void PrintPreamble(const char* figure, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("scale=%.3g, reps=%zu, coloring budget=%llu\n", Scale(), Reps(),
+              static_cast<unsigned long long>(ColoringBudget()));
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench
+}  // namespace diva
+
+#endif  // DIVA_BENCH_BENCH_COMMON_H_

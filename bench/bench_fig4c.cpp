@@ -1,0 +1,55 @@
+// Figure 4c — DIVA accuracy vs conflict rate on the Pantheon profile.
+// Series: MinChoice, MaxFanOut, Basic. Paper shape: accuracy declines as
+// cf grows; MaxFanOut and MinChoice beat Basic (+17% / +9% in the paper).
+
+#include "bench/bench_common.h"
+#include "bench/params.h"
+#include "constraint/conflict.h"
+#include "constraint/generator.h"
+
+using namespace diva;         // NOLINT
+using namespace diva::bench;  // NOLINT
+
+int main() {
+  PrintPreamble("Figure 4c", "accuracy vs conflict rate — Pantheon profile");
+  constexpr size_t kK = kDefaultK;
+  constexpr size_t kNumConstraints = kDefaultSigma;
+
+  ProfileOptions profile_options;
+  profile_options.seed = 9;
+  auto pantheon = GenerateProfile(DatasetProfile::kPantheon, profile_options);
+  DIVA_CHECK(pantheon.ok());
+  std::printf("|R| = %zu, |Sigma| = %zu, k = %zu\n\n", pantheon->NumRows(),
+              kNumConstraints, kK);
+
+  SeriesTable table("cf(target)",
+                    {"achieved", "MinChoice", "MaxFanOut", "Basic"});
+  for (double conflict : kConflictSweep) {
+    ConstraintGenOptions gen;
+    gen.count = kNumConstraints;
+    gen.min_support = 2 * kK;
+    gen.target_conflict = conflict;
+    gen.seed = 9;
+    auto constraints = GenerateConstraints(*pantheon, gen);
+    DIVA_CHECK_MSG(constraints.ok(), constraints.status().ToString());
+    double achieved = ConflictRate(*pantheon, *constraints);
+
+    std::vector<double> row = {achieved};
+    for (SelectionStrategy strategy :
+         {SelectionStrategy::kMinChoice, SelectionStrategy::kMaxFanOut,
+          SelectionStrategy::kBasic}) {
+      RunResult result = Averaged(Reps(), [&](uint64_t seed) {
+        return RunDivaOnce(*pantheon, *constraints, strategy, kK, seed);
+      });
+      row.push_back(result.accuracy);
+    }
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.1f", conflict);
+    table.Row(label, row);
+  }
+  std::printf(
+      "\npaper shape: accuracy declines with rising conflict rate;\n"
+      "MaxFanOut > MinChoice > Basic because targeting high-interaction\n"
+      "constraints first prunes unsatisfiable clusterings early.\n");
+  return 0;
+}

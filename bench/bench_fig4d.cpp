@@ -1,0 +1,57 @@
+// Figure 4d — DIVA accuracy vs characteristic-value distribution on the
+// Pop-Syn profile (|R| = 100k x scale, |Sigma| = 8). Paper shape:
+// uniform best, Gaussian middle, Zipfian worst; MaxFanOut best overall
+// (+8% over MinChoice, +17% over Basic in the paper).
+
+#include "bench/bench_common.h"
+#include "bench/params.h"
+#include "constraint/generator.h"
+#include "datagen/synthetic.h"
+
+using namespace diva;         // NOLINT
+using namespace diva::bench;  // NOLINT
+
+int main() {
+  PrintPreamble("Figure 4d",
+                "accuracy vs value distribution — Pop-Syn profile");
+  size_t rows = static_cast<size_t>(100000 * Scale());
+  constexpr size_t kK = kDefaultK;
+  constexpr size_t kNumConstraints = 8;  // paper: |Sigma| = 8
+  std::printf("|R| = %zu (paper: 100k x scale), |Sigma| = %zu, k = %zu\n\n",
+              rows, kNumConstraints, kK);
+
+  SeriesTable table("distribution", {"MinChoice", "MaxFanOut", "Basic"});
+  for (ValueDistribution distribution :
+       {ValueDistribution::kZipfian, ValueDistribution::kUniform,
+        ValueDistribution::kGaussian}) {
+    ProfileOptions profile_options;
+    profile_options.num_rows = rows;
+    profile_options.characteristic_distribution = distribution;
+    profile_options.seed = 13;
+    auto popsyn = GenerateProfile(DatasetProfile::kPopSyn, profile_options);
+    DIVA_CHECK(popsyn.ok());
+
+    ConstraintGenOptions gen;
+    gen.count = kNumConstraints;
+    gen.min_support = 2 * kK;
+    gen.seed = 13;
+    auto constraints = GenerateConstraints(*popsyn, gen);
+    DIVA_CHECK_MSG(constraints.ok(), constraints.status().ToString());
+
+    std::vector<double> row;
+    for (SelectionStrategy strategy :
+         {SelectionStrategy::kMinChoice, SelectionStrategy::kMaxFanOut,
+          SelectionStrategy::kBasic}) {
+      RunResult result = Averaged(Reps(), [&](uint64_t seed) {
+        return RunDivaOnce(*popsyn, *constraints, strategy, kK, seed);
+      });
+      row.push_back(result.accuracy);
+    }
+    table.Row(ValueDistributionToString(distribution), row);
+  }
+  std::printf(
+      "\npaper shape: the uniform distribution scores best (domain values\n"
+      "spread evenly avoid contention over a small set of tuples); Zipfian\n"
+      "conflicts most; MaxFanOut leads across all distributions.\n");
+  return 0;
+}

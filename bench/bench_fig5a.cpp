@@ -1,0 +1,57 @@
+// Figure 5a — accuracy vs k on the Credit profile, DIVA (MinChoice,
+// MaxFanOut) against the plain k-anonymization baselines (k-member, OKA,
+// Mondrian). Paper shape: accuracy declines with k for everyone; DIVA
+// stays above the baselines while additionally satisfying Sigma.
+
+#include "bench/bench_common.h"
+#include "bench/params.h"
+#include "constraint/generator.h"
+
+using namespace diva;         // NOLINT
+using namespace diva::bench;  // NOLINT
+
+int main() {
+  PrintPreamble("Figure 5a", "accuracy vs k — Credit profile");
+
+  ProfileOptions profile_options;
+  profile_options.seed = 21;
+  auto credit = GenerateProfile(DatasetProfile::kCredit, profile_options);
+  DIVA_CHECK(credit.ok());
+
+  ConstraintGenOptions gen;
+  gen.count = DefaultConstraintCount(DatasetProfile::kCredit);  // 18
+  gen.min_support = 25;  // includes minority values that large k cannot protect
+  gen.slack = 0.2;       // tight ranges: suppression quickly breaches bounds
+  gen.seed = 21;
+  auto constraints = GenerateConstraints(*credit, gen);
+  DIVA_CHECK_MSG(constraints.ok(), constraints.status().ToString());
+  std::printf("|R| = %zu, |Sigma| = %zu\n\n", credit->NumRows(),
+              constraints->size());
+
+  SeriesTable table(
+      "k", {"MinChoice", "MaxFanOut", "k-member", "OKA", "Mondrian"});
+  for (size_t k : kKSweep) {
+    std::vector<double> row;
+    for (SelectionStrategy strategy :
+         {SelectionStrategy::kMinChoice, SelectionStrategy::kMaxFanOut}) {
+      RunResult result = Averaged(Reps(), [&](uint64_t seed) {
+        return RunDivaOnce(*credit, *constraints, strategy, k, seed);
+      });
+      row.push_back(result.accuracy);
+    }
+    for (BaselineAlgorithm baseline :
+         {BaselineAlgorithm::kKMember, BaselineAlgorithm::kOka,
+          BaselineAlgorithm::kMondrian}) {
+      RunResult result = Averaged(Reps(), [&](uint64_t seed) {
+        return RunBaselineOnce(*credit, *constraints, baseline, k, seed);
+      });
+      row.push_back(result.accuracy);
+    }
+    table.Row(std::to_string(k), row);
+  }
+  std::printf(
+      "\npaper shape: everyone's accuracy falls as k grows (larger groups,\n"
+      "more suppression); DIVA outperforms because the baselines silently\n"
+      "violate diversity constraints, which the accuracy measure counts.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 5c — accuracy vs |R| on the Census profile, DIVA (MinChoice,
+// MaxFanOut) against k-member, OKA, Mondrian. Paper shape: accuracy
+// declines slowly with |R| for everyone; DIVA stays on top.
+
+#include "bench/bench_common.h"
+#include "bench/params.h"
+#include "constraint/generator.h"
+
+using namespace diva;         // NOLINT
+using namespace diva::bench;  // NOLINT
+
+int main() {
+  PrintPreamble("Figure 5c", "accuracy vs |R| — Census profile");
+  constexpr size_t kK = kDefaultK;
+  constexpr size_t kNumConstraints = kDefaultSigma;
+
+  SeriesTable table(
+      "|R|", {"MinChoice", "MaxFanOut", "k-member", "OKA", "Mondrian"});
+  for (size_t paper_rows : kPaperSizes) {
+    size_t rows = static_cast<size_t>(paper_rows * Scale());
+    ProfileOptions profile_options;
+    profile_options.num_rows = rows;
+    profile_options.seed = 25;
+    auto census = GenerateProfile(DatasetProfile::kCensus, profile_options);
+    DIVA_CHECK(census.ok());
+
+    ConstraintGenOptions gen;
+    gen.count = kNumConstraints;
+    gen.min_support = 2 * kK;
+    gen.target_conflict = kDefaultConflict;
+    gen.seed = 25;
+    auto constraints = GenerateConstraints(*census, gen);
+    DIVA_CHECK_MSG(constraints.ok(), constraints.status().ToString());
+
+    std::vector<double> row;
+    for (SelectionStrategy strategy :
+         {SelectionStrategy::kMinChoice, SelectionStrategy::kMaxFanOut}) {
+      RunResult result = Averaged(Reps(), [&](uint64_t seed) {
+        return RunDivaOnce(*census, *constraints, strategy, kK, seed);
+      });
+      row.push_back(result.accuracy);
+    }
+    for (BaselineAlgorithm baseline :
+         {BaselineAlgorithm::kKMember, BaselineAlgorithm::kOka,
+          BaselineAlgorithm::kMondrian}) {
+      RunResult result = Averaged(Reps(), [&](uint64_t seed) {
+        return RunBaselineOnce(*census, *constraints, baseline, kK, seed);
+      });
+      row.push_back(result.accuracy);
+    }
+    table.Row(std::to_string(paper_rows) + "x" + std::to_string(rows), row);
+  }
+  std::printf(
+      "\npaper shape: accuracy declines slowly as |R| grows (new attribute\n"
+      "values misalign with existing clusters, forcing suppression); DIVA\n"
+      "beats the baselines while also enforcing Sigma.\n"
+      "(rows labelled paper-size x scaled-size)\n");
+  return 0;
+}

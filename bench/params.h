@@ -1,0 +1,39 @@
+#ifndef DIVA_BENCH_PARAMS_H_
+#define DIVA_BENCH_PARAMS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace diva {
+namespace bench {
+
+// The paper's parameter grid (Table 5). Defaults in bold in the paper
+// are not recoverable from the PDF; midpoints are assumed and documented
+// in DESIGN.md §4.
+
+/// |R| sweep (Census), paper row counts — multiplied by Scale() at run
+/// time.
+inline constexpr size_t kPaperSizes[] = {60000, 120000, 180000, 240000,
+                                         300000};
+/// Default |R| (paper row count).
+inline constexpr size_t kDefaultPaperSize = 180000;
+
+/// |Sigma| sweep.
+inline constexpr size_t kSigmaSweep[] = {4, 8, 12, 16, 20};
+/// Default |Sigma|.
+inline constexpr size_t kDefaultSigma = 12;
+
+/// Conflict-rate sweep.
+inline constexpr double kConflictSweep[] = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+/// Default conflict rate.
+inline constexpr double kDefaultConflict = 0.4;
+
+/// k sweep (minimum cluster size).
+inline constexpr size_t kKSweep[] = {10, 20, 30, 40, 50};
+/// Default k.
+inline constexpr size_t kDefaultK = 30;
+
+}  // namespace bench
+}  // namespace diva
+
+#endif  // DIVA_BENCH_PARAMS_H_

@@ -1,0 +1,76 @@
+#ifndef DIVA_EXAMPLES_EXAMPLE_UTIL_H_
+#define DIVA_EXAMPLES_EXAMPLE_UTIL_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/diva.h"
+#include "metrics/metrics.h"
+#include "relation/relation.h"
+
+namespace diva {
+namespace examples {
+
+/// Prints a relation as an aligned text table (up to `max_rows` rows).
+inline void PrintRelation(const Relation& relation, size_t max_rows = 20) {
+  size_t rows = std::min<size_t>(relation.NumRows(), max_rows);
+  size_t cols = relation.NumAttributes();
+
+  std::vector<size_t> widths(cols);
+  for (size_t c = 0; c < cols; ++c) {
+    widths[c] = relation.schema().attribute(c).name.size();
+    for (RowId r = 0; r < rows; ++r) {
+      widths[c] = std::max(widths[c], relation.ValueString(r, c).size());
+    }
+  }
+  for (size_t c = 0; c < cols; ++c) {
+    std::printf("%-*s  ", static_cast<int>(widths[c]),
+                relation.schema().attribute(c).name.c_str());
+  }
+  std::printf("\n");
+  for (size_t c = 0; c < cols; ++c) {
+    std::printf("%s  ", std::string(widths[c], '-').c_str());
+  }
+  std::printf("\n");
+  for (RowId r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      std::printf("%-*s  ", static_cast<int>(widths[c]),
+                  relation.ValueString(r, c).c_str());
+    }
+    std::printf("\n");
+  }
+  if (relation.NumRows() > rows) {
+    std::printf("... (%zu more rows)\n", relation.NumRows() - rows);
+  }
+}
+
+/// Prints a one-line summary of a DIVA run.
+inline void PrintReport(const DivaReport& report) {
+  std::printf(
+      "constraints: %zu/%zu colored%s | steps %llu, backtracks %llu | "
+      "|S_Sigma| = %zu rows | repair stars %zu | %.3fs total\n",
+      report.colored_constraints, report.total_constraints,
+      report.budget_exhausted ? " (budget exhausted)" : "",
+      static_cast<unsigned long long>(report.coloring_steps),
+      static_cast<unsigned long long>(report.backtracks), report.sigma_rows,
+      report.repair_cells, report.total_seconds);
+}
+
+/// Prints the standard quality metrics of an anonymized relation.
+inline void PrintQuality(const Relation& relation, size_t k,
+                         const ConstraintSet& constraints) {
+  std::printf(
+      "stars: %zu (%.1f%% of QI cells) | discernibility accuracy %.3f | "
+      "constraints satisfied %.0f%% | overall accuracy %.3f\n",
+      CountStars(relation), 100.0 * SuppressionRatio(relation),
+      DiscernibilityAccuracy(relation, k),
+      100.0 * SatisfiedFraction(relation, constraints),
+      OverallAccuracy(relation, k, constraints));
+}
+
+}  // namespace examples
+}  // namespace diva
+
+#endif  // DIVA_EXAMPLES_EXAMPLE_UTIL_H_

@@ -1,0 +1,110 @@
+// Generalization hierarchies: publish coarser values instead of stars.
+//
+// The paper treats suppression as "a maximal form of generalization";
+// this demo shows the milder form the library also supports — cluster
+// values are replaced by their lowest common ancestor in a per-attribute
+// taxonomy (ages to decades, cities to regions) rather than ★, cutting
+// the NCP information loss while preserving the same k-anonymity.
+
+#include <cstdio>
+#include <numeric>
+
+#include "anon/anonymizer.h"
+#include "anon/suppress.h"
+#include "examples/example_util.h"
+#include "hierarchy/generalize.h"
+#include "hierarchy/taxonomy.h"
+#include "relation/qi_groups.h"
+#include "relation/relation.h"
+
+namespace {
+
+using namespace diva;            // NOLINT: example brevity
+using namespace diva::examples;  // NOLINT
+
+Relation BuildTable1() {
+  auto schema = Schema::Make({
+      {"GEN", AttributeRole::kQuasiIdentifier, AttributeKind::kCategorical},
+      {"ETH", AttributeRole::kQuasiIdentifier, AttributeKind::kCategorical},
+      {"AGE", AttributeRole::kQuasiIdentifier, AttributeKind::kNumeric},
+      {"PRV", AttributeRole::kQuasiIdentifier, AttributeKind::kCategorical},
+      {"CTY", AttributeRole::kQuasiIdentifier, AttributeKind::kCategorical},
+      {"DIAG", AttributeRole::kSensitive, AttributeKind::kCategorical},
+  });
+  DIVA_CHECK(schema.ok());
+  auto relation = RelationFromRows(
+      *schema,
+      {
+          {"Female", "Caucasian", "80", "AB", "Calgary", "Hypertension"},
+          {"Female", "Caucasian", "32", "AB", "Calgary", "Tuberculosis"},
+          {"Male", "Caucasian", "59", "AB", "Calgary", "Osteoarthritis"},
+          {"Male", "Caucasian", "46", "MB", "Winnipeg", "Migraine"},
+          {"Male", "African", "32", "MB", "Winnipeg", "Hypertension"},
+          {"Male", "African", "43", "BC", "Vancouver", "Seizure"},
+          {"Male", "Caucasian", "35", "BC", "Vancouver", "Hypertension"},
+          {"Female", "Asian", "58", "BC", "Vancouver", "Seizure"},
+          {"Female", "Asian", "63", "MB", "Winnipeg", "Influenza"},
+          {"Female", "Asian", "71", "BC", "Vancouver", "Migraine"},
+      });
+  DIVA_CHECK(relation.ok());
+  return std::move(relation).value();
+}
+
+GeneralizationContext BuildContext() {
+  GeneralizationContext context(6);
+  auto age = Taxonomy::Intervals(0, 99, 10);
+  DIVA_CHECK(age.ok());
+  context.SetTaxonomy(2, std::move(age).value());
+
+  auto geography = Taxonomy::FromText(
+      "Calgary,West\n"
+      "Vancouver,West\n"
+      "Winnipeg,Central\n"
+      "West,Canada\n"
+      "Central,Canada\n");
+  DIVA_CHECK(geography.ok());
+  context.SetTaxonomy(4, std::move(geography).value());
+
+  auto provinces = Taxonomy::FromText(
+      "AB,WestPrv\n"
+      "BC,WestPrv\n"
+      "MB,CentralPrv\n"
+      "WestPrv,CA\n"
+      "CentralPrv,CA\n");
+  DIVA_CHECK(provinces.ok());
+  context.SetTaxonomy(3, std::move(provinces).value());
+  return context;
+}
+
+}  // namespace
+
+int main() {
+  Relation table1 = BuildTable1();
+  GeneralizationContext context = BuildContext();
+
+  auto mondrian = MakeMondrian({});
+  std::vector<RowId> rows(table1.NumRows());
+  std::iota(rows.begin(), rows.end(), 0);
+  auto clusters = mondrian->BuildClusters(table1, rows, 3);
+  DIVA_CHECK(clusters.ok());
+
+  Relation suppressed = table1;
+  SuppressClustersInPlace(&suppressed, *clusters);
+  std::printf("=== Suppression (k = 3, Mondrian clusters) ===\n");
+  PrintRelation(suppressed);
+  std::printf("NCP loss: %.3f\n\n", NcpLoss(suppressed, context));
+
+  Relation generalized = table1;
+  DIVA_CHECK(
+      GeneralizeClustersInPlace(&generalized, *clusters, context).ok());
+  std::printf("=== Generalization (same clusters, taxonomies for AGE/PRV/CTY) ===\n");
+  PrintRelation(generalized);
+  std::printf("NCP loss: %.3f\n", NcpLoss(generalized, context));
+
+  DIVA_CHECK(IsKAnonymous(suppressed, 3));
+  DIVA_CHECK(IsKAnonymous(generalized, 3));
+  std::printf(
+      "\nBoth outputs are 3-anonymous; generalization retains decade and\n"
+      "region information that suppression throws away.\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Medical cohort publishing: diversity-preserving anonymization of a
+// synthetic patient population (the scenario motivating the paper's
+// introduction — pharmaceutical / insurance third parties want a
+// k-anonymous cohort that still represents minorities).
+//
+// Generates a Pop-Syn-style cohort, derives proportional-representation
+// constraints for ethnicity and gender, and contrasts DIVA with a plain
+// k-member anonymization: the baseline silently under-represents minority
+// groups (their characteristic cells get suppressed), DIVA does not.
+
+#include <cstdio>
+#include <map>
+
+#include "anon/anonymizer.h"
+#include "constraint/generator.h"
+#include "core/diva.h"
+#include "datagen/profiles.h"
+#include "examples/example_util.h"
+#include "relation/qi_groups.h"
+
+namespace {
+
+using namespace diva;            // NOLINT: example brevity
+using namespace diva::examples;  // NOLINT
+
+/// Visible (non-suppressed) frequency of each value of `attr`.
+std::map<std::string, size_t> VisibleCounts(const Relation& relation,
+                                            size_t attr) {
+  std::map<std::string, size_t> counts;
+  for (RowId row = 0; row < relation.NumRows(); ++row) {
+    if (!relation.IsSuppressed(row, attr)) {
+      ++counts[relation.ValueString(row, attr)];
+    }
+  }
+  return counts;
+}
+
+void PrintVisible(const char* label, const Relation& relation, size_t attr) {
+  std::printf("%s:", label);
+  for (const auto& [value, count] : VisibleCounts(relation, attr)) {
+    std::printf("  %s=%zu", value.c_str(), count);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  constexpr size_t kCohortSize = 4000;
+  constexpr size_t kK = 8;
+
+  ProfileOptions profile_options;
+  profile_options.num_rows = kCohortSize;
+  profile_options.seed = 2026;
+  auto cohort = GenerateProfile(DatasetProfile::kPopSyn, profile_options);
+  DIVA_CHECK(cohort.ok());
+  std::printf("Cohort: %zu patients, %zu attributes, %zu distinct QI "
+              "profiles\n\n",
+              cohort->NumRows(), cohort->NumAttributes(),
+              CountDistinctQiProjections(*cohort));
+
+  size_t eth = *cohort->schema().IndexOf("ETH");
+  size_t gen = *cohort->schema().IndexOf("GEN");
+
+  // Proportional-representation constraints over ethnicity and gender.
+  ConstraintGenOptions gen_options;
+  gen_options.kind = ConstraintClass::kProportional;
+  gen_options.count = 8;
+  gen_options.slack = 0.35;
+  gen_options.min_support = kK;
+  gen_options.attributes = {gen, eth};
+  gen_options.seed = 7;
+  auto constraints = GenerateConstraints(*cohort, gen_options);
+  DIVA_CHECK(constraints.ok());
+  std::printf("Diversity constraints (proportional representation):\n");
+  for (const auto& constraint : *constraints) {
+    std::printf("  %s\n", constraint.ToString().c_str());
+  }
+
+  std::printf("\nOriginal representation —\n");
+  PrintVisible("  ETH", *cohort, eth);
+  PrintVisible("  GEN", *cohort, gen);
+
+  // Plain k-member baseline.
+  AnonymizerOptions anon_options;
+  anon_options.sample_size = 64;
+  auto kmember = MakeKMember(anon_options);
+  auto baseline = Anonymize(kmember.get(), *cohort, kK);
+  DIVA_CHECK(baseline.ok());
+  std::printf("\n=== Plain k-member (k = %zu) ===\n", kK);
+  PrintVisible("  ETH", *baseline, eth);
+  PrintVisible("  GEN", *baseline, gen);
+  PrintQuality(*baseline, kK, *constraints);
+
+  // DIVA.
+  DivaOptions options;
+  options.k = kK;
+  options.strategy = SelectionStrategy::kMaxFanOut;
+  options.anonymizer = anon_options;
+  options.coloring_budget = 100000;  // keep the demo interactive
+  auto diva_result = RunDiva(*cohort, *constraints, options);
+  DIVA_CHECK(diva_result.ok());
+  std::printf("\n=== DIVA (k = %zu, MaxFanOut) ===\n", kK);
+  PrintVisible("  ETH", diva_result->relation, eth);
+  PrintVisible("  GEN", diva_result->relation, gen);
+  PrintReport(diva_result->report);
+  PrintQuality(diva_result->relation, kK, *constraints);
+
+  size_t baseline_violations =
+      ViolatedConstraints(*baseline, *constraints).size();
+  size_t diva_violations = diva_result->report.unsatisfied.size();
+  std::printf(
+      "\nConstraint violations — k-member: %zu, DIVA: %zu.\n"
+      "DIVA publishes a cohort that keeps every group's representation\n"
+      "inside its declared bounds; the baseline makes no such promise.\n",
+      baseline_violations, diva_violations);
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Quickstart: the paper's running example end-to-end.
+//
+// Builds the 10-tuple medical relation of Table 1, anonymizes it with
+// DIVA for k = 2 under the diversity constraints of Example 3.1, and
+// prints the diverse 2-anonymous result (compare with the paper's
+// Table 3). Also shows what a plain k-anonymizer loses.
+
+#include <cstdio>
+
+#include "anon/anonymizer.h"
+#include "constraint/parser.h"
+#include "core/diva.h"
+#include "examples/example_util.h"
+#include "relation/qi_groups.h"
+#include "relation/relation.h"
+
+namespace {
+
+using namespace diva;           // NOLINT: example brevity
+using namespace diva::examples; // NOLINT
+
+Relation BuildTable1() {
+  auto schema = Schema::Make({
+      {"GEN", AttributeRole::kQuasiIdentifier, AttributeKind::kCategorical},
+      {"ETH", AttributeRole::kQuasiIdentifier, AttributeKind::kCategorical},
+      {"AGE", AttributeRole::kQuasiIdentifier, AttributeKind::kNumeric},
+      {"PRV", AttributeRole::kQuasiIdentifier, AttributeKind::kCategorical},
+      {"CTY", AttributeRole::kQuasiIdentifier, AttributeKind::kCategorical},
+      {"DIAG", AttributeRole::kSensitive, AttributeKind::kCategorical},
+  });
+  DIVA_CHECK(schema.ok());
+  auto relation = RelationFromRows(
+      *schema,
+      {
+          {"Female", "Caucasian", "80", "AB", "Calgary", "Hypertension"},
+          {"Female", "Caucasian", "32", "AB", "Calgary", "Tuberculosis"},
+          {"Male", "Caucasian", "59", "AB", "Calgary", "Osteoarthritis"},
+          {"Male", "Caucasian", "46", "MB", "Winnipeg", "Migraine"},
+          {"Male", "African", "32", "MB", "Winnipeg", "Hypertension"},
+          {"Male", "African", "43", "BC", "Vancouver", "Seizure"},
+          {"Male", "Caucasian", "35", "BC", "Vancouver", "Hypertension"},
+          {"Female", "Asian", "58", "BC", "Vancouver", "Seizure"},
+          {"Female", "Asian", "63", "MB", "Winnipeg", "Influenza"},
+          {"Female", "Asian", "71", "BC", "Vancouver", "Migraine"},
+      });
+  DIVA_CHECK(relation.ok());
+  return std::move(relation).value();
+}
+
+}  // namespace
+
+int main() {
+  Relation table1 = BuildTable1();
+
+  std::printf("=== Input: medical records (paper Table 1) ===\n");
+  PrintRelation(table1);
+
+  // Example 3.1's constraint set Sigma.
+  auto constraints = ParseConstraintSet(table1.schema(),
+                                        "ETH[Asian] in [2,5]\n"
+                                        "ETH[African] in [1,3]\n"
+                                        "CTY[Vancouver] in [2,4]\n");
+  DIVA_CHECK(constraints.ok());
+  std::printf("\n=== Diversity constraints ===\n");
+  for (const auto& constraint : *constraints) {
+    std::printf("  %s\n", constraint.ToString().c_str());
+  }
+
+  // Plain k-member anonymization for contrast (cf. the paper's Table 2).
+  std::printf("\n=== Plain k-member anonymization (k = 3) ===\n");
+  auto kmember = MakeKMember({});
+  auto plain = Anonymize(kmember.get(), table1, 3);
+  DIVA_CHECK(plain.ok());
+  PrintRelation(*plain);
+  PrintQuality(*plain, 3, *constraints);
+  std::printf("note: a plain anonymizer offers no diversity guarantee —\n"
+              "      characteristic values can vanish behind stars.\n");
+
+  // DIVA (k = 2, as in Example 3.1 / Table 3).
+  std::printf("\n=== DIVA (k = 2, MaxFanOut) ===\n");
+  DivaOptions options;
+  options.k = 2;
+  options.strategy = SelectionStrategy::kMaxFanOut;
+  auto result = RunDiva(table1, *constraints, options);
+  DIVA_CHECK(result.ok());
+
+  PrintRelation(result->relation);
+  PrintReport(result->report);
+  PrintQuality(result->relation, options.k, *constraints);
+
+  DIVA_CHECK(IsKAnonymous(result->relation, options.k));
+  DIVA_CHECK(SatisfiesAll(result->relation, *constraints));
+  std::printf(
+      "\nThe output is 2-anonymous AND satisfies every diversity "
+      "constraint\n(compare with the paper's Table 3).\n");
+  return 0;
+}

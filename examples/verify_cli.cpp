@@ -1,0 +1,145 @@
+// verify_cli — audits a published CSV against privacy and diversity
+// requirements: k-anonymity, optional distinct l-diversity and
+// t-closeness, and a diversity-constraint file. Prints a report and
+// exits non-zero when any requested property fails — the receiving
+// party's side of the (k, Sigma)-anonymization contract.
+//
+// Usage:
+//   verify_cli --input anonymized.csv --schema schema.txt --k 10
+//       [--l 3] [--t 0.4] [--constraints sigma.txt]
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "anon/privacy.h"
+#include "common/string_util.h"
+#include "constraint/parser.h"
+#include "metrics/metrics.h"
+#include "relation/csv.h"
+#include "relation/qi_groups.h"
+#include "relation/schema.h"
+
+namespace {
+
+using namespace diva;  // NOLINT: example brevity
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 2;
+}
+
+// Same schema file format as anonymize_cli.
+Result<std::shared_ptr<const Schema>> LoadSchemaFile(const std::string& path);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> args;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) return Fail("unexpected argument " + arg);
+    args[arg.substr(2)] = argv[i + 1];
+  }
+  if (!args.count("input") || !args.count("schema") || !args.count("k")) {
+    return Fail("--input, --schema and --k are required");
+  }
+
+  auto schema = LoadSchemaFile(args["schema"]);
+  if (!schema.ok()) return Fail(schema.status().ToString());
+  auto relation = ReadCsvFile(args["input"], *schema);
+  if (!relation.ok()) return Fail(relation.status().ToString());
+  auto k = ParseInt64(args["k"]);
+  if (!k.ok() || *k < 1) return Fail("--k must be a positive integer");
+
+  bool all_ok = true;
+
+  bool k_anonymous = IsKAnonymous(*relation, static_cast<size_t>(*k));
+  std::printf("%-28s %s\n", ("k-anonymity (k=" + args["k"] + ")").c_str(),
+              k_anonymous ? "PASS" : "FAIL");
+  all_ok &= k_anonymous;
+
+  if (args.count("l")) {
+    auto l = ParseInt64(args["l"]);
+    if (!l.ok() || *l < 1) return Fail("--l must be a positive integer");
+    bool diverse = IsDistinctLDiverse(*relation, static_cast<size_t>(*l));
+    std::printf("%-28s %s\n", ("l-diversity (l=" + args["l"] + ")").c_str(),
+                diverse ? "PASS" : "FAIL");
+    all_ok &= diverse;
+  }
+
+  if (args.count("t")) {
+    auto t = ParseDouble(args["t"]);
+    if (!t.ok() || *t < 0.0) return Fail("--t must be non-negative");
+    double distance = TClosenessDistance(*relation);
+    bool close = distance <= *t + 1e-12;
+    std::printf("%-28s %s (measured t = %.4f)\n",
+                ("t-closeness (t=" + args["t"] + ")").c_str(),
+                close ? "PASS" : "FAIL", distance);
+    all_ok &= close;
+  }
+
+  if (args.count("constraints")) {
+    auto constraints = LoadConstraintSet(**schema, args["constraints"]);
+    if (!constraints.ok()) return Fail(constraints.status().ToString());
+    auto violated = ViolatedConstraints(*relation, *constraints);
+    std::printf("%-28s %s (%zu/%zu satisfied)\n", "diversity constraints",
+                violated.empty() ? "PASS" : "FAIL",
+                constraints->size() - violated.size(), constraints->size());
+    for (size_t index : violated) {
+      std::printf("    violated: %s (count %zu)\n",
+                  (*constraints)[index].ToString().c_str(),
+                  (*constraints)[index].CountOccurrences(*relation));
+    }
+    all_ok &= violated.empty();
+  }
+
+  std::printf("%-28s %.1f%% of QI cells suppressed, disc. accuracy %.3f\n",
+              "information loss", 100.0 * SuppressionRatio(*relation),
+              DiscernibilityAccuracy(*relation, static_cast<size_t>(*k)));
+
+  return all_ok ? 0 : 1;
+}
+
+namespace {
+
+Result<std::shared_ptr<const Schema>> LoadSchemaFile(
+    const std::string& path) {
+  std::ifstream input(path);
+  if (!input) return Status::IoError("cannot open schema file: " + path);
+  std::vector<Attribute> attributes;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(input, line)) {
+    ++line_number;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    auto parts = Split(trimmed, ',');
+    if (parts.size() != 3) {
+      return Status::InvalidArgument("schema line " +
+                                     std::to_string(line_number) +
+                                     ": expected NAME,role,kind");
+    }
+    Attribute attribute;
+    attribute.name = std::string(Trim(parts[0]));
+    std::string role = ToLowerAscii(Trim(parts[1]));
+    std::string kind = ToLowerAscii(Trim(parts[2]));
+    if (role == "id" || role == "identifier") {
+      attribute.role = AttributeRole::kIdentifier;
+    } else if (role == "qi" || role == "quasi-identifier") {
+      attribute.role = AttributeRole::kQuasiIdentifier;
+    } else if (role == "sensitive") {
+      attribute.role = AttributeRole::kSensitive;
+    } else {
+      return Status::InvalidArgument("unknown role '" + role + "'");
+    }
+    attribute.kind = (kind == "num" || kind == "numeric")
+                         ? AttributeKind::kNumeric
+                         : AttributeKind::kCategorical;
+    attributes.push_back(std::move(attribute));
+  }
+  return Schema::Make(std::move(attributes));
+}
+
+}  // namespace

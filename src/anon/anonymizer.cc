@@ -1,0 +1,34 @@
+#include "anon/anonymizer.h"
+
+#include "anon/kmember.h"
+#include "anon/mondrian.h"
+#include "anon/oka.h"
+#include "anon/suppress.h"
+
+namespace diva {
+
+Result<Relation> Anonymize(Anonymizer* anonymizer, const Relation& relation,
+                           size_t k) {
+  std::vector<RowId> rows(relation.NumRows());
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = static_cast<RowId>(i);
+  DIVA_ASSIGN_OR_RETURN(Clustering clusters,
+                        anonymizer->BuildClusters(relation, rows, k));
+  Relation out = relation;  // copy; row ids preserved
+  SuppressClustersInPlace(&out, clusters);
+  SuppressIdentifiers(&out);
+  return out;
+}
+
+std::unique_ptr<Anonymizer> MakeKMember(const AnonymizerOptions& options) {
+  return std::make_unique<KMemberAnonymizer>(options);
+}
+
+std::unique_ptr<Anonymizer> MakeOka(const AnonymizerOptions& options) {
+  return std::make_unique<OkaAnonymizer>(options);
+}
+
+std::unique_ptr<Anonymizer> MakeMondrian(const AnonymizerOptions& options) {
+  return std::make_unique<MondrianAnonymizer>(options);
+}
+
+}  // namespace diva

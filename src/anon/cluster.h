@@ -1,0 +1,25 @@
+#ifndef DIVA_ANON_CLUSTER_H_
+#define DIVA_ANON_CLUSTER_H_
+
+#include <vector>
+
+#include "relation/value.h"
+
+namespace diva {
+
+/// A cluster: a set of row ids destined to become one QI-group.
+using Cluster = std::vector<RowId>;
+
+/// A clustering: disjoint clusters (S in the paper).
+using Clustering = std::vector<Cluster>;
+
+/// Total number of rows across all clusters.
+inline size_t TotalRows(const Clustering& clustering) {
+  size_t total = 0;
+  for (const Cluster& c : clustering) total += c.size();
+  return total;
+}
+
+}  // namespace diva
+
+#endif  // DIVA_ANON_CLUSTER_H_

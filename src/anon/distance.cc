@@ -1,0 +1,101 @@
+#include "anon/distance.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace diva {
+
+DistanceMetric::DistanceMetric(const Relation& relation)
+    : relation_(&relation),
+      numeric_(relation.NumAttributes(), false),
+      inv_range_(relation.NumAttributes(), 0.0) {
+  for (size_t col : relation.schema().qi_indices()) {
+    const Attribute& attr = relation.schema().attribute(col);
+    if (attr.kind != AttributeKind::kNumeric) continue;
+    const Dictionary& dict = relation.dictionary(col);
+    if (!dict.AllNumeric()) continue;
+    double lo = 0.0;
+    double hi = 0.0;
+    bool first = true;
+    for (size_t code = 0; code < dict.size(); ++code) {
+      double v = *dict.NumericValueOf(static_cast<ValueCode>(code));
+      if (first) {
+        lo = hi = v;
+        first = false;
+      } else {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+    numeric_[col] = true;
+    inv_range_[col] = (hi > lo) ? 1.0 / (hi - lo) : 0.0;
+  }
+}
+
+double DistanceMetric::Distance(RowId a, RowId b) const {
+  double total = 0.0;
+  for (size_t col : relation_->schema().qi_indices()) {
+    ValueCode ca = relation_->At(a, col);
+    ValueCode cb = relation_->At(b, col);
+    if (ca == cb) {
+      if (ca == kSuppressed) total += 1.0;  // two stars are incomparable
+      continue;
+    }
+    if (ca == kSuppressed || cb == kSuppressed) {
+      total += 1.0;
+      continue;
+    }
+    if (numeric_[col]) {
+      double va = *relation_->dictionary(col).NumericValueOf(ca);
+      double vb = *relation_->dictionary(col).NumericValueOf(cb);
+      total += std::fabs(va - vb) * inv_range_[col];
+    } else {
+      total += 1.0;
+    }
+  }
+  return total;
+}
+
+ClusterCostTracker::ClusterCostTracker(const Relation& relation)
+    : relation_(&relation),
+      common_(relation.schema().qi_indices().size(), kSuppressed) {}
+
+void ClusterCostTracker::Reset(RowId seed) {
+  const auto& qi = relation_->schema().qi_indices();
+  for (size_t i = 0; i < qi.size(); ++i) {
+    common_[i] = relation_->At(seed, qi[i]);
+  }
+  size_ = 1;
+  divergent_ = 0;
+  // A seed with suppressed cells starts with those attributes diverged.
+  for (size_t i = 0; i < qi.size(); ++i) {
+    if (common_[i] == kSuppressed) ++divergent_;
+  }
+}
+
+size_t ClusterCostTracker::CostIncrease(RowId candidate) const {
+  DIVA_DCHECK(size_ > 0);
+  const auto& qi = relation_->schema().qi_indices();
+  size_t new_divergent = divergent_;
+  for (size_t i = 0; i < qi.size(); ++i) {
+    if (common_[i] == kSuppressed) continue;  // already diverged
+    if (relation_->At(candidate, qi[i]) != common_[i]) ++new_divergent;
+  }
+  return (size_ + 1) * new_divergent - size_ * divergent_;
+}
+
+void ClusterCostTracker::Add(RowId candidate) {
+  DIVA_DCHECK(size_ > 0);
+  const auto& qi = relation_->schema().qi_indices();
+  for (size_t i = 0; i < qi.size(); ++i) {
+    if (common_[i] == kSuppressed) continue;
+    if (relation_->At(candidate, qi[i]) != common_[i]) {
+      common_[i] = kSuppressed;
+      ++divergent_;
+    }
+  }
+  ++size_;
+}
+
+}  // namespace diva

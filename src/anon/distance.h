@@ -1,0 +1,68 @@
+#ifndef DIVA_ANON_DISTANCE_H_
+#define DIVA_ANON_DISTANCE_H_
+
+#include <vector>
+
+#include "relation/relation.h"
+
+namespace diva {
+
+/// Normalized tuple distance over quasi-identifier attributes:
+/// categorical attributes contribute 0/1 (Hamming), numeric attributes
+/// contribute |a - b| / range. Suppressed cells mismatch everything
+/// (including other suppressed cells, except themselves by identity).
+///
+/// Precomputes per-attribute numeric ranges once; Distance() is then a
+/// plain scan of the QI columns.
+class DistanceMetric {
+ public:
+  explicit DistanceMetric(const Relation& relation);
+
+  /// Distance in [0, |QI|] between two rows.
+  double Distance(RowId a, RowId b) const;
+
+  /// True if attribute `col` is measured numerically (declared numeric
+  /// and every dictionary value parses as a number).
+  bool IsNumericColumn(size_t col) const { return numeric_[col]; }
+
+  /// 1 / (max - min) over the attribute's numeric domain; 0 when the
+  /// domain is degenerate or the column is not numeric.
+  double InvRange(size_t col) const { return inv_range_[col]; }
+
+ private:
+  const Relation* relation_;
+  std::vector<bool> numeric_;       // per attribute
+  std::vector<double> inv_range_;   // per attribute; 0 if degenerate
+};
+
+/// Incremental suppression-cost tracker for greedy clustering (k-member).
+/// Maintains, per QI attribute, the value shared by every member so far
+/// (or "diverged"). Adding a tuple that disagrees on d more attributes
+/// raises the cluster's ★ count from size*div to (size+1)*(div+d).
+class ClusterCostTracker {
+ public:
+  explicit ClusterCostTracker(const Relation& relation);
+
+  /// Restarts the cluster with a single seed row.
+  void Reset(RowId seed);
+
+  /// ★s added to the cluster's total if `candidate` joined now.
+  size_t CostIncrease(RowId candidate) const;
+
+  /// Adds `candidate` to the cluster.
+  void Add(RowId candidate);
+
+  size_t size() const { return size_; }
+  /// Current total ★ count of the cluster.
+  size_t TotalCost() const { return size_ * divergent_; }
+
+ private:
+  const Relation* relation_;
+  std::vector<ValueCode> common_;  // per QI index position
+  size_t size_ = 0;
+  size_t divergent_ = 0;
+};
+
+}  // namespace diva
+
+#endif  // DIVA_ANON_DISTANCE_H_

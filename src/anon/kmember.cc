@@ -1,0 +1,129 @@
+#include "anon/kmember.h"
+
+#include <limits>
+
+#include "anon/distance.h"
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace diva {
+
+namespace {
+
+/// Pool of not-yet-clustered rows with O(1) removal (swap with back).
+class RowPool {
+ public:
+  explicit RowPool(std::span<const RowId> rows)
+      : rows_(rows.begin(), rows.end()) {}
+
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+  RowId at(size_t i) const { return rows_[i]; }
+
+  RowId TakeAt(size_t i) {
+    DIVA_DCHECK(i < rows_.size());
+    RowId row = rows_[i];
+    rows_[i] = rows_.back();
+    rows_.pop_back();
+    return row;
+  }
+
+ private:
+  std::vector<RowId> rows_;
+};
+
+/// Indices to scan in the pool for a greedy step: all of them in exact
+/// mode, or `sample_size` random ones.
+size_t ScanCount(const RowPool& pool, size_t sample_size) {
+  if (sample_size == 0 || pool.size() <= sample_size) return pool.size();
+  return sample_size;
+}
+
+size_t PickIndex(const RowPool& pool, size_t scan, size_t step, Rng* rng) {
+  if (scan == pool.size()) return step;  // exact scan
+  return static_cast<size_t>(rng->NextBounded(pool.size()));
+}
+
+}  // namespace
+
+Result<Clustering> KMemberAnonymizer::BuildClusters(
+    const Relation& relation, std::span<const RowId> rows, size_t k) {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (rows.empty()) return Clustering{};
+  if (rows.size() < k) {
+    return Status::Infeasible(
+        "cannot form a k-anonymous group from " +
+        std::to_string(rows.size()) + " < k = " + std::to_string(k) +
+        " tuples");
+  }
+
+  DistanceMetric metric(relation);
+  Rng rng(options_.seed);
+  RowPool pool(rows);
+  Clustering clusters;
+  std::vector<ClusterCostTracker> trackers;
+
+  // Seed anchor: a random record (the paper's k-member starts from a
+  // randomly chosen record and then picks the furthest one each round).
+  RowId anchor = pool.at(static_cast<size_t>(rng.NextBounded(pool.size())));
+
+  while (pool.size() >= k) {
+    // Furthest record from the previous anchor.
+    size_t scan = ScanCount(pool, options_.sample_size);
+    double best_distance = -1.0;
+    size_t best_index = 0;
+    for (size_t s = 0; s < scan; ++s) {
+      size_t i = PickIndex(pool, scan, s, &rng);
+      double d = metric.Distance(anchor, pool.at(i));
+      if (d > best_distance) {
+        best_distance = d;
+        best_index = i;
+      }
+    }
+    RowId seed = pool.TakeAt(best_index);
+    anchor = seed;
+
+    ClusterCostTracker tracker(relation);
+    tracker.Reset(seed);
+    Cluster cluster = {seed};
+
+    while (cluster.size() < k) {
+      size_t grow_scan = ScanCount(pool, options_.sample_size);
+      size_t cheapest = std::numeric_limits<size_t>::max();
+      size_t cheapest_index = 0;
+      for (size_t s = 0; s < grow_scan; ++s) {
+        size_t i = PickIndex(pool, grow_scan, s, &rng);
+        size_t cost = tracker.CostIncrease(pool.at(i));
+        if (cost < cheapest) {
+          cheapest = cost;
+          cheapest_index = i;
+        }
+      }
+      RowId added = pool.TakeAt(cheapest_index);
+      tracker.Add(added);
+      cluster.push_back(added);
+    }
+    clusters.push_back(std::move(cluster));
+    trackers.push_back(std::move(tracker));
+  }
+
+  // Distribute the (< k) leftovers to their cheapest clusters.
+  while (!pool.empty()) {
+    RowId row = pool.TakeAt(pool.size() - 1);
+    size_t cheapest = std::numeric_limits<size_t>::max();
+    size_t target = 0;
+    for (size_t c = 0; c < clusters.size(); ++c) {
+      size_t cost = trackers[c].CostIncrease(row);
+      if (cost < cheapest) {
+        cheapest = cost;
+        target = c;
+      }
+    }
+    trackers[target].Add(row);
+    clusters[target].push_back(row);
+  }
+
+  return clusters;
+}
+
+}  // namespace diva

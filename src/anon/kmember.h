@@ -1,0 +1,34 @@
+#ifndef DIVA_ANON_KMEMBER_H_
+#define DIVA_ANON_KMEMBER_H_
+
+#include "anon/anonymizer.h"
+
+namespace diva {
+
+/// Greedy k-member clustering (Byun, Kamra, Bertino, Li — DASFAA 2007),
+/// adapted to the suppression cost model: each cluster is seeded with the
+/// record furthest from the previous cluster's seed, then grown by
+/// repeatedly adding the record whose inclusion raises the cluster's
+/// ★ count the least. Leftover records (< k remaining) join the cluster
+/// they are cheapest for.
+///
+/// Exact mode is O(N^2); with AnonymizerOptions::sample_size > 0 each
+/// greedy step scans a random sample of the remaining records instead.
+class KMemberAnonymizer final : public Anonymizer {
+ public:
+  explicit KMemberAnonymizer(const AnonymizerOptions& options)
+      : options_(options) {}
+
+  std::string name() const override { return "k-member"; }
+
+  Result<Clustering> BuildClusters(const Relation& relation,
+                                   std::span<const RowId> rows,
+                                   size_t k) override;
+
+ private:
+  AnonymizerOptions options_;
+};
+
+}  // namespace diva
+
+#endif  // DIVA_ANON_KMEMBER_H_

@@ -1,0 +1,31 @@
+#ifndef DIVA_ANON_MONDRIAN_H_
+#define DIVA_ANON_MONDRIAN_H_
+
+#include "anon/anonymizer.h"
+
+namespace diva {
+
+/// Mondrian multidimensional partitioning (LeFevre, DeWitt, Ramakrishnan —
+/// ICDE 2006), relaxed variant, emitting clusters for the suppression
+/// model: partitions are recursively median-split on the QI attribute
+/// with the widest normalized spread (numeric: value range; categorical:
+/// number of distinct values) as long as both halves keep >= k rows;
+/// unsplittable partitions become clusters.
+class MondrianAnonymizer final : public Anonymizer {
+ public:
+  explicit MondrianAnonymizer(const AnonymizerOptions& options)
+      : options_(options) {}
+
+  std::string name() const override { return "Mondrian"; }
+
+  Result<Clustering> BuildClusters(const Relation& relation,
+                                   std::span<const RowId> rows,
+                                   size_t k) override;
+
+ private:
+  AnonymizerOptions options_;
+};
+
+}  // namespace diva
+
+#endif  // DIVA_ANON_MONDRIAN_H_

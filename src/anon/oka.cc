@@ -1,0 +1,197 @@
+#include "anon/oka.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "anon/distance.h"
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace diva {
+
+namespace {
+
+/// Mutable cluster centroid: per categorical QI attribute a value
+/// histogram (distance = 1 - relative frequency of the record's value),
+/// per numeric QI attribute a running mean (distance = normalized |v-mean|).
+class Centroid {
+ public:
+  Centroid(const Relation& relation, const DistanceMetric& metric)
+      : relation_(&relation), metric_(&metric) {
+    const auto& qi = relation.schema().qi_indices();
+    histograms_.resize(qi.size());
+    sums_.assign(qi.size(), 0.0);
+  }
+
+  void Add(RowId row) {
+    const auto& qi = relation_->schema().qi_indices();
+    for (size_t i = 0; i < qi.size(); ++i) {
+      ValueCode code = relation_->At(row, qi[i]);
+      if (metric_->IsNumericColumn(qi[i])) {
+        sums_[i] += NumericValue(qi[i], code);
+      } else {
+        ++histograms_[i][code];
+      }
+    }
+    ++size_;
+  }
+
+  void Remove(RowId row) {
+    DIVA_DCHECK(size_ > 0);
+    const auto& qi = relation_->schema().qi_indices();
+    for (size_t i = 0; i < qi.size(); ++i) {
+      ValueCode code = relation_->At(row, qi[i]);
+      if (metric_->IsNumericColumn(qi[i])) {
+        sums_[i] -= NumericValue(qi[i], code);
+      } else {
+        auto it = histograms_[i].find(code);
+        DIVA_DCHECK(it != histograms_[i].end() && it->second > 0);
+        if (--it->second == 0) histograms_[i].erase(it);
+      }
+    }
+    --size_;
+  }
+
+  double Distance(RowId row) const {
+    if (size_ == 0) return 0.0;
+    const auto& qi = relation_->schema().qi_indices();
+    double total = 0.0;
+    for (size_t i = 0; i < qi.size(); ++i) {
+      ValueCode code = relation_->At(row, qi[i]);
+      if (metric_->IsNumericColumn(qi[i])) {
+        double mean = sums_[i] / static_cast<double>(size_);
+        total += NormalizedGap(qi[i], NumericValue(qi[i], code), mean);
+      } else {
+        auto it = histograms_[i].find(code);
+        double freq =
+            it == histograms_[i].end()
+                ? 0.0
+                : static_cast<double>(it->second) / static_cast<double>(size_);
+        total += 1.0 - freq;
+      }
+    }
+    return total;
+  }
+
+  size_t size() const { return size_; }
+
+ private:
+  double NumericValue(size_t col, ValueCode code) const {
+    if (code == kSuppressed) return 0.0;
+    auto v = relation_->dictionary(col).NumericValueOf(code);
+    return v.value_or(0.0);
+  }
+
+  double NormalizedGap(size_t col, double a, double b) const {
+    return std::fabs(a - b) * metric_->InvRange(col);
+  }
+
+  const Relation* relation_;
+  const DistanceMetric* metric_;
+  std::vector<std::unordered_map<ValueCode, uint32_t>> histograms_;
+  std::vector<double> sums_;
+  size_t size_ = 0;
+};
+
+}  // namespace
+
+Result<Clustering> OkaAnonymizer::BuildClusters(const Relation& relation,
+                                                std::span<const RowId> rows,
+                                                size_t k) {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (rows.empty()) return Clustering{};
+  if (rows.size() < k) {
+    return Status::Infeasible(
+        "cannot form a k-anonymous group from " +
+        std::to_string(rows.size()) + " < k = " + std::to_string(k) +
+        " tuples");
+  }
+
+  DistanceMetric metric(relation);
+  Rng rng(options_.seed);
+  size_t num_clusters = rows.size() / k;
+  DIVA_DCHECK(num_clusters >= 1);
+
+  std::vector<RowId> shuffled(rows.begin(), rows.end());
+  rng.Shuffle(&shuffled);
+
+  Clustering clusters(num_clusters);
+  std::vector<Centroid> centroids;
+  centroids.reserve(num_clusters);
+  for (size_t c = 0; c < num_clusters; ++c) {
+    centroids.emplace_back(relation, metric);
+    centroids[c].Add(shuffled[c]);
+    clusters[c].push_back(shuffled[c]);
+  }
+
+  // Phase 1: one pass, assign to nearest centroid, update immediately.
+  for (size_t i = num_clusters; i < shuffled.size(); ++i) {
+    RowId row = shuffled[i];
+    double best = std::numeric_limits<double>::max();
+    size_t target = 0;
+    for (size_t c = 0; c < num_clusters; ++c) {
+      double d = centroids[c].Distance(row);
+      if (d < best) {
+        best = d;
+        target = c;
+      }
+    }
+    centroids[target].Add(row);
+    clusters[target].push_back(row);
+  }
+
+  // Phase 2a: trim oversized clusters, farthest-from-centroid first.
+  std::vector<RowId> overflow;
+  for (size_t c = 0; c < num_clusters; ++c) {
+    while (clusters[c].size() > k) {
+      size_t worst = 0;
+      double worst_distance = -1.0;
+      for (size_t i = 0; i < clusters[c].size(); ++i) {
+        double d = centroids[c].Distance(clusters[c][i]);
+        if (d > worst_distance) {
+          worst_distance = d;
+          worst = i;
+        }
+      }
+      RowId row = clusters[c][worst];
+      clusters[c][worst] = clusters[c].back();
+      clusters[c].pop_back();
+      centroids[c].Remove(row);
+      overflow.push_back(row);
+    }
+  }
+
+  // Phase 2b: refill deficit clusters first, then spread the surplus.
+  auto nearest = [&](RowId row, bool deficit_only) -> std::optional<size_t> {
+    double best = std::numeric_limits<double>::max();
+    std::optional<size_t> target;
+    for (size_t c = 0; c < num_clusters; ++c) {
+      if (deficit_only && clusters[c].size() >= k) continue;
+      double d = centroids[c].Distance(row);
+      if (d < best) {
+        best = d;
+        target = c;
+      }
+    }
+    return target;
+  };
+
+  for (RowId row : overflow) {
+    auto target = nearest(row, /*deficit_only=*/true);
+    if (!target.has_value()) target = nearest(row, /*deficit_only=*/false);
+    DIVA_CHECK(target.has_value());
+    centroids[*target].Add(row);
+    clusters[*target].push_back(row);
+  }
+
+  // Phase 1 seeds every cluster with one record, so deficits are covered:
+  // total rows >= num_clusters * k guarantees enough overflow existed.
+  for (const Cluster& c : clusters) {
+    DIVA_CHECK_MSG(c.size() >= k, "OKA adjustment left an undersized cluster");
+  }
+  return clusters;
+}
+
+}  // namespace diva

@@ -1,0 +1,34 @@
+#ifndef DIVA_ANON_OKA_H_
+#define DIVA_ANON_OKA_H_
+
+#include "anon/anonymizer.h"
+
+namespace diva {
+
+/// OKA — One-pass K-means Anonymization (Lin & Wei, PAIS 2008).
+///
+/// Phase 1 (one-pass k-means): floor(N/k) centroids are seeded with random
+/// records; every record is assigned to its nearest centroid, updating the
+/// centroid immediately (a single pass, no convergence loop).
+/// Phase 2 (adjustment): clusters larger than k give up their records
+/// farthest from the centroid; those records refill clusters below k
+/// (nearest-deficit-first), and any surplus joins its nearest cluster.
+/// The result is a partition in which every cluster has >= k records.
+class OkaAnonymizer final : public Anonymizer {
+ public:
+  explicit OkaAnonymizer(const AnonymizerOptions& options)
+      : options_(options) {}
+
+  std::string name() const override { return "OKA"; }
+
+  Result<Clustering> BuildClusters(const Relation& relation,
+                                   std::span<const RowId> rows,
+                                   size_t k) override;
+
+ private:
+  AnonymizerOptions options_;
+};
+
+}  // namespace diva
+
+#endif  // DIVA_ANON_OKA_H_

@@ -1,0 +1,276 @@
+#include "anon/privacy.h"
+
+#include <algorithm>
+#include <limits>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "anon/suppress.h"
+#include "common/logging.h"
+#include "relation/qi_groups.h"
+
+namespace diva {
+
+namespace {
+
+/// FNV-1a hash of a row's sensitive projection.
+uint64_t SensitiveKey(const Relation& relation, RowId row) {
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t col : relation.schema().sensitive_indices()) {
+    h ^= static_cast<uint64_t>(static_cast<uint32_t>(relation.At(row, col)));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+size_t DistinctSensitive(const Relation& relation,
+                         const std::vector<RowId>& rows) {
+  std::unordered_set<uint64_t> keys;
+  for (RowId row : rows) keys.insert(SensitiveKey(relation, row));
+  return keys.size();
+}
+
+}  // namespace
+
+bool IsDistinctLDiverse(const Relation& relation, size_t l) {
+  if (l <= 1) return true;
+  QiGroups groups = ComputeQiGroups(relation);
+  for (const auto& group : groups.groups) {
+    if (DistinctSensitive(relation, group) < l) return false;
+  }
+  return true;
+}
+
+size_t CountDistinctSensitiveProjections(const Relation& relation) {
+  std::unordered_set<uint64_t> keys;
+  for (RowId row = 0; row < relation.NumRows(); ++row) {
+    keys.insert(SensitiveKey(relation, row));
+  }
+  return keys.size();
+}
+
+Result<Clustering> EnforceLDiversity(Relation* relation, Clustering clusters,
+                                     size_t l) {
+  if (l <= 1 || clusters.empty()) return clusters;
+  if (CountDistinctSensitiveProjections(*relation) < l) {
+    return Status::Infeasible(
+        "relation has fewer than l = " + std::to_string(l) +
+        " distinct sensitive projections");
+  }
+
+  // Iterate until stable: merge each violating cluster into the other
+  // cluster whose union costs the fewest additional stars. Each merge
+  // strictly reduces the cluster count, so this terminates.
+  bool changed = true;
+  while (changed && clusters.size() > 1) {
+    changed = false;
+    for (size_t i = 0; i < clusters.size(); ++i) {
+      if (DistinctSensitive(*relation, clusters[i]) >= l) continue;
+      size_t best = clusters.size();
+      size_t best_cost = std::numeric_limits<size_t>::max();
+      for (size_t j = 0; j < clusters.size(); ++j) {
+        if (j == i) continue;
+        Cluster merged = clusters[i];
+        merged.insert(merged.end(), clusters[j].begin(), clusters[j].end());
+        size_t cost = SuppressionCost(*relation, merged);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = j;
+        }
+      }
+      DIVA_CHECK_MSG(best < clusters.size(),
+                     "no merge partner for l-diversity enforcement");
+      Cluster& target = clusters[best];
+      target.insert(target.end(), clusters[i].begin(), clusters[i].end());
+      clusters.erase(clusters.begin() + static_cast<long>(i));
+      changed = true;
+      break;  // indices shifted; rescan
+    }
+  }
+
+  // One cluster left but still short on sensitive variety is impossible:
+  // the feasibility precheck guaranteed enough distinct projections.
+  SuppressClustersInPlace(relation, clusters);
+  return clusters;
+}
+
+namespace {
+
+/// Distribution of sensitive attribute `col` over a set of rows, as
+/// (code -> probability). Codes are ordered, which matters for the
+/// numeric (ordered-EMD) case.
+std::map<ValueCode, double> SensitiveDistribution(
+    const Relation& relation, size_t col, const std::vector<RowId>& rows) {
+  std::map<ValueCode, double> distribution;
+  if (rows.empty()) return distribution;
+  double unit = 1.0 / static_cast<double>(rows.size());
+  for (RowId row : rows) distribution[relation.At(row, col)] += unit;
+  return distribution;
+}
+
+/// Distance between a group's and the global distribution of sensitive
+/// attribute `col`: ordered EMD for numeric attributes (normalized by
+/// m - 1 positions over the union support), variational distance for
+/// categorical ones.
+double DistributionDistance(const Relation& relation, size_t col,
+                            const std::map<ValueCode, double>& group,
+                            const std::map<ValueCode, double>& global) {
+  // Union support in value order. For numeric attributes order by the
+  // parsed numeric value; categorical order is irrelevant (variational).
+  std::vector<ValueCode> support;
+  for (const auto& [code, p] : global) support.push_back(code);
+  for (const auto& [code, p] : group) {
+    if (!global.count(code)) support.push_back(code);
+  }
+
+  bool numeric = relation.schema().attribute(col).kind ==
+                     AttributeKind::kNumeric &&
+                 relation.dictionary(col).AllNumeric();
+  auto prob = [](const std::map<ValueCode, double>& d, ValueCode c) {
+    auto it = d.find(c);
+    return it == d.end() ? 0.0 : it->second;
+  };
+
+  if (!numeric) {
+    double total = 0.0;
+    for (ValueCode code : support) {
+      total += std::abs(prob(group, code) - prob(global, code));
+    }
+    return total / 2.0;
+  }
+
+  std::sort(support.begin(), support.end(), [&](ValueCode a, ValueCode b) {
+    double va = a == kSuppressed ? -1e300
+                                 : *relation.dictionary(col).NumericValueOf(a);
+    double vb = b == kSuppressed ? -1e300
+                                 : *relation.dictionary(col).NumericValueOf(b);
+    return va < vb;
+  });
+  if (support.size() <= 1) return 0.0;
+  double cumulative = 0.0;
+  double emd = 0.0;
+  for (ValueCode code : support) {
+    cumulative += prob(group, code) - prob(global, code);
+    emd += std::abs(cumulative);
+  }
+  return emd / static_cast<double>(support.size() - 1);
+}
+
+double MaxGroupDistance(const Relation& relation,
+                        const std::vector<std::vector<RowId>>& groups) {
+  double worst = 0.0;
+  std::vector<RowId> all(relation.NumRows());
+  for (RowId i = 0; i < relation.NumRows(); ++i) all[i] = i;
+  for (size_t col : relation.schema().sensitive_indices()) {
+    auto global = SensitiveDistribution(relation, col, all);
+    for (const auto& group : groups) {
+      auto local = SensitiveDistribution(relation, col, group);
+      worst = std::max(worst,
+                       DistributionDistance(relation, col, local, global));
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+
+double TClosenessDistance(const Relation& relation) {
+  if (relation.NumRows() == 0 ||
+      relation.schema().sensitive_indices().empty()) {
+    return 0.0;
+  }
+  QiGroups groups = ComputeQiGroups(relation);
+  return MaxGroupDistance(relation, groups.groups);
+}
+
+bool IsTClose(const Relation& relation, double t) {
+  return TClosenessDistance(relation) <= t + 1e-12;
+}
+
+Result<Clustering> EnforceTCloseness(Relation* relation, Clustering clusters,
+                                     double t) {
+  if (t < 0.0) {
+    return Status::InvalidArgument("t must be non-negative");
+  }
+  if (clusters.empty() ||
+      relation->schema().sensitive_indices().empty()) {
+    return clusters;
+  }
+
+  while (clusters.size() > 1) {
+    // Find the worst cluster.
+    size_t worst = clusters.size();
+    double worst_distance = t;
+    for (size_t i = 0; i < clusters.size(); ++i) {
+      double d = MaxGroupDistance(*relation, {clusters[i]});
+      if (d > worst_distance + 1e-12) {
+        worst_distance = d;
+        worst = i;
+      }
+    }
+    if (worst == clusters.size()) break;  // all within t
+
+    size_t best = clusters.size();
+    size_t best_cost = std::numeric_limits<size_t>::max();
+    for (size_t j = 0; j < clusters.size(); ++j) {
+      if (j == worst) continue;
+      Cluster merged = clusters[worst];
+      merged.insert(merged.end(), clusters[j].begin(), clusters[j].end());
+      size_t cost = SuppressionCost(*relation, merged);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = j;
+      }
+    }
+    Cluster& target = clusters[best];
+    target.insert(target.end(), clusters[worst].begin(),
+                  clusters[worst].end());
+    clusters.erase(clusters.begin() + static_cast<long>(worst));
+  }
+
+  SuppressClustersInPlace(relation, clusters);
+  return clusters;
+}
+
+Result<bool> IsXYAnonymous(const Relation& relation,
+                           const std::vector<size_t>& x_attributes,
+                           const std::vector<size_t>& y_attributes,
+                           size_t k) {
+  if (x_attributes.empty() || y_attributes.empty()) {
+    return Status::InvalidArgument("X and Y must be non-empty");
+  }
+  for (size_t attr : x_attributes) {
+    if (attr >= relation.NumAttributes()) {
+      return Status::InvalidArgument("X attribute index out of range");
+    }
+  }
+  for (size_t attr : y_attributes) {
+    if (attr >= relation.NumAttributes()) {
+      return Status::InvalidArgument("Y attribute index out of range");
+    }
+  }
+  if (k <= 1) return true;
+
+  auto project = [&relation](const std::vector<size_t>& attrs, RowId row) {
+    uint64_t h = 1469598103934665603ULL;
+    for (size_t attr : attrs) {
+      h ^= static_cast<uint64_t>(static_cast<uint32_t>(relation.At(row, attr)));
+      h *= 1099511628211ULL;
+    }
+    return h;
+  };
+
+  // X-projection -> set of distinct Y-projections.
+  std::unordered_map<uint64_t, std::unordered_set<uint64_t>> links;
+  for (RowId row = 0; row < relation.NumRows(); ++row) {
+    links[project(x_attributes, row)].insert(project(y_attributes, row));
+  }
+  for (const auto& [x, ys] : links) {
+    if (ys.size() < k) return false;
+  }
+  return true;
+}
+
+}  // namespace diva

@@ -1,0 +1,72 @@
+#include "anon/suppress.h"
+
+namespace diva {
+
+namespace {
+
+/// True if all rows of `cluster` share one non-suppressed value on `col`.
+bool Unanimous(const Relation& relation, std::span<const RowId> cluster,
+               size_t col) {
+  if (cluster.empty()) return true;
+  ValueCode first = relation.At(cluster[0], col);
+  if (first == kSuppressed) return false;
+  for (size_t i = 1; i < cluster.size(); ++i) {
+    if (relation.At(cluster[i], col) != first) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void SuppressClustersInPlace(Relation* relation,
+                             const Clustering& clustering) {
+  const auto& qi = relation->schema().qi_indices();
+  for (const Cluster& cluster : clustering) {
+    for (size_t col : qi) {
+      if (!Unanimous(*relation, cluster, col)) {
+        for (RowId row : cluster) relation->Set(row, col, kSuppressed);
+      }
+    }
+  }
+}
+
+Relation Suppress(const Relation& relation, const Clustering& clustering) {
+  Relation out = relation.EmptyLike();
+  const auto& qi = relation.schema().qi_indices();
+  for (const Cluster& cluster : clustering) {
+    // Which QI columns survive for this cluster.
+    std::vector<bool> keep(relation.NumAttributes(), true);
+    for (size_t col : qi) {
+      keep[col] = Unanimous(relation, cluster, col);
+    }
+    std::vector<ValueCode> row_codes(relation.NumAttributes());
+    for (RowId row : cluster) {
+      for (size_t col = 0; col < relation.NumAttributes(); ++col) {
+        ValueCode code = relation.At(row, col);
+        bool is_qi = relation.schema().IsQuasiIdentifier(col);
+        row_codes[col] = (is_qi && !keep[col]) ? kSuppressed : code;
+      }
+      out.AppendRow(row_codes);
+    }
+  }
+  return out;
+}
+
+void SuppressIdentifiers(Relation* relation) {
+  for (size_t col : relation->schema().identifier_indices()) {
+    for (RowId row = 0; row < relation->NumRows(); ++row) {
+      relation->Set(row, col, kSuppressed);
+    }
+  }
+}
+
+size_t SuppressionCost(const Relation& relation,
+                       std::span<const RowId> cluster) {
+  size_t suppressed_columns = 0;
+  for (size_t col : relation.schema().qi_indices()) {
+    if (!Unanimous(relation, cluster, col)) ++suppressed_columns;
+  }
+  return suppressed_columns * cluster.size();
+}
+
+}  // namespace diva

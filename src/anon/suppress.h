@@ -1,0 +1,36 @@
+#ifndef DIVA_ANON_SUPPRESS_H_
+#define DIVA_ANON_SUPPRESS_H_
+
+#include <span>
+
+#include "anon/cluster.h"
+#include "relation/relation.h"
+
+namespace diva {
+
+/// Suppression operator (paper Algorithm 2) applied in place: for every
+/// cluster, each quasi-identifier attribute on which the cluster's tuples
+/// disagree is replaced by kSuppressed in all of the cluster's rows, so
+/// each cluster becomes a QI-group. Rows outside the clusters are
+/// untouched. Sensitive and identifier attributes are never suppressed
+/// here.
+void SuppressClustersInPlace(Relation* relation, const Clustering& clustering);
+
+/// Functional form of Algorithm 2: returns the relation R_s containing
+/// exactly the clustered tuples (in cluster order) with non-unanimous QI
+/// cells suppressed. Shares dictionaries with `relation`.
+Relation Suppress(const Relation& relation, const Clustering& clustering);
+
+/// Blanks every identifier-attribute cell (SSN-like columns uniquely
+/// identify an individual and must never be published). Called by the
+/// anonymizers on their final output.
+void SuppressIdentifiers(Relation* relation);
+
+/// Number of ★s that suppressing `cluster` would introduce:
+/// |cluster| x (number of QI attributes without a unanimous,
+/// non-suppressed value).
+size_t SuppressionCost(const Relation& relation, std::span<const RowId> cluster);
+
+}  // namespace diva
+
+#endif  // DIVA_ANON_SUPPRESS_H_

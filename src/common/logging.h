@@ -1,0 +1,65 @@
+#ifndef DIVA_COMMON_LOGGING_H_
+#define DIVA_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace diva {
+namespace internal {
+
+/// Prints a fatal-check failure and aborts. Used by the DIVA_CHECK family;
+/// never returns.
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "FATAL %s:%d: check failed: %s %s\n", file, line, expr,
+               message.c_str());
+  std::abort();
+}
+
+/// Stream-style message builder so call sites can write
+/// `DIVA_CHECK(x) << "context " << v;`-like messages via CheckMessage().
+class CheckMessageBuilder {
+ public:
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+  std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace diva
+
+/// Always-on invariant check. Aborts with file/line on failure. Use for
+/// conditions that indicate a programming error, not for user input.
+#define DIVA_CHECK(condition)                                             \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      ::diva::internal::CheckFailed(__FILE__, __LINE__, #condition, ""); \
+    }                                                                     \
+  } while (false)
+
+#define DIVA_CHECK_MSG(condition, msg)                                     \
+  do {                                                                     \
+    if (!(condition)) {                                                    \
+      ::diva::internal::CheckFailed(__FILE__, __LINE__, #condition, msg); \
+    }                                                                      \
+  } while (false)
+
+/// Debug-only invariant check; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define DIVA_DCHECK(condition) \
+  do {                         \
+  } while (false)
+#else
+#define DIVA_DCHECK(condition) DIVA_CHECK(condition)
+#endif
+
+#endif  // DIVA_COMMON_LOGGING_H_

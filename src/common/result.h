@@ -1,0 +1,75 @@
+#ifndef DIVA_COMMON_RESULT_H_
+#define DIVA_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace diva {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value could not be produced. Accessing the value of a failed Result is
+/// a programming error (checked).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return MakeRelation(...);`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error status: `return Status::InvalidArgument(...)`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    DIVA_CHECK_MSG(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    DIVA_CHECK_MSG(ok(), status_.ToString());
+    return *value_;
+  }
+  T& value() & {
+    DIVA_CHECK_MSG(ok(), status_.ToString());
+    return *value_;
+  }
+  T&& value() && {
+    DIVA_CHECK_MSG(ok(), status_.ToString());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when in the error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK when value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace diva
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error status. `lhs` must be a declaration or assignable lvalue.
+#define DIVA_ASSIGN_OR_RETURN(lhs, rexpr)             \
+  DIVA_ASSIGN_OR_RETURN_IMPL_(                        \
+      DIVA_RESULT_CONCAT_(_result_, __LINE__), lhs, rexpr)
+
+#define DIVA_RESULT_CONCAT_INNER_(x, y) x##y
+#define DIVA_RESULT_CONCAT_(x, y) DIVA_RESULT_CONCAT_INNER_(x, y)
+
+#define DIVA_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#endif  // DIVA_COMMON_RESULT_H_

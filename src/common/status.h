@@ -1,0 +1,89 @@
+#ifndef DIVA_COMMON_STATUS_H_
+#define DIVA_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace diva {
+
+/// Machine-readable failure category carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  /// Malformed input (bad CSV, unparsable constraint, invalid schema).
+  kInvalidArgument,
+  /// A referenced entity (attribute, file, value) does not exist.
+  kNotFound,
+  /// The requested result provably does not exist (e.g., no diverse
+  /// k-anonymous relation for the given (R, Sigma, k)).
+  kInfeasible,
+  /// A configured budget (search steps, enumeration cap) was exhausted
+  /// before an exact answer was found.
+  kBudgetExhausted,
+  /// Internal invariant violation surfaced as an error instead of a crash.
+  kInternal,
+  /// I/O failure reading or writing a file.
+  kIoError,
+};
+
+/// Returns a stable human-readable name such as "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail without a payload. Cheap to copy
+/// in the OK case (no allocation); carries code + message otherwise.
+///
+/// This mirrors the Status idiom used across database engines (Arrow,
+/// RocksDB, LevelDB): no exceptions cross the public API.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status BudgetExhausted(std::string msg) {
+    return Status(StatusCode::kBudgetExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace diva
+
+/// Propagates a non-OK Status to the caller.
+#define DIVA_RETURN_NOT_OK(expr)          \
+  do {                                    \
+    ::diva::Status _st = (expr);          \
+    if (!_st.ok()) return _st;            \
+  } while (false)
+
+#endif  // DIVA_COMMON_STATUS_H_

@@ -1,0 +1,31 @@
+#ifndef DIVA_COMMON_TIMER_H_
+#define DIVA_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace diva {
+
+/// Monotonic stopwatch for measuring wall-clock durations.
+class StopWatch {
+ public:
+  StopWatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Restart, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace diva
+
+#endif  // DIVA_COMMON_TIMER_H_

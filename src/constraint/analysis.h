@@ -1,0 +1,56 @@
+#ifndef DIVA_CONSTRAINT_ANALYSIS_H_
+#define DIVA_CONSTRAINT_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "constraint/diversity_constraint.h"
+#include "relation/relation.h"
+
+namespace diva {
+
+/// Pre-flight linter for a diversity constraint set: surfaces problems a
+/// data steward should fix *before* spending an anonymization run —
+/// constraints no algorithm can satisfy, redundant duplicates, and
+/// mutually contradictory bounds.
+enum class ConstraintIssueKind {
+  /// Two constraints share exactly the same target; the set behaves as
+  /// if only the tighter one existed.
+  kDuplicateTarget,
+  /// Two constraints on the same target have disjoint frequency ranges —
+  /// no relation satisfies both.
+  kContradictoryBounds,
+  /// The relation holds fewer target tuples than the lower bound.
+  kInsufficientSupport,
+  /// Lower bound > 0 but max(k, lower) > upper: no clustering of >= k
+  /// target tuples can land inside the range.
+  kUnclusterableRange,
+  /// A nested target (child ⊆ parent) demands more occurrences than the
+  /// parent's upper bound allows.
+  kNestedConflict,
+};
+
+const char* ConstraintIssueKindToString(ConstraintIssueKind kind);
+
+struct ConstraintIssue {
+  ConstraintIssueKind kind;
+  /// Index of the primary offending constraint in the analyzed set.
+  size_t constraint;
+  /// Index of the other constraint involved (duplicate/contradiction/
+  /// nesting), or SIZE_MAX when the issue is unary.
+  size_t other;
+  /// Human-readable explanation.
+  std::string message;
+
+  static constexpr size_t kNoOther = static_cast<size_t>(-1);
+};
+
+/// Analyzes `constraints` against `relation` for the given k. Returns
+/// the issues found (empty = clean). Purely advisory: DIVA runs with a
+/// dirty set too, satisfying what it can.
+std::vector<ConstraintIssue> AnalyzeConstraintSet(
+    const Relation& relation, const ConstraintSet& constraints, size_t k);
+
+}  // namespace diva
+
+#endif  // DIVA_CONSTRAINT_ANALYSIS_H_

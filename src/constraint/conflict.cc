@@ -1,0 +1,61 @@
+#include "constraint/conflict.h"
+
+#include <algorithm>
+
+namespace diva {
+
+size_t SortedIntersectionSize(const std::vector<RowId>& a,
+                              const std::vector<RowId>& b) {
+  size_t i = 0;
+  size_t j = 0;
+  size_t count = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+double PairConflictRate(const Relation& relation,
+                        const DiversityConstraint& a,
+                        const DiversityConstraint& b) {
+  std::vector<RowId> ta = a.TargetTuples(relation);
+  std::vector<RowId> tb = b.TargetTuples(relation);
+  if (ta.empty() || tb.empty()) return 0.0;
+  // TargetTuples scans rows in order, so both lists are already sorted.
+  size_t overlap = SortedIntersectionSize(ta, tb);
+  return static_cast<double>(overlap) /
+         static_cast<double>(std::min(ta.size(), tb.size()));
+}
+
+double ConflictRate(const Relation& relation,
+                    const ConstraintSet& constraints) {
+  if (constraints.size() < 2) return 0.0;
+  // Materialize the target sets once; pairwise intersect.
+  std::vector<std::vector<RowId>> targets;
+  targets.reserve(constraints.size());
+  for (const auto& c : constraints) targets.push_back(c.TargetTuples(relation));
+
+  double total = 0.0;
+  size_t pairs = 0;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    for (size_t j = i + 1; j < targets.size(); ++j) {
+      ++pairs;
+      if (targets[i].empty() || targets[j].empty()) continue;
+      size_t overlap = SortedIntersectionSize(targets[i], targets[j]);
+      total += static_cast<double>(overlap) /
+               static_cast<double>(std::min(targets[i].size(),
+                                            targets[j].size()));
+    }
+  }
+  return total / static_cast<double>(pairs);
+}
+
+}  // namespace diva

@@ -1,0 +1,33 @@
+#ifndef DIVA_CONSTRAINT_CONFLICT_H_
+#define DIVA_CONSTRAINT_CONFLICT_H_
+
+#include "constraint/diversity_constraint.h"
+#include "relation/relation.h"
+
+namespace diva {
+
+/// Conflict rate between two diversity constraints over `relation`
+/// (Section 4, "Metrics and Parameters"): the normalized number of
+/// overlapping relevant (target) tuples,
+///
+///   cf(si, sj) = |I_si ∩ I_sj| / min(|I_si|, |I_sj|)  ∈ [0, 1],
+///
+/// 0 when either target set is empty. 0 = no overlap; 1 = one target set
+/// contains the other. (The paper defers the exact formula to its extended
+/// report; this definition matches its stated properties.)
+double PairConflictRate(const Relation& relation,
+                        const DiversityConstraint& a,
+                        const DiversityConstraint& b);
+
+/// Conflict rate of a constraint set: mean pairwise conflict over all
+/// unordered pairs. 0 for fewer than two constraints.
+double ConflictRate(const Relation& relation,
+                    const ConstraintSet& constraints);
+
+/// Intersection size of two sorted row-id lists.
+size_t SortedIntersectionSize(const std::vector<RowId>& a,
+                              const std::vector<RowId>& b);
+
+}  // namespace diva
+
+#endif  // DIVA_CONSTRAINT_CONFLICT_H_

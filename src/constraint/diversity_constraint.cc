@@ -1,0 +1,154 @@
+#include "constraint/diversity_constraint.h"
+
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace diva {
+
+namespace {
+
+/// Resolves the constraint's target values to codes in `relation`'s
+/// dictionaries. Returns false if some value never occurs in the relation
+/// (then the match count is trivially 0).
+bool ResolveCodes(const DiversityConstraint& constraint,
+                  const Relation& relation, std::vector<ValueCode>* codes) {
+  const auto& attrs = constraint.attribute_indices();
+  const auto& values = constraint.values();
+  codes->clear();
+  codes->reserve(attrs.size());
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    auto code = relation.FindCode(attrs[i], values[i]);
+    if (!code.has_value()) return false;
+    codes->push_back(*code);
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<DiversityConstraint> DiversityConstraint::Make(
+    const Schema& schema, std::vector<std::string> attributes,
+    std::vector<std::string> values, uint32_t lower, uint32_t upper) {
+  if (attributes.empty()) {
+    return Status::InvalidArgument(
+        "diversity constraint needs at least one attribute");
+  }
+  if (attributes.size() != values.size()) {
+    return Status::InvalidArgument(
+        "constraint attribute/value arity mismatch: " +
+        std::to_string(attributes.size()) + " vs " +
+        std::to_string(values.size()));
+  }
+  if (lower > upper) {
+    return Status::InvalidArgument(
+        "constraint frequency range is empty: [" + std::to_string(lower) +
+        "," + std::to_string(upper) + "]");
+  }
+  DiversityConstraint constraint;
+  std::unordered_set<size_t> seen;
+  for (const std::string& name : attributes) {
+    auto index = schema.IndexOf(name);
+    if (!index.has_value()) {
+      return Status::NotFound("constraint references unknown attribute '" +
+                              name + "'");
+    }
+    if (!seen.insert(*index).second) {
+      return Status::InvalidArgument("constraint repeats attribute '" + name +
+                                     "'");
+    }
+    constraint.attribute_indices_.push_back(*index);
+  }
+  constraint.attribute_names_ = std::move(attributes);
+  constraint.values_ = std::move(values);
+  constraint.lower_ = lower;
+  constraint.upper_ = upper;
+  return constraint;
+}
+
+bool DiversityConstraint::MatchesRow(const Relation& relation,
+                                     RowId row) const {
+  std::vector<ValueCode> codes;
+  if (!ResolveCodes(*this, relation, &codes)) return false;
+  for (size_t i = 0; i < attribute_indices_.size(); ++i) {
+    if (relation.At(row, attribute_indices_[i]) != codes[i]) return false;
+  }
+  return true;
+}
+
+size_t DiversityConstraint::CountOccurrences(const Relation& relation) const {
+  std::vector<ValueCode> codes;
+  if (!ResolveCodes(*this, relation, &codes)) return 0;
+  size_t count = 0;
+  for (RowId row = 0; row < relation.NumRows(); ++row) {
+    bool match = true;
+    for (size_t i = 0; i < attribute_indices_.size(); ++i) {
+      if (relation.At(row, attribute_indices_[i]) != codes[i]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) ++count;
+  }
+  return count;
+}
+
+bool DiversityConstraint::IsSatisfiedBy(const Relation& relation) const {
+  size_t count = CountOccurrences(relation);
+  return count >= lower_ && count <= upper_;
+}
+
+std::vector<RowId> DiversityConstraint::TargetTuples(
+    const Relation& relation) const {
+  std::vector<RowId> target;
+  std::vector<ValueCode> codes;
+  if (!ResolveCodes(*this, relation, &codes)) return target;
+  for (RowId row = 0; row < relation.NumRows(); ++row) {
+    bool match = true;
+    for (size_t i = 0; i < attribute_indices_.size(); ++i) {
+      if (relation.At(row, attribute_indices_[i]) != codes[i]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) target.push_back(row);
+  }
+  return target;
+}
+
+std::string DiversityConstraint::ToString() const {
+  std::string out = Join(attribute_names_, ",");
+  out += "[";
+  out += Join(values_, ",");
+  out += "] in [";
+  out += std::to_string(lower_);
+  out += ",";
+  out += std::to_string(upper_);
+  out += "]";
+  return out;
+}
+
+bool DiversityConstraint::operator==(const DiversityConstraint& other) const {
+  return attribute_indices_ == other.attribute_indices_ &&
+         values_ == other.values_ && lower_ == other.lower_ &&
+         upper_ == other.upper_;
+}
+
+bool SatisfiesAll(const Relation& relation,
+                  const ConstraintSet& constraints) {
+  for (const auto& constraint : constraints) {
+    if (!constraint.IsSatisfiedBy(relation)) return false;
+  }
+  return true;
+}
+
+std::vector<size_t> ViolatedConstraints(const Relation& relation,
+                                        const ConstraintSet& constraints) {
+  std::vector<size_t> violated;
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    if (!constraints[i].IsSatisfiedBy(relation)) violated.push_back(i);
+  }
+  return violated;
+}
+
+}  // namespace diva

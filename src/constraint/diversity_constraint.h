@@ -1,0 +1,91 @@
+#ifndef DIVA_CONSTRAINT_DIVERSITY_CONSTRAINT_H_
+#define DIVA_CONSTRAINT_DIVERSITY_CONSTRAINT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relation/relation.h"
+
+namespace diva {
+
+/// A diversity constraint sigma = (X[t], lambda_l, lambda_r)
+/// (Definition 2.3, extended to multiple attributes): the published
+/// relation must contain between lambda_l and lambda_r tuples whose
+/// attributes X carry exactly the values t (suppressed cells never match).
+///
+/// Target values are stored as strings and resolved against a relation's
+/// dictionaries on demand, so one constraint can be checked against R, RΣ,
+/// and R* interchangeably.
+class DiversityConstraint {
+ public:
+  /// Validates attribute names against `schema` and bounds
+  /// (lower <= upper). Attribute list and value list must be the same
+  /// length, non-empty, with no duplicate attributes.
+  static Result<DiversityConstraint> Make(const Schema& schema,
+                                          std::vector<std::string> attributes,
+                                          std::vector<std::string> values,
+                                          uint32_t lower, uint32_t upper);
+
+  /// Attribute indices X (in schema order of declaration).
+  const std::vector<size_t>& attribute_indices() const {
+    return attribute_indices_;
+  }
+  const std::vector<std::string>& attribute_names() const {
+    return attribute_names_;
+  }
+  /// Target values t, parallel to attribute_indices().
+  const std::vector<std::string>& values() const { return values_; }
+
+  uint32_t lower() const { return lower_; }
+  uint32_t upper() const { return upper_; }
+
+  /// True if the tuple `row` of `relation` carries the target values on
+  /// every target attribute.
+  bool MatchesRow(const Relation& relation, RowId row) const;
+
+  /// Number of tuples of `relation` matching the target (the validation
+  /// count query of Definition 2.3).
+  size_t CountOccurrences(const Relation& relation) const;
+
+  /// R |= sigma: CountOccurrences in [lower, upper].
+  bool IsSatisfiedBy(const Relation& relation) const;
+
+  /// The target tuples I_sigma: ids of rows matching the target values.
+  std::vector<RowId> TargetTuples(const Relation& relation) const;
+
+  /// "ETH[Asian] in [2,5]" / "GEN,ETH[Male,African] in [1,3]".
+  std::string ToString() const;
+
+  bool operator==(const DiversityConstraint& other) const;
+
+ private:
+  DiversityConstraint() = default;
+
+  std::vector<size_t> attribute_indices_;
+  std::vector<std::string> attribute_names_;
+  std::vector<std::string> values_;
+  uint32_t lower_ = 0;
+  uint32_t upper_ = 0;
+
+  // Per-relation resolution cache would be unsafe (constraints outlive
+  // relations); resolution is recomputed per call and is O(|X|) hash
+  // lookups, negligible next to the row scan.
+};
+
+/// A set Sigma of diversity constraints. R |= Sigma iff R satisfies every
+/// member (Definition 2.3).
+using ConstraintSet = std::vector<DiversityConstraint>;
+
+/// True iff relation satisfies every constraint in `constraints`.
+bool SatisfiesAll(const Relation& relation, const ConstraintSet& constraints);
+
+/// Indices of constraints in `constraints` violated by `relation`.
+std::vector<size_t> ViolatedConstraints(const Relation& relation,
+                                        const ConstraintSet& constraints);
+
+}  // namespace diva
+
+#endif  // DIVA_CONSTRAINT_DIVERSITY_CONSTRAINT_H_

@@ -1,0 +1,302 @@
+#include "constraint/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "constraint/conflict.h"
+
+namespace diva {
+
+namespace {
+
+/// A prospective constraint target: one or two attributes, concrete
+/// values, and the rows of R carrying them (sorted).
+struct Candidate {
+  std::vector<size_t> attrs;
+  std::vector<std::string> attr_names;
+  std::vector<std::string> values;
+  std::vector<RowId> rows;
+
+  size_t support() const { return rows.size(); }
+};
+
+/// Frequency-ordered single-attribute candidates for one attribute.
+std::vector<Candidate> SingleAttributeCandidates(
+    const Relation& relation, size_t attr,
+    const ConstraintGenOptions& options) {
+  std::unordered_map<ValueCode, std::vector<RowId>> rows_by_code;
+  for (RowId row = 0; row < relation.NumRows(); ++row) {
+    ValueCode code = relation.At(row, attr);
+    if (code == kSuppressed) continue;
+    rows_by_code[code].push_back(row);
+  }
+  std::vector<Candidate> candidates;
+  for (auto& [code, rows] : rows_by_code) {
+    if (rows.size() < options.min_support) continue;
+    Candidate c;
+    c.attrs = {attr};
+    c.attr_names = {relation.schema().attribute(attr).name};
+    c.values = {relation.dictionary(attr).ValueOf(code)};
+    c.rows = std::move(rows);
+    candidates.push_back(std::move(c));
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.support() != b.support()) return a.support() > b.support();
+              return a.values[0] < b.values[0];
+            });
+  if (candidates.size() > options.max_values_per_attribute) {
+    candidates.resize(options.max_values_per_attribute);
+  }
+  return candidates;
+}
+
+/// Builds a two-attribute refinement of `parent`: restricts the parent's
+/// rows to the modal value of a second attribute. Its target set nests
+/// inside the parent's, so cf(refinement, parent) = 1 — the lever used to
+/// reach high requested conflict rates.
+std::optional<Candidate> RefineCandidate(const Relation& relation,
+                                         const Candidate& parent,
+                                         size_t other_attr,
+                                         size_t min_support) {
+  for (size_t attr : parent.attrs) {
+    if (attr == other_attr) return std::nullopt;
+  }
+  std::unordered_map<ValueCode, std::vector<RowId>> rows_by_code;
+  for (RowId row : parent.rows) {
+    ValueCode code = relation.At(row, other_attr);
+    if (code == kSuppressed) continue;
+    rows_by_code[code].push_back(row);
+  }
+  const std::vector<RowId>* best = nullptr;
+  ValueCode best_code = kSuppressed;
+  for (const auto& [code, rows] : rows_by_code) {
+    if (best == nullptr || rows.size() > best->size() ||
+        (rows.size() == best->size() && code < best_code)) {
+      best = &rows;
+      best_code = code;
+    }
+  }
+  if (best == nullptr || best->size() < min_support) return std::nullopt;
+  Candidate refined;
+  refined.attrs = parent.attrs;
+  refined.attrs.push_back(other_attr);
+  refined.attr_names = parent.attr_names;
+  refined.attr_names.push_back(relation.schema().attribute(other_attr).name);
+  refined.values = parent.values;
+  refined.values.push_back(relation.dictionary(other_attr).ValueOf(best_code));
+  refined.rows = *best;
+  return refined;
+}
+
+/// Frequency range for one candidate under the requested class.
+std::pair<uint32_t, uint32_t> BoundsFor(const Candidate& candidate,
+                                        const ConstraintGenOptions& options,
+                                        size_t num_rows, double mean_support) {
+  double anchor = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+  switch (options.kind) {
+    case ConstraintClass::kMinimumFrequency:
+      anchor = static_cast<double>(candidate.support());
+      lo = std::floor(anchor * (1.0 - options.slack));
+      hi = static_cast<double>(num_rows);
+      break;
+    case ConstraintClass::kAverage:
+      anchor = mean_support;
+      lo = std::floor(anchor * (1.0 - options.slack));
+      hi = std::ceil(anchor * (1.0 + options.slack));
+      break;
+    case ConstraintClass::kProportional:
+      anchor = static_cast<double>(candidate.support());
+      lo = std::floor(anchor * (1.0 - options.slack));
+      hi = std::ceil(anchor * (1.0 + options.slack));
+      break;
+  }
+  uint32_t lower = static_cast<uint32_t>(std::max(1.0, lo));
+  uint32_t upper =
+      static_cast<uint32_t>(std::max(static_cast<double>(lower), hi));
+  return {lower, upper};
+}
+
+Result<DiversityConstraint> ToConstraint(const Relation& relation,
+                                         const Candidate& candidate,
+                                         const ConstraintGenOptions& options,
+                                         double mean_support) {
+  auto [lower, upper] =
+      BoundsFor(candidate, options, relation.NumRows(), mean_support);
+  return DiversityConstraint::Make(relation.schema(), candidate.attr_names,
+                                   candidate.values, lower, upper);
+}
+
+}  // namespace
+
+Result<ConstraintSet> GenerateConstraints(
+    const Relation& relation, const ConstraintGenOptions& options) {
+  if (options.count == 0) return ConstraintSet{};
+  if (options.slack < 0.0 || options.slack >= 1.0) {
+    return Status::InvalidArgument("slack must be in [0, 1)");
+  }
+
+  std::vector<size_t> attrs = options.attributes;
+  if (attrs.empty()) {
+    for (size_t i : relation.schema().qi_indices()) {
+      if (relation.schema().attribute(i).kind == AttributeKind::kCategorical) {
+        attrs.push_back(i);
+      }
+    }
+  }
+  if (attrs.empty()) {
+    return Status::InvalidArgument(
+        "no candidate attributes for constraint generation");
+  }
+
+  // Candidate pool: per-attribute frequent values...
+  std::vector<Candidate> pool;
+  for (size_t attr : attrs) {
+    auto singles = SingleAttributeCandidates(relation, attr, options);
+    pool.insert(pool.end(), std::make_move_iterator(singles.begin()),
+                std::make_move_iterator(singles.end()));
+  }
+  if (pool.empty()) {
+    return Status::InvalidArgument(
+        "no attribute value reaches min_support=" +
+        std::to_string(options.min_support));
+  }
+
+  // ...plus nested refinement chains when a high conflict rate is
+  // requested: A[a] ⊃ A,B[a,b] ⊃ A,B,C[a,b,c] ... Every pair inside a
+  // chain has conflict rate 1, so long chains let the greedy selection
+  // reach targets near 1.
+  bool want_conflict =
+      options.target_conflict.has_value() && *options.target_conflict > 0.0;
+  // Also refine when the single-attribute pool alone cannot supply the
+  // requested |Sigma| (e.g., few low-cardinality characteristic
+  // attributes, as in the German Credit dataset).
+  if (pool.size() < options.count) want_conflict = true;
+  if (want_conflict && attrs.size() >= 2) {
+    size_t num_singles = pool.size();
+    for (size_t i = 0; i < num_singles; ++i) {
+      Candidate current = pool[i];
+      for (size_t round = 0; round + 1 < attrs.size(); ++round) {
+        std::optional<Candidate> next;
+        for (size_t other : attrs) {
+          next = RefineCandidate(relation, current, other,
+                                 options.min_support);
+          if (next.has_value()) break;
+        }
+        if (!next.has_value()) break;
+        current = *next;
+        pool.push_back(current);
+      }
+    }
+  }
+
+  double mean_support = 0.0;
+  for (const Candidate& c : pool) {
+    mean_support += static_cast<double>(c.support());
+  }
+  mean_support /= static_cast<double>(pool.size());
+
+  Rng rng(options.seed);
+  std::vector<size_t> selected;
+
+  if (!options.target_conflict.has_value()) {
+    // No conflict target: spread picks across attributes, most frequent
+    // values first, with a shuffled attribute order for seed variety.
+    std::vector<size_t> order(pool.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return pool[a].support() > pool[b].support();
+    });
+    std::map<size_t, std::vector<size_t>> by_attr;  // attr -> pool indices
+    for (size_t idx : order) by_attr[pool[idx].attrs[0]].push_back(idx);
+    std::vector<std::vector<size_t>> queues;
+    for (auto& [attr, q] : by_attr) queues.push_back(std::move(q));
+    rng.Shuffle(&queues);
+    size_t round = 0;
+    while (selected.size() < options.count) {
+      bool any = false;
+      for (auto& queue : queues) {
+        if (round < queue.size()) {
+          selected.push_back(queue[round]);
+          any = true;
+          if (selected.size() == options.count) break;
+        }
+      }
+      if (!any) break;
+      ++round;
+    }
+  } else {
+    // Greedy conflict targeting: keep the running mean pairwise conflict
+    // of the selected set as close to the target as possible.
+    double target = std::clamp(*options.target_conflict, 0.0, 1.0);
+    std::vector<bool> used(pool.size(), false);
+    // cf_sum[i] = sum of cf(pool[i], s) over already-selected s.
+    std::vector<double> cf_sum(pool.size(), 0.0);
+    // Seed with the most frequent candidate (stable across seeds so curves
+    // are comparable; the rng breaks later ties).
+    size_t first = 0;
+    for (size_t i = 1; i < pool.size(); ++i) {
+      if (pool[i].support() > pool[first].support()) first = i;
+    }
+    selected.push_back(first);
+    used[first] = true;
+    double pair_sum = 0.0;
+    while (selected.size() < options.count) {
+      size_t just_added = selected.back();
+      for (size_t i = 0; i < pool.size(); ++i) {
+        if (used[i]) continue;
+        size_t overlap =
+            SortedIntersectionSize(pool[i].rows, pool[just_added].rows);
+        double denom = static_cast<double>(
+            std::min(pool[i].rows.size(), pool[just_added].rows.size()));
+        cf_sum[i] += denom > 0 ? static_cast<double>(overlap) / denom : 0.0;
+      }
+      size_t n = selected.size();
+      double next_pairs = static_cast<double>(n * (n + 1)) / 2.0;
+      double best_error = 2.0;
+      size_t best = pool.size();
+      size_t ties = 0;
+      for (size_t i = 0; i < pool.size(); ++i) {
+        if (used[i]) continue;
+        double mean_cf = (pair_sum + cf_sum[i]) / next_pairs;
+        double error = std::fabs(mean_cf - target);
+        if (error < best_error - 1e-12) {
+          best_error = error;
+          best = i;
+          ties = 1;
+        } else if (std::fabs(error - best_error) <= 1e-12) {
+          // Reservoir-style random tie-break.
+          ++ties;
+          if (rng.NextBounded(ties) == 0) best = i;
+        }
+      }
+      if (best == pool.size()) break;
+      pair_sum += cf_sum[best];
+      selected.push_back(best);
+      used[best] = true;
+    }
+  }
+
+  if (selected.size() < options.count) {
+    return Status::InvalidArgument(
+        "candidate pool too small: requested " +
+        std::to_string(options.count) + " constraints, can generate " +
+        std::to_string(selected.size()));
+  }
+
+  ConstraintSet constraints;
+  constraints.reserve(selected.size());
+  for (size_t idx : selected) {
+    auto constraint = ToConstraint(relation, pool[idx], options, mean_support);
+    if (!constraint.ok()) return constraint.status();
+    constraints.push_back(std::move(constraint).value());
+  }
+  return constraints;
+}
+
+}  // namespace diva

@@ -1,0 +1,67 @@
+#ifndef DIVA_CONSTRAINT_GENERATOR_H_
+#define DIVA_CONSTRAINT_GENERATOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "constraint/diversity_constraint.h"
+#include "relation/relation.h"
+
+namespace diva {
+
+/// The three diversity-constraint classes evaluated in the paper
+/// (after Stoyanovich et al. [23], Section 4 "Experimental Setup").
+enum class ConstraintClass {
+  /// Lower bound only: at least (1 - slack) * support occurrences.
+  kMinimumFrequency,
+  /// Range around the mean support of the attribute's candidate values.
+  kAverage,
+  /// Range proportional to the value's own support in R (the class the
+  /// paper runs its experiments with).
+  kProportional,
+};
+
+/// Parameters for data-driven constraint generation.
+struct ConstraintGenOptions {
+  ConstraintClass kind = ConstraintClass::kProportional;
+
+  /// Number of constraints to generate (|Sigma|).
+  size_t count = 8;
+
+  /// Half-width of the frequency range relative to the anchor frequency;
+  /// e.g. 0.3 yields [0.7 * f, 1.3 * f].
+  double slack = 0.3;
+
+  /// Only values supported by at least this many tuples become targets.
+  size_t min_support = 2;
+
+  /// Candidate pool cap per attribute (most frequent values first).
+  size_t max_values_per_attribute = 32;
+
+  /// When set, the generator greedily selects targets so the set's
+  /// average conflict rate approaches this value (see ConflictRate()).
+  /// Values near 1 are reached with multi-attribute refinements whose
+  /// target sets nest inside single-attribute targets.
+  std::optional<double> target_conflict;
+
+  /// Candidate attribute indices; empty = all categorical QI attributes.
+  std::vector<size_t> attributes;
+
+  uint64_t seed = 42;
+};
+
+/// Generates `options.count` diversity constraints whose targets exist in
+/// `relation` with the requested support, class and (optionally) conflict
+/// rate. Fails with InvalidArgument if the candidate pool is too small.
+///
+/// The generated set is always satisfied by `relation` itself for the
+/// kProportional and kMinimumFrequency classes (the anchor frequency lies
+/// inside the range).
+Result<ConstraintSet> GenerateConstraints(const Relation& relation,
+                                          const ConstraintGenOptions& options);
+
+}  // namespace diva
+
+#endif  // DIVA_CONSTRAINT_GENERATOR_H_

@@ -1,0 +1,98 @@
+#include "constraint/parser.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace diva {
+
+Result<DiversityConstraint> ParseConstraint(const Schema& schema,
+                                            std::string_view text) {
+  std::string_view trimmed = Trim(text);
+  auto fail = [&](const std::string& why) {
+    return Status::InvalidArgument("cannot parse constraint '" +
+                                   std::string(text) + "': " + why);
+  };
+
+  size_t open_bracket = trimmed.find('[');
+  if (open_bracket == std::string_view::npos) {
+    return fail("missing '[' after attribute list");
+  }
+  size_t close_bracket = trimmed.find(']', open_bracket);
+  if (close_bracket == std::string_view::npos) {
+    return fail("missing ']' after value list");
+  }
+
+  std::string_view attr_part = Trim(trimmed.substr(0, open_bracket));
+  std::string_view value_part =
+      trimmed.substr(open_bracket + 1, close_bracket - open_bracket - 1);
+  std::string_view rest = Trim(trimmed.substr(close_bracket + 1));
+
+  // rest must be: in [l,r]
+  std::string rest_lower = ToLowerAscii(rest);
+  if (!StartsWith(rest_lower, "in")) {
+    return fail("expected 'in [lower,upper]' after target values");
+  }
+  std::string_view range = Trim(rest.substr(2));
+  if (range.size() < 2 || range.front() != '[' || range.back() != ']') {
+    return fail("frequency range must be of the form [lower,upper]");
+  }
+  range = range.substr(1, range.size() - 2);
+  std::vector<std::string> bounds = Split(range, ',');
+  if (bounds.size() != 2) {
+    return fail("frequency range must have exactly two bounds");
+  }
+  auto lower = ParseInt64(bounds[0]);
+  if (!lower.ok()) return fail(lower.status().message());
+  auto upper = ParseInt64(bounds[1]);
+  if (!upper.ok()) return fail(upper.status().message());
+  if (*lower < 0 || *upper < 0) {
+    return fail("frequency bounds must be non-negative");
+  }
+
+  std::vector<std::string> attributes;
+  for (const std::string& raw : Split(attr_part, ',')) {
+    attributes.emplace_back(Trim(raw));
+  }
+  std::vector<std::string> values;
+  for (const std::string& raw : Split(value_part, ',')) {
+    values.emplace_back(Trim(raw));
+  }
+
+  return DiversityConstraint::Make(schema, std::move(attributes),
+                                   std::move(values),
+                                   static_cast<uint32_t>(*lower),
+                                   static_cast<uint32_t>(*upper));
+}
+
+Result<ConstraintSet> ParseConstraintSet(const Schema& schema,
+                                         std::string_view text) {
+  ConstraintSet constraints;
+  size_t line_number = 0;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_number;
+    std::string_view line = Trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    auto constraint = ParseConstraint(schema, line);
+    if (!constraint.ok()) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": " + constraint.status().message());
+    }
+    constraints.push_back(std::move(constraint).value());
+  }
+  return constraints;
+}
+
+Result<ConstraintSet> LoadConstraintSet(const Schema& schema,
+                                        const std::string& path) {
+  std::ifstream input(path);
+  if (!input) {
+    return Status::IoError("cannot open constraint file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << input.rdbuf();
+  return ParseConstraintSet(schema, buffer.str());
+}
+
+}  // namespace diva

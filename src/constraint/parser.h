@@ -1,0 +1,32 @@
+#ifndef DIVA_CONSTRAINT_PARSER_H_
+#define DIVA_CONSTRAINT_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "constraint/diversity_constraint.h"
+
+namespace diva {
+
+/// Parses one constraint from its textual form:
+///
+///   ETH[Asian] in [2,5]
+///   GEN,ETH[Male,African] in [1,3]
+///
+/// Whitespace around tokens is ignored; the "in" keyword is
+/// case-insensitive.
+Result<DiversityConstraint> ParseConstraint(const Schema& schema,
+                                            std::string_view text);
+
+/// Parses a newline-separated constraint set. Blank lines and lines
+/// starting with '#' are skipped.
+Result<ConstraintSet> ParseConstraintSet(const Schema& schema,
+                                         std::string_view text);
+
+/// Loads a constraint set from a file at `path`.
+Result<ConstraintSet> LoadConstraintSet(const Schema& schema,
+                                        const std::string& path);
+
+}  // namespace diva
+
+#endif  // DIVA_CONSTRAINT_PARSER_H_

@@ -1,0 +1,227 @@
+#include "core/clusterings.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace diva {
+
+namespace {
+
+/// Sorts target rows by their QI projection so that sliding windows group
+/// similar tuples (cheap suppression) together.
+std::vector<RowId> SortByQiSimilarity(const Relation& relation,
+                                      const std::vector<RowId>& targets) {
+  std::vector<RowId> sorted = targets;
+  const auto& qi = relation.schema().qi_indices();
+  std::stable_sort(sorted.begin(), sorted.end(), [&](RowId a, RowId b) {
+    for (size_t col : qi) {
+      ValueCode ca = relation.At(a, col);
+      ValueCode cb = relation.At(b, col);
+      if (ca != cb) return ca < cb;
+    }
+    return a < b;
+  });
+  return sorted;
+}
+
+/// True when rows a and b agree on every quasi-identifier attribute.
+bool SameQiProjection(const Relation& relation, RowId a, RowId b) {
+  for (size_t col : relation.schema().qi_indices()) {
+    if (relation.At(a, col) != relation.At(b, col)) return false;
+  }
+  return true;
+}
+
+/// Appends the block partitions of `subset` (which must be sorted by QI
+/// similarity) to `out`, respecting the cap. Blocks are grown to >= k
+/// rows and cut at QI-projection boundaries whenever possible, so a block
+/// is a union of whole runs of identical tuples — identical runs keep
+/// their values (and their contribution to other constraints' counts)
+/// instead of being split across mixed clusters. The one-block variant is
+/// optionally emitted too.
+void AddPartitions(const Relation& relation, const std::vector<RowId>& subset,
+                   size_t k, const ClusteringEnumOptions& options,
+                   std::vector<CandidateClustering>* out) {
+  if (out->size() >= options.max_clusterings) return;
+  size_t m = subset.size();
+  if (m < k) return;
+
+  // Decompose the subset into runs of identical QI projections, then
+  // assemble blocks from whole runs: a run of >= k rows becomes its own
+  // uniform block(s) (full credit toward every constraint its tuples
+  // match); runs smaller than k accumulate in a mixed buffer that is
+  // flushed once it reaches k. Keeping small runs out of the big runs'
+  // blocks is what preserves cross-constraint contributions.
+  CandidateClustering blocked;
+  blocked.preserved = m;
+  Cluster buffer;  // small runs awaiting enough mass
+  size_t run_begin = 0;
+  for (size_t i = 0; i < m; ++i) {
+    bool at_boundary =
+        i + 1 == m || !SameQiProjection(relation, subset[i], subset[i + 1]);
+    if (!at_boundary) continue;
+    size_t run_length = i + 1 - run_begin;
+    if (run_length >= k) {
+      blocked.clusters.emplace_back(subset.begin() + run_begin,
+                                    subset.begin() + i + 1);
+    } else {
+      buffer.insert(buffer.end(), subset.begin() + run_begin,
+                    subset.begin() + i + 1);
+      if (buffer.size() >= k) {
+        blocked.clusters.push_back(std::move(buffer));
+        buffer.clear();
+      }
+    }
+    run_begin = i + 1;
+  }
+  if (!buffer.empty()) {
+    if (!blocked.clusters.empty()) {
+      // Leftover small runs: fold into the smallest existing block (the
+      // least credit to lose).
+      size_t smallest = 0;
+      for (size_t b = 1; b < blocked.clusters.size(); ++b) {
+        if (blocked.clusters[b].size() < blocked.clusters[smallest].size()) {
+          smallest = b;
+        }
+      }
+      blocked.clusters[smallest].insert(blocked.clusters[smallest].end(),
+                                        buffer.begin(), buffer.end());
+    } else {
+      blocked.clusters.push_back(std::move(buffer));  // m >= k guaranteed
+    }
+    buffer.clear();
+  }
+  size_t num_blocks = blocked.clusters.size();
+  out->push_back(std::move(blocked));
+
+  if (options.single_block_variant && num_blocks > 1 &&
+      out->size() < options.max_clusterings) {
+    CandidateClustering single;
+    single.preserved = m;
+    single.clusters.emplace_back(subset.begin(), subset.end());
+    out->push_back(std::move(single));
+  }
+}
+
+}  // namespace
+
+std::vector<CandidateClustering> EnumerateClusterings(
+    const Relation& relation, const DiversityConstraint& constraint,
+    const std::vector<RowId>& targets, size_t k,
+    const ClusteringEnumOptions& options) {
+  std::vector<CandidateClustering> out;
+  if (k == 0) return out;
+
+  // With no lower bound to meet, preserving nothing is the minimal (and
+  // always-consistent) choice; upper-bound spill from R_k is repaired by
+  // Integrate.
+  if (constraint.lower() == 0) {
+    out.push_back(CandidateClustering{});
+  }
+
+  size_t lower = std::max<size_t>(1, constraint.lower());
+  auto bounded = EnumerateClusteringsWithBounds(relation, targets, k, lower,
+                                                constraint.upper(), options);
+  out.insert(out.end(), std::make_move_iterator(bounded.begin()),
+             std::make_move_iterator(bounded.end()));
+  if (!options.ordered && out.size() > 1) {
+    Rng rng(options.seed ^ 0x9e3779b97f4a7c15ULL);
+    rng.Shuffle(&out);
+  }
+  return out;
+}
+
+std::vector<CandidateClustering> EnumerateClusteringsWithBounds(
+    const Relation& relation, const std::vector<RowId>& free_targets,
+    size_t k, size_t min_preserve, size_t max_preserve,
+    const ClusteringEnumOptions& options) {
+  std::vector<CandidateClustering> out;
+  if (k == 0 || free_targets.empty()) return out;
+
+  size_t m_lo = std::max(k, std::max<size_t>(1, min_preserve));
+  size_t m_hi = std::min(max_preserve, free_targets.size());
+  if (m_lo > m_hi) return out;
+  const std::vector<RowId>& targets = free_targets;
+
+  std::vector<RowId> sorted = SortByQiSimilarity(relation, targets);
+  Rng rng(options.seed);
+
+  std::vector<size_t> preserved_values;
+  for (size_t step = 0; step < options.preserved_steps; ++step) {
+    size_t m = m_lo + step * k;
+    if (m > m_hi) break;
+    preserved_values.push_back(m);
+  }
+  if (preserved_values.empty() ||
+      (preserved_values.back() != m_hi && preserved_values.size() > 0)) {
+    // Always consider the largest admissible subset too: preserving every
+    // target tuple is sometimes the only way to respect a tight range.
+    if (preserved_values.empty() || m_hi > preserved_values.back()) {
+      preserved_values.push_back(m_hi);
+    }
+  }
+
+  for (size_t m : preserved_values) {
+    if (out.size() >= options.max_clusterings) break;
+
+    // Deterministic sliding windows over the similarity order.
+    size_t positions = sorted.size() - m + 1;
+    size_t windows = std::min(options.max_window_candidates, positions);
+    if (windows > 0) {
+      size_t stride = std::max<size_t>(1, positions / windows);
+      for (size_t w = 0; w < windows && out.size() < options.max_clusterings;
+           ++w) {
+        size_t begin = w * stride;
+        if (begin >= positions) break;
+        std::vector<RowId> subset(sorted.begin() + begin,
+                                  sorted.begin() + begin + m);
+        AddPartitions(relation, subset, k, options, &out);
+      }
+    }
+
+    // A strided subset with an interleaved partition: rows are spread
+    // across the similarity order and each block mixes dissimilar
+    // tuples. Such clusters suppress more, but they contribute (almost)
+    // nothing to OTHER constraints' preserved counts — the escape route
+    // when similarity blocks keep tripping neighbors' upper bounds.
+    if (out.size() < options.max_clusterings && m < sorted.size()) {
+      size_t step = sorted.size() / m;
+      std::vector<RowId> subset;
+      subset.reserve(m);
+      for (size_t i = 0; i < m; ++i) subset.push_back(sorted[i * step]);
+      size_t num_blocks = m / k;
+      if (num_blocks > 0) {
+        CandidateClustering interleaved;
+        interleaved.preserved = m;
+        interleaved.clusters.assign(num_blocks, {});
+        for (size_t i = 0; i < m; ++i) {
+          interleaved.clusters[i % num_blocks].push_back(subset[i]);
+        }
+        out.push_back(std::move(interleaved));
+      }
+    }
+
+    // Seeded random subsets for diversity beyond the similarity order.
+    std::vector<RowId> pool = sorted;
+    for (size_t r = 0;
+         r < options.random_subsets && out.size() < options.max_clusterings;
+         ++r) {
+      // Partial Fisher-Yates: the first m entries become a random subset.
+      for (size_t i = 0; i < m; ++i) {
+        size_t j = i + static_cast<size_t>(rng.NextBounded(pool.size() - i));
+        std::swap(pool[i], pool[j]);
+      }
+      std::vector<RowId> subset =
+          SortByQiSimilarity(relation, {pool.begin(), pool.begin() + m});
+      AddPartitions(relation, subset, k, options, &out);
+    }
+  }
+
+  if (!options.ordered) {
+    rng.Shuffle(&out);
+  }
+  return out;
+}
+
+}  // namespace diva

@@ -1,0 +1,76 @@
+#ifndef DIVA_CORE_CLUSTERINGS_H_
+#define DIVA_CORE_CLUSTERINGS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "anon/cluster.h"
+#include "common/result.h"
+#include "constraint/diversity_constraint.h"
+#include "relation/relation.h"
+
+namespace diva {
+
+/// One candidate clustering for a constraint sigma: clusters drawn from
+/// I_sigma whose suppression preserves exactly `preserved` occurrences of
+/// the target value (Definition 3.2: S ⊩ sigma).
+struct CandidateClustering {
+  Clustering clusters;
+  /// Occurrences of sigma's target preserved by these clusters
+  /// (= total rows, since every cluster is target-homogeneous).
+  size_t preserved = 0;
+};
+
+/// Knobs bounding the Clusterings(sigma, R) enumeration (paper §3.3 keeps
+/// the candidate count polynomial in |R|; DIVA-Basic's larger unordered
+/// pool is what makes its search blow up in Fig 4a).
+struct ClusteringEnumOptions {
+  /// Hard cap on candidates per constraint.
+  size_t max_clusterings = 24;
+
+  /// Deterministic candidates: sliding windows over I_sigma sorted by QI
+  /// similarity (at most this many windows per preserved-count value).
+  size_t max_window_candidates = 8;
+
+  /// Additional seeded random subsets per preserved-count value.
+  size_t random_subsets = 4;
+
+  /// How many preserved-count values m to try, starting at
+  /// max(k, lambda_l) and stepping by k.
+  size_t preserved_steps = 3;
+
+  /// Also emit the single-cluster variant of each subset (all m rows in
+  /// one block) besides the size-k block partition.
+  bool single_block_variant = true;
+
+  /// Minimal-suppression-first ordering. false = shuffled (DIVA-Basic).
+  bool ordered = true;
+
+  uint64_t seed = 42;
+};
+
+/// Enumerates candidate clusterings satisfying `constraint` over
+/// `relation` with minimum cluster size `k` (the Clusterings routine of
+/// Algorithm 4). `targets` must be sigma's target tuples I_sigma in
+/// `relation` (sorted ascending). Returns an empty vector when the
+/// constraint has no satisfying clustering (e.g., lambda_l > |I_sigma| or
+/// lambda_r < k with lambda_l > 0).
+std::vector<CandidateClustering> EnumerateClusterings(
+    const Relation& relation, const DiversityConstraint& constraint,
+    const std::vector<RowId>& targets, size_t k,
+    const ClusteringEnumOptions& options);
+
+/// State-dependent variant used during coloring (the paper updates the
+/// candidate clusterings of neighbors as nodes are colored): enumerates
+/// clusterings over the still-free target rows `free_targets` that
+/// preserve between `min_preserve` (>= 1; the constraint's remaining
+/// lower-bound deficit) and `max_preserve` (its remaining upper-bound
+/// headroom) occurrences. Every emitted cluster has >= k rows.
+std::vector<CandidateClustering> EnumerateClusteringsWithBounds(
+    const Relation& relation, const std::vector<RowId>& free_targets,
+    size_t k, size_t min_preserve, size_t max_preserve,
+    const ClusteringEnumOptions& options);
+
+}  // namespace diva
+
+#endif  // DIVA_CORE_CLUSTERINGS_H_

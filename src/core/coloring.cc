@@ -1,0 +1,574 @@
+#include "core/coloring.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <thread>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace diva {
+
+const char* SelectionStrategyToString(SelectionStrategy strategy) {
+  switch (strategy) {
+    case SelectionStrategy::kBasic:
+      return "Basic";
+    case SelectionStrategy::kMinChoice:
+      return "MinChoice";
+    case SelectionStrategy::kMaxFanOut:
+      return "MaxFanOut";
+  }
+  return "unknown";
+}
+
+namespace {
+
+struct RowVectorHash {
+  size_t operator()(const std::vector<RowId>& rows) const {
+    uint64_t h = 1469598103934665603ULL;
+    for (RowId r : rows) {
+      h ^= r;
+      h *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+/// Backtracking engine implementing Algorithm 4 with dynamic candidate
+/// enumeration: a node's clusterings are built from the target rows not
+/// yet claimed by any chosen cluster, sized to the constraint's
+/// *remaining* lower-bound deficit (occurrences preserved by other
+/// constraints' clusters count). Disjoint-or-equal is enforced through a
+/// row -> cluster map; upper bounds through incremental per-constraint
+/// preserved-count totals.
+class ColoringEngine {
+ public:
+  ColoringEngine(const Relation& relation, const ConstraintSet& constraints,
+                 const ConstraintGraph& graph, const ColoringOptions& options,
+                 bool forward_check)
+      : relation_(relation),
+        constraints_(constraints),
+        graph_(graph),
+        options_(options),
+        forward_check_(forward_check),
+        rng_(options.seed) {
+    size_t n = constraints.size();
+    assignment_.assign(n, -1);
+    sacrificed_.assign(n, false);
+    preserved_.assign(n, 0);
+    basic_order_.resize(n);
+    for (size_t i = 0; i < n; ++i) basic_order_[i] = i;
+    if (options.strategy == SelectionStrategy::kBasic) {
+      rng_.Shuffle(&basic_order_);
+    }
+    // Per-constraint target membership bitmaps: contribution checks are
+    // the inner loop of the search.
+    target_bitmap_.assign(n, std::vector<bool>(relation.NumRows(), false));
+    free_count_.resize(n);
+    for (size_t j = 0; j < n; ++j) {
+      for (RowId row : graph.targets[j]) target_bitmap_[j][row] = true;
+      free_count_[j] = graph.targets[j].size();
+    }
+    outcome_.assignment.assign(n, -1);
+    outcome_.preserved.assign(n, 0);
+  }
+
+  ColoringOutcome Run() {
+    SnapshotIfBetter();
+    bool finished = Color();
+    outcome_.complete = finished && sacrificed_count_ == 0;
+    outcome_.steps = steps_;
+    outcome_.backtracks = backtracks_;
+    outcome_.budget_exhausted = budget_exhausted_;
+    return std::move(outcome_);
+  }
+
+ private:
+  struct ActiveCluster {
+    std::vector<uint64_t> contrib;  // preserved count per constraint
+    int refcount = 0;
+  };
+  using Registry =
+      std::unordered_map<std::vector<RowId>, ActiveCluster, RowVectorHash>;
+
+  bool Color() {
+    if (colored_count_ + sacrificed_count_ == constraints_.size()) {
+      return true;
+    }
+    size_t node = SelectNode();
+    std::vector<CandidateClustering> candidates = CandidatesFor(node);
+    if (!forward_check_ && candidates.empty()) {
+      // Greedy mode: a node with no admissible clustering is sacrificed
+      // (left uncolored) so the rest of Sigma can still be satisfied.
+      sacrificed_[node] = true;
+      ++sacrificed_count_;
+      if (Color()) return true;
+      sacrificed_[node] = false;
+      --sacrificed_count_;
+      return false;
+    }
+    if (options_.strategy != SelectionStrategy::kBasic) {
+      OrderLeastConstrainingFirst(node, &candidates);
+    }
+    for (CandidateClustering& candidate : candidates) {
+      ++steps_;
+      if (steps_ > options_.step_budget ||
+          (options_.stall_limit > 0 &&
+           steps_ - last_improvement_ > options_.stall_limit) ||
+          (options_.cancel != nullptr &&
+           options_.cancel->load(std::memory_order_relaxed))) {
+        budget_exhausted_ = true;
+        return false;
+      }
+      std::vector<std::vector<RowId>> activated;
+      if (!TryAssign(candidate, &activated)) continue;
+      assignment_[node] = static_cast<int>(candidate.preserved);
+      ++colored_count_;
+      SnapshotIfBetter();
+      if (Color()) return true;
+      Unassign(node, activated);
+      ++backtracks_;
+      if (budget_exhausted_) return false;
+    }
+    return false;
+  }
+
+  /// Candidate clusterings of `node` under the current partial coloring.
+  std::vector<CandidateClustering> CandidatesFor(size_t node) {
+    const DiversityConstraint& constraint = constraints_[node];
+    uint64_t have = preserved_[node];
+    // Occurrences already preserved by neighbors' clusters count toward
+    // the lower bound; no deficit means the empty clustering suffices
+    // (and claiming more rows can only restrict other nodes).
+    if (have >= constraint.lower()) {
+      return {CandidateClustering{}};
+    }
+    size_t deficit = constraint.lower() - static_cast<size_t>(have);
+    size_t headroom = constraint.upper() - static_cast<size_t>(have);
+
+    std::vector<RowId> free_targets;
+    free_targets.reserve(graph_.targets[node].size());
+    for (RowId row : graph_.targets[node]) {
+      if (row_map_.find(row) == row_map_.end()) free_targets.push_back(row);
+    }
+
+    ClusteringEnumOptions enumeration = options_.enumeration;
+    enumeration.seed = options_.seed * 1000003ULL + node;
+    return EnumerateClusteringsWithBounds(relation_, free_targets,
+                                          options_.k, deficit, headroom,
+                                          enumeration);
+  }
+
+  /// Least-constraining-value ordering for the selective strategies:
+  /// among candidates preserving the same count, try the ones that WASTE
+  /// the fewest shared rows first. A cluster row that lies in another
+  /// constraint's target set is wasted when the cluster is not uniform on
+  /// that target (the row is claimed but contributes nothing toward the
+  /// other constraint's lower bound). (DIVA-Basic keeps its shuffled
+  /// order.)
+  void OrderLeastConstrainingFirst(size_t node,
+                                   std::vector<CandidateClustering>* candidates) {
+    std::vector<std::pair<uint64_t, size_t>> keyed(candidates->size());
+    for (size_t i = 0; i < candidates->size(); ++i) {
+      uint64_t waste = 0;
+      for (const Cluster& cluster : (*candidates)[i].clusters) {
+        for (size_t j = 0; j < constraints_.size(); ++j) {
+          if (j == node) continue;
+          uint64_t in_target = 0;
+          for (RowId row : cluster) in_target += target_bitmap_[j][row];
+          waste += in_target - Contribution(cluster, j);
+        }
+      }
+      keyed[i] = {waste, i};
+    }
+    std::stable_sort(keyed.begin(), keyed.end(),
+                     [&](const auto& a, const auto& b) {
+                       size_t pa = (*candidates)[a.second].preserved;
+                       size_t pb = (*candidates)[b.second].preserved;
+                       if (pa != pb) return pa < pb;
+                       return a.first < b.first;
+                     });
+    std::vector<CandidateClustering> ordered;
+    ordered.reserve(candidates->size());
+    for (const auto& [waste, index] : keyed) {
+      ordered.push_back(std::move((*candidates)[index]));
+    }
+    *candidates = std::move(ordered);
+  }
+
+  /// Contribution of a (sorted) cluster to constraint j: |cluster| when
+  /// every row is one of j's target tuples (the target attributes then
+  /// survive suppression unanimously and keep matching), else 0.
+  uint64_t Contribution(const std::vector<RowId>& rows, size_t j) const {
+    const std::vector<bool>& bitmap = target_bitmap_[j];
+    for (RowId row : rows) {
+      if (!bitmap[row]) return 0;
+    }
+    return rows.size();
+  }
+
+  /// Checks consistency of `candidate` against the current state and, if
+  /// consistent, activates its clusters. `activated` receives the keys of
+  /// clusters whose refcount this call incremented.
+  bool TryAssign(const CandidateClustering& candidate,
+                 std::vector<std::vector<RowId>>* activated) {
+    // Phase 1: validate without mutating.
+    struct NewCluster {
+      std::vector<RowId> rows;
+      std::vector<uint64_t> contrib;
+    };
+    std::vector<NewCluster> fresh;
+    std::vector<std::vector<RowId>> reused;
+    std::vector<uint64_t> delta(constraints_.size(), 0);
+    for (const Cluster& cluster : candidate.clusters) {
+      std::vector<RowId> sorted = cluster;
+      std::sort(sorted.begin(), sorted.end());
+      auto it = registry_.find(sorted);
+      if (it != registry_.end()) {
+        reused.push_back(std::move(sorted));
+        continue;
+      }
+      // A new cluster may not touch any row owned by a different active
+      // cluster (disjoint-or-equal condition).
+      for (RowId row : sorted) {
+        if (row_map_.find(row) != row_map_.end()) return false;
+      }
+      NewCluster entry;
+      entry.contrib.resize(constraints_.size());
+      for (size_t j = 0; j < constraints_.size(); ++j) {
+        entry.contrib[j] = Contribution(sorted, j);
+        delta[j] += entry.contrib[j];
+      }
+      entry.rows = std::move(sorted);
+      fresh.push_back(std::move(entry));
+    }
+    // Upper-bound condition over every constraint (the paper checks
+    // neighbors; non-neighbors have zero contribution, so checking all is
+    // equivalent and simpler).
+    for (size_t j = 0; j < constraints_.size(); ++j) {
+      if (preserved_[j] + delta[j] > constraints_[j].upper()) return false;
+    }
+    // Forward check: every still-uncolored constraint must be able to
+    // reach its lower bound from its preserved total plus the target rows
+    // that would remain free after this assignment. (Disabled in the
+    // greedy second pass, where partial colorings are acceptable.)
+    std::vector<uint64_t> claimed;
+    if (forward_check_) {
+    claimed.assign(constraints_.size(), 0);
+    for (const NewCluster& entry : fresh) {
+      for (RowId row : entry.rows) {
+        for (size_t j = 0; j < constraints_.size(); ++j) {
+          claimed[j] += target_bitmap_[j][row];
+        }
+      }
+    }
+    for (size_t j = 0; forward_check_ && j < constraints_.size(); ++j) {
+      if (assignment_[j] >= 0) continue;
+      uint64_t reachable =
+          preserved_[j] + delta[j] + (free_count_[j] - claimed[j]);
+      if (reachable < constraints_[j].lower()) {
+        if (std::getenv("DIVA_DEBUG_COLORING")) {
+          std::fprintf(stderr,
+                       "fwd-fail j=%zu lower=%u preserved=%llu delta=%llu "
+                       "free=%llu claimed=%llu\n",
+                       j, constraints_[j].lower(),
+                       (unsigned long long)preserved_[j],
+                       (unsigned long long)delta[j],
+                       (unsigned long long)free_count_[j],
+                       (unsigned long long)claimed[j]);
+        }
+        return false;
+      }
+    }
+    }
+
+    // Phase 2: activate.
+    for (NewCluster& entry : fresh) {
+      for (RowId row : entry.rows) {
+        row_map_.emplace(row, 0);
+        for (size_t j = 0; j < constraints_.size(); ++j) {
+          free_count_[j] -= target_bitmap_[j][row];
+        }
+      }
+      for (size_t j = 0; j < constraints_.size(); ++j) {
+        preserved_[j] += entry.contrib[j];
+      }
+      activated->push_back(entry.rows);
+      registry_.emplace(std::move(entry.rows),
+                        ActiveCluster{std::move(entry.contrib), 1});
+    }
+    for (std::vector<RowId>& rows : reused) {
+      auto it = registry_.find(rows);
+      DIVA_DCHECK(it != registry_.end());
+      ++it->second.refcount;
+      activated->push_back(std::move(rows));
+    }
+    return true;
+  }
+
+  void Unassign(size_t node, const std::vector<std::vector<RowId>>& activated) {
+    assignment_[node] = -1;
+    --colored_count_;
+    for (const std::vector<RowId>& rows : activated) {
+      auto it = registry_.find(rows);
+      DIVA_DCHECK(it != registry_.end() && it->second.refcount > 0);
+      if (--it->second.refcount == 0) {
+        for (RowId row : rows) {
+          row_map_.erase(row);
+          for (size_t j = 0; j < constraints_.size(); ++j) {
+            free_count_[j] += target_bitmap_[j][row];
+          }
+        }
+        for (size_t j = 0; j < constraints_.size(); ++j) {
+          preserved_[j] -= it->second.contrib[j];
+        }
+        registry_.erase(it);
+      }
+    }
+  }
+
+  size_t SelectNode() {
+    // Exploration: with probability epsilon pick any uncolored node, so
+    // restart attempts escape a wedged deterministic order.
+    if (options_.epsilon > 0.0 &&
+        rng_.UniformDouble() < options_.epsilon) {
+      std::vector<size_t> open;
+      for (size_t node = 0; node < constraints_.size(); ++node) {
+        if (assignment_[node] < 0 && !sacrificed_[node]) open.push_back(node);
+      }
+      if (!open.empty()) {
+        return open[static_cast<size_t>(rng_.NextBounded(open.size()))];
+      }
+    }
+    // Zero-deficit nodes (lower bound already covered by other clusters)
+    // are free wins for the selective strategies: they color with the
+    // empty clustering, claim nothing, and shrink the problem.
+    if (options_.strategy != SelectionStrategy::kBasic) {
+      for (size_t node = 0; node < constraints_.size(); ++node) {
+        if (assignment_[node] < 0 && !sacrificed_[node] &&
+            preserved_[node] >= constraints_[node].lower()) {
+          return node;
+        }
+      }
+    }
+    switch (options_.strategy) {
+      case SelectionStrategy::kBasic: {
+        for (size_t node : basic_order_) {
+          if (assignment_[node] < 0 && !sacrificed_[node]) return node;
+        }
+        break;
+      }
+      case SelectionStrategy::kMinChoice: {
+        // Most restrictive first. Proxy for the number of admissible
+        // clusterings: the node's slack — how many spare free target
+        // rows remain beyond its deficit (fewer spare rows, fewer
+        // distinct subsets to choose from). Nodes whose deficit already
+        // exceeds their free rows have zero clusterings and are picked
+        // immediately (fail first).
+        size_t best = constraints_.size();
+        uint64_t best_slack = std::numeric_limits<uint64_t>::max();
+        for (size_t node = 0; node < constraints_.size(); ++node) {
+          if (assignment_[node] >= 0 || sacrificed_[node]) continue;
+          uint64_t lower = constraints_[node].lower();
+          uint64_t deficit =
+              lower > preserved_[node] ? lower - preserved_[node] : 0;
+          uint64_t slack = free_count_[node] > deficit
+                               ? free_count_[node] - deficit
+                               : 0;
+          if (free_count_[node] < deficit) slack = 0;  // fail first
+          if (slack < best_slack) {
+            best_slack = slack;
+            best = node;
+            ties_ = 1;
+          } else if (slack == best_slack &&
+                     rng_.NextBounded(++ties_) == 0) {
+            best = node;  // random tie-break for restart diversity
+          }
+        }
+        if (best < constraints_.size()) return best;
+        break;
+      }
+      case SelectionStrategy::kMaxFanOut: {
+        // Most interacting first (the paper's description); fanout ties
+        // break randomly so restarts explore different orders.
+        size_t best = constraints_.size();
+        size_t best_fanout = 0;
+        for (size_t node = 0; node < constraints_.size(); ++node) {
+          if (assignment_[node] >= 0 || sacrificed_[node]) continue;
+          size_t fanout = 0;
+          for (size_t neighbor : graph_.adjacency[node]) {
+            if (assignment_[neighbor] < 0) ++fanout;
+          }
+          if (best == constraints_.size() || fanout > best_fanout) {
+            best_fanout = fanout;
+            best = node;
+            ties_ = 1;
+          } else if (fanout == best_fanout &&
+                     rng_.NextBounded(++ties_) == 0) {
+            best = node;  // random tie-break for restart diversity
+          }
+        }
+        if (best < constraints_.size()) return best;
+        break;
+      }
+    }
+    // Fallback: first uncolored.
+    for (size_t node = 0; node < constraints_.size(); ++node) {
+      if (assignment_[node] < 0 && !sacrificed_[node]) return node;
+    }
+    DIVA_CHECK_MSG(false, "SelectNode called with all nodes colored");
+    return 0;
+  }
+
+  void SnapshotIfBetter() {
+    if (best_colored_ != kNoSnapshot && colored_count_ <= best_colored_) {
+      return;
+    }
+    best_colored_ = colored_count_;
+    last_improvement_ = steps_;
+    outcome_.assignment = assignment_;
+    outcome_.preserved.assign(preserved_.begin(), preserved_.end());
+    outcome_.chosen_clusters.clear();
+    for (const auto& [rows, entry] : registry_) {
+      outcome_.chosen_clusters.push_back(rows);
+    }
+  }
+
+  static constexpr size_t kNoSnapshot = std::numeric_limits<size_t>::max();
+
+  const Relation& relation_;
+  const ConstraintSet& constraints_;
+  const ConstraintGraph& graph_;
+  ColoringOptions options_;
+  bool forward_check_;
+  Rng rng_;
+
+  std::vector<int> assignment_;
+  std::vector<bool> sacrificed_;
+  size_t sacrificed_count_ = 0;
+  std::vector<uint64_t> preserved_;
+  std::vector<size_t> basic_order_;
+  std::vector<std::vector<bool>> target_bitmap_;
+  std::vector<uint64_t> free_count_;  // unclaimed target rows per constraint
+  size_t colored_count_ = 0;
+
+  Registry registry_;                       // active clusters only
+  std::unordered_map<RowId, int> row_map_;  // rows owned by a cluster
+
+  uint64_t steps_ = 0;
+  uint64_t backtracks_ = 0;
+  uint64_t last_improvement_ = 0;
+  uint64_t ties_ = 1;  // scratch for random tie-breaking
+  bool budget_exhausted_ = false;
+  size_t best_colored_ = kNoSnapshot;
+
+  ColoringOutcome outcome_;
+};
+
+}  // namespace
+
+ColoringOutcome ColorConstraints(const Relation& relation,
+                                 const ConstraintSet& constraints,
+                                 const ConstraintGraph& graph,
+                                 const ColoringOptions& options) {
+  DIVA_CHECK_MSG(graph.targets.size() == constraints.size(),
+                 "graph must be built from the same constraint set");
+  // Strict passes (lower-bound forward checking) with randomized
+  // restarts: complete colorings are typically found within a few dozen
+  // steps of a good ordering, so several cheap diversified attempts beat
+  // one long chronological-backtracking grind.
+  uint64_t budget = options.step_budget;
+  uint64_t strict_budget = std::max<uint64_t>(1, budget / 2);
+  uint64_t spent = 0;
+  ColoringOutcome best;
+  best.assignment.assign(constraints.size(), -1);
+  best.preserved.assign(constraints.size(), 0);
+  for (int attempt = 0; spent < strict_budget && attempt < 8; ++attempt) {
+    ColoringOptions pass = options;
+    pass.seed = options.seed + 0x9e3779b97f4a7c15ULL * attempt;
+    pass.step_budget = strict_budget - spent;
+    pass.epsilon = 0.15 * attempt;  // attempt 0 is the pure strategy
+    if (attempt > 0 && pass.stall_limit > 0) {
+      // Diversification probes either win quickly or not at all; keep
+      // them cheap so eight attempts stay affordable.
+      pass.stall_limit = std::max<uint64_t>(500, options.stall_limit / 4);
+    }
+    ColoringEngine strict(relation, constraints, graph, pass,
+                          /*forward_check=*/true);
+    ColoringOutcome outcome = strict.Run();
+    spent += outcome.steps;
+    if (outcome.NumColored() > best.NumColored()) {
+      uint64_t steps_so_far = spent;
+      best = std::move(outcome);
+      best.steps = steps_so_far;
+    }
+    if (best.complete) return best;
+  }
+
+  // Final greedy pass — no forward checking, so the search colors as many
+  // nodes as it can even when some constraint is provably unsatisfiable.
+  ColoringOptions second = options;
+  second.step_budget = budget > spent ? budget - spent : 1;
+  second.epsilon = 0.1;
+  ColoringEngine greedy(relation, constraints, graph, second,
+                        /*forward_check=*/false);
+  ColoringOutcome fallback = greedy.Run();
+  fallback.steps += spent;
+  if (fallback.complete || fallback.NumColored() > best.NumColored()) {
+    return fallback;
+  }
+  best.steps = fallback.steps;
+  best.backtracks += fallback.backtracks;
+  return best;
+}
+
+ColoringOutcome ColorConstraintsPortfolio(const Relation& relation,
+                                          const ConstraintSet& constraints,
+                                          const ConstraintGraph& graph,
+                                          const ColoringOptions& options,
+                                          size_t threads) {
+  if (threads <= 1) {
+    return ColorConstraints(relation, constraints, graph, options);
+  }
+  std::atomic<bool> cancel{false};
+  std::vector<ColoringOutcome> outcomes(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      ColoringOptions worker_options = options;
+      worker_options.seed = options.seed + 0x51ed270b7a14ULL * t;
+      worker_options.cancel = &cancel;
+      outcomes[t] =
+          ColorConstraints(relation, constraints, graph, worker_options);
+      if (outcomes[t].complete) {
+        cancel.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  size_t best = 0;
+  for (size_t t = 1; t < threads; ++t) {
+    bool better =
+        (outcomes[t].complete && !outcomes[best].complete) ||
+        (outcomes[t].complete == outcomes[best].complete &&
+         outcomes[t].NumColored() > outcomes[best].NumColored());
+    if (better) best = t;
+  }
+  // Aggregate search effort across the portfolio for reporting.
+  uint64_t steps = 0;
+  uint64_t backtracks = 0;
+  for (const ColoringOutcome& outcome : outcomes) {
+    steps += outcome.steps;
+    backtracks += outcome.backtracks;
+  }
+  ColoringOutcome winner = std::move(outcomes[best]);
+  winner.steps = steps;
+  winner.backtracks = backtracks;
+  return winner;
+}
+
+}  // namespace diva

@@ -1,0 +1,119 @@
+#ifndef DIVA_CORE_COLORING_H_
+#define DIVA_CORE_COLORING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "anon/cluster.h"
+#include "core/clusterings.h"
+#include "core/constraint_graph.h"
+
+namespace diva {
+
+/// Node-selection strategy for the coloring search (Section 3.3).
+enum class SelectionStrategy {
+  /// Random uncolored node, shuffled candidate order (DIVA-Basic).
+  kBasic,
+  /// Most restrictive first: fewest currently-consistent clusterings.
+  kMinChoice,
+  /// Most interacting first: most uncolored neighbors.
+  kMaxFanOut,
+};
+
+const char* SelectionStrategyToString(SelectionStrategy strategy);
+
+struct ColoringOptions {
+  /// Minimum cluster size (the k of k-anonymity).
+  size_t k = 10;
+
+  SelectionStrategy strategy = SelectionStrategy::kMaxFanOut;
+
+  uint64_t seed = 42;
+
+  /// Search-step budget (candidate trials); exhaustion returns the best
+  /// partial coloring found so far instead of looping forever.
+  uint64_t step_budget = 1000000;
+
+  /// Give up when this many consecutive steps pass without improving the
+  /// best partial coloring (0 = disabled). Complete colorings are found
+  /// in few steps; long no-progress stretches are almost always thrash on
+  /// an infeasible remainder.
+  uint64_t stall_limit = 5000;
+
+  /// Cooperative cancellation: when set and *cancel becomes true, the
+  /// search stops at the next step and returns its best partial outcome.
+  /// Used by the portfolio driver; null = never cancelled.
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// Probability that SelectNode ignores the strategy and picks a random
+  /// uncolored node (exploration). 0 on the first search attempt; the
+  /// restart driver raises it on later attempts so a bad deterministic
+  /// node order cannot wedge the search.
+  double epsilon = 0.0;
+
+  /// Knobs of the per-node candidate enumeration. Candidates are
+  /// regenerated each time a node is tried, over the target rows still
+  /// unclaimed by other clusters and for the constraint's *remaining*
+  /// deficit (the paper: "we update the candidate clusterings for their
+  /// neighbors") — occurrences preserved by other constraints' clusters
+  /// count toward a node's lower bound.
+  ClusteringEnumOptions enumeration;
+};
+
+/// Result of the backtracking coloring (Algorithm 4, plus best-partial
+/// tracking for graceful degradation under a step budget).
+struct ColoringOutcome {
+  /// True iff every node received a consistent clustering.
+  bool complete = false;
+  bool budget_exhausted = false;
+
+  /// Per node: preserved-occurrence count of the chosen clustering
+  /// (possibly 0 when neighbors' clusters already covered the lower
+  /// bound), or -1 if uncolored in the best assignment found.
+  std::vector<int> assignment;
+
+  /// Union of the distinct chosen clusters (S_Sigma). Clusters shared by
+  /// two nodes appear once.
+  Clustering chosen_clusters;
+
+  /// Occurrences of each constraint's target preserved by
+  /// chosen_clusters.
+  std::vector<uint64_t> preserved;
+
+  uint64_t steps = 0;
+  uint64_t backtracks = 0;
+
+  size_t NumColored() const {
+    size_t n = 0;
+    for (int a : assignment) n += (a >= 0);
+    return n;
+  }
+};
+
+/// Runs the coloring search over (R, Sigma) with the interaction graph
+/// `graph` (whose `targets` must be the constraints' target-tuple lists).
+ColoringOutcome ColorConstraints(const Relation& relation,
+                                 const ConstraintSet& constraints,
+                                 const ConstraintGraph& graph,
+                                 const ColoringOptions& options);
+
+/// Portfolio parallelization of the coloring search — the paper's
+/// future-work direction ("a distributed version of the coloring
+/// algorithm to improve scalability by satisfying constraints in
+/// parallel"). Launches `threads` independently-seeded searches on
+/// worker threads; the first complete coloring cancels the rest. When no
+/// search completes, the one that colored the most constraints wins
+/// (ties by thread index). `threads` <= 1 is plain ColorConstraints.
+///
+/// Every returned outcome is a valid coloring state; which complete
+/// assignment wins under cancellation may vary run to run.
+ColoringOutcome ColorConstraintsPortfolio(const Relation& relation,
+                                          const ConstraintSet& constraints,
+                                          const ConstraintGraph& graph,
+                                          const ColoringOptions& options,
+                                          size_t threads);
+
+}  // namespace diva
+
+#endif  // DIVA_CORE_COLORING_H_

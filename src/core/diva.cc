@@ -1,0 +1,262 @@
+#include "core/diva.h"
+
+#include <algorithm>
+
+#include "anon/privacy.h"
+#include "anon/suppress.h"
+#include "common/timer.h"
+#include "core/constraint_graph.h"
+#include "core/integrate.h"
+
+namespace diva {
+
+const char* BaselineAlgorithmToString(BaselineAlgorithm baseline) {
+  switch (baseline) {
+    case BaselineAlgorithm::kKMember:
+      return "k-member";
+    case BaselineAlgorithm::kOka:
+      return "OKA";
+    case BaselineAlgorithm::kMondrian:
+      return "Mondrian";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Anonymizer> MakeBaselineAnonymizer(
+    const DivaOptions& options) {
+  switch (options.baseline) {
+    case BaselineAlgorithm::kKMember:
+      return MakeKMember(options.anonymizer);
+    case BaselineAlgorithm::kOka:
+      return MakeOka(options.anonymizer);
+    case BaselineAlgorithm::kMondrian:
+      return MakeMondrian(options.anonymizer);
+  }
+  return MakeKMember(options.anonymizer);
+}
+
+namespace {
+
+/// Applies the configured recoding operator: LCA generalization when
+/// taxonomies were provided, plain suppression otherwise.
+Status Recode(const DivaOptions& options, Relation* out,
+              const Clustering& clustering) {
+  if (options.generalization != nullptr) {
+    return GeneralizeClustersInPlace(out, clustering,
+                                     *options.generalization);
+  }
+  SuppressClustersInPlace(out, clustering);
+  return Status::OK();
+}
+
+ClusteringEnumOptions TuneEnumeration(const DivaOptions& options) {
+  ClusteringEnumOptions enumeration = options.enumeration;
+  if (!options.auto_tune_enumeration) return enumeration;
+  enumeration.seed = options.seed;
+  if (options.strategy == SelectionStrategy::kBasic) {
+    // The unordered, oversized pool of DIVA-Basic: candidates are tried
+    // in random order, so bad early picks trigger deep backtracking.
+    enumeration.ordered = false;
+    enumeration.max_clusterings = 256;
+    enumeration.max_window_candidates = 48;
+    enumeration.random_subsets = 32;
+  } else {
+    enumeration.ordered = true;
+  }
+  return enumeration;
+}
+
+/// Merges rows that the baseline cannot cluster (fewer than k of them)
+/// into an existing cluster. Candidate merges are ranked first by how
+/// many *new* constraint violations they would introduce (merging can
+/// suppress a cluster's preserved target values), then by suppression
+/// cost.
+void MergeLeftoverRows(Relation* out, Clustering* clusters,
+                       const std::vector<RowId>& leftover,
+                       const ConstraintSet& constraints) {
+  // Rows are placed one at a time: a leftover that shares the values a
+  // cluster is unanimous on (e.g., the same QI run) joins it without
+  // disturbing the cluster's preserved occurrences.
+  for (RowId row : leftover) {
+    std::vector<size_t> before = ViolatedConstraints(*out, constraints);
+    size_t best = 0;
+    size_t best_violations = static_cast<size_t>(-1);
+    size_t best_cost = static_cast<size_t>(-1);
+    for (size_t c = 0; c < clusters->size(); ++c) {
+      Cluster merged = (*clusters)[c];
+      merged.push_back(row);
+      Relation trial = *out;
+      Clustering just_merged = {merged};
+      SuppressClustersInPlace(&trial, just_merged);
+      std::vector<size_t> after = ViolatedConstraints(trial, constraints);
+      size_t new_violations = 0;
+      for (size_t v : after) {
+        if (!std::binary_search(before.begin(), before.end(), v)) {
+          ++new_violations;
+        }
+      }
+      size_t cost = SuppressionCost(*out, merged);
+      if (new_violations < best_violations ||
+          (new_violations == best_violations && cost < best_cost)) {
+        best_violations = new_violations;
+        best_cost = cost;
+        best = c;
+      }
+    }
+    Cluster& target = (*clusters)[best];
+    target.push_back(row);
+    Clustering just_merged = {target};
+    SuppressClustersInPlace(out, just_merged);
+  }
+}
+
+}  // namespace
+
+Result<DivaResult> RunDiva(const Relation& relation,
+                           const ConstraintSet& constraints,
+                           const DivaOptions& options) {
+  if (options.k == 0) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  if (relation.NumRows() > 0 && relation.NumRows() < options.k) {
+    return Status::Infeasible("relation has fewer than k tuples");
+  }
+
+  StopWatch total_watch;
+  DivaReport report;
+  report.total_constraints = constraints.size();
+
+  // Phase 1: DiverseClustering — graph construction and coloring (the
+  // per-node candidate clusterings are enumerated dynamically inside the
+  // search, over the target rows still unclaimed).
+  StopWatch phase_watch;
+  ConstraintGraph graph = BuildConstraintGraph(relation, constraints);
+
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    // Static infeasibility: a lower bound can only be met by clusters of
+    // >= k target tuples, so it needs lambda_l <= |I_sigma| and
+    // max(k, lambda_l) <= lambda_r.
+    const DiversityConstraint& constraint = constraints[i];
+    bool feasible =
+        constraint.lower() == 0 ||
+        (constraint.lower() <= graph.targets[i].size() &&
+         std::max<size_t>(options.k, constraint.lower()) <=
+             constraint.upper());
+    if (!feasible && options.strict) {
+      return Status::Infeasible(
+          "no diverse k-anonymous relation exists: constraint '" +
+          constraint.ToString() + "' admits no clustering for k = " +
+          std::to_string(options.k));
+    }
+  }
+
+  ColoringOptions coloring_options;
+  coloring_options.k = options.k;
+  coloring_options.strategy = options.strategy;
+  coloring_options.seed = options.seed;
+  coloring_options.step_budget = options.coloring_budget;
+  coloring_options.enumeration = TuneEnumeration(options);
+  ColoringOutcome coloring =
+      options.portfolio_threads > 1
+          ? ColorConstraintsPortfolio(relation, constraints, graph,
+                                      coloring_options,
+                                      options.portfolio_threads)
+          : ColorConstraints(relation, constraints, graph, coloring_options);
+  report.clustering_complete = coloring.complete;
+  report.budget_exhausted = coloring.budget_exhausted;
+  report.colored_constraints = coloring.NumColored();
+  report.coloring_steps = coloring.steps;
+  report.backtracks = coloring.backtracks;
+  report.clustering_seconds = phase_watch.ElapsedSeconds();
+
+  if (!coloring.complete && options.strict) {
+    return Status::Infeasible(
+        "no diverse k-anonymous relation exists: coloring satisfied " +
+        std::to_string(report.colored_constraints) + "/" +
+        std::to_string(constraints.size()) + " constraints");
+  }
+
+  Clustering sigma_clusters = std::move(coloring.chosen_clusters);
+  report.sigma_rows = TotalRows(sigma_clusters);
+
+  // Phase 2: Suppress (or generalize) S_Sigma inside a working copy of R.
+  if (options.generalization != nullptr &&
+      options.generalization->num_attributes() != relation.NumAttributes()) {
+    return Status::InvalidArgument(
+        "generalization context arity mismatch with the relation");
+  }
+  Relation out = relation;
+  DIVA_RETURN_NOT_OK(Recode(options, &out, sigma_clusters));
+
+  // Phase 3: Anonymize the remaining tuples with the baseline.
+  phase_watch.Restart();
+  std::vector<bool> covered(relation.NumRows(), false);
+  for (const Cluster& cluster : sigma_clusters) {
+    for (RowId row : cluster) covered[row] = true;
+  }
+  std::vector<RowId> remaining;
+  remaining.reserve(relation.NumRows() - report.sigma_rows);
+  for (RowId row = 0; row < relation.NumRows(); ++row) {
+    if (!covered[row]) remaining.push_back(row);
+  }
+
+  Clustering rk_clusters;
+  if (remaining.size() >= options.k) {
+    std::unique_ptr<Anonymizer> baseline = MakeBaselineAnonymizer(options);
+    auto clusters =
+        baseline->BuildClusters(relation, remaining, options.k);
+    if (!clusters.ok()) return clusters.status();
+    rk_clusters = std::move(clusters).value();
+    DIVA_RETURN_NOT_OK(Recode(options, &out, rk_clusters));
+  } else if (!remaining.empty()) {
+    // Fewer than k stragglers: fold them into the cheapest existing
+    // cluster (there must be one, or the relation itself had < k rows,
+    // rejected above — unless S_Sigma is empty too).
+    if (sigma_clusters.empty()) {
+      return Status::Infeasible(
+          "cannot k-anonymize " + std::to_string(remaining.size()) +
+          " tuples with k = " + std::to_string(options.k));
+    }
+    MergeLeftoverRows(&out, &sigma_clusters, remaining, constraints);
+  }
+  report.anonymize_seconds = phase_watch.ElapsedSeconds();
+
+  // Phase 4: Integrate — repair upper bounds breached by R_k.
+  phase_watch.Restart();
+  IntegrateStats repair = IntegrateRepair(&out, constraints, rk_clusters);
+  report.repair_cells = repair.suppressed_cells;
+  report.integrate_seconds = phase_watch.ElapsedSeconds();
+
+  // Optional l-diversity layer: merge output QI-groups until each holds
+  // enough distinct sensitive projections (suppression-only; k-anonymity
+  // and Sigma's upper bounds survive, lower bounds re-verified below).
+  if (options.l_diversity > 1 || options.t_closeness < 1.0) {
+    Clustering all_clusters = sigma_clusters;
+    all_clusters.insert(all_clusters.end(), rk_clusters.begin(),
+                        rk_clusters.end());
+    if (options.l_diversity > 1) {
+      auto merged = EnforceLDiversity(&out, std::move(all_clusters),
+                                      options.l_diversity);
+      if (!merged.ok()) return merged.status();
+      all_clusters = std::move(merged).value();
+    }
+    if (options.t_closeness < 1.0) {
+      auto merged = EnforceTCloseness(&out, std::move(all_clusters),
+                                      options.t_closeness);
+      if (!merged.ok()) return merged.status();
+    }
+  }
+
+  SuppressIdentifiers(&out);
+  report.unsatisfied = ViolatedConstraints(out, constraints);
+  if (!report.unsatisfied.empty() && options.strict) {
+    return Status::Infeasible(
+        "output violates " + std::to_string(report.unsatisfied.size()) +
+        " constraint(s) after integration");
+  }
+
+  report.total_seconds = total_watch.ElapsedSeconds();
+  return DivaResult{std::move(out), std::move(report)};
+}
+
+}  // namespace diva

@@ -1,0 +1,125 @@
+#ifndef DIVA_CORE_DIVA_H_
+#define DIVA_CORE_DIVA_H_
+
+#include <memory>
+#include <vector>
+
+#include "anon/anonymizer.h"
+#include "hierarchy/generalize.h"
+#include "common/result.h"
+#include "constraint/diversity_constraint.h"
+#include "core/clusterings.h"
+#include "core/coloring.h"
+#include "relation/relation.h"
+
+namespace diva {
+
+/// Off-the-shelf k-anonymizer used by DIVA's Anonymize phase for the
+/// tuples outside the diverse clustering.
+enum class BaselineAlgorithm {
+  kKMember,  // the paper's choice [6]
+  kOka,
+  kMondrian,
+};
+
+const char* BaselineAlgorithmToString(BaselineAlgorithm baseline);
+
+struct DivaOptions {
+  /// Minimum QI-group size.
+  size_t k = 10;
+
+  SelectionStrategy strategy = SelectionStrategy::kMaxFanOut;
+
+  uint64_t seed = 42;
+
+  /// Step budget of the coloring search; exhaustion degrades to the best
+  /// partial coloring (or an error in strict mode).
+  uint64_t coloring_budget = 1000000;
+
+  /// Candidate-clustering enumeration knobs. When `auto_tune_enumeration`
+  /// is true (default) the ordered flag, pool size and seed are derived
+  /// from `strategy`/`seed`: Basic explores a larger shuffled pool
+  /// (the paper's exponential-in-|Sigma| configuration), MinChoice and
+  /// MaxFanOut a compact ordered one.
+  ClusteringEnumOptions enumeration;
+  bool auto_tune_enumeration = true;
+
+  /// When true, DIVA fails (Infeasible) if the coloring cannot satisfy
+  /// every constraint — Algorithm 1's "relation does not exist". When
+  /// false (default), it publishes the best-effort relation and reports
+  /// the unsatisfied constraints.
+  bool strict = false;
+
+  BaselineAlgorithm baseline = BaselineAlgorithm::kKMember;
+  AnonymizerOptions anonymizer;
+
+  /// Optional distinct l-diversity on top of k-anonymity (the paper's
+  /// first listed privacy extension). 0 or 1 = off. When set, QI-groups
+  /// of the output are merged after integration until each carries at
+  /// least this many distinct sensitive projections; merging adds
+  /// suppression and can sacrifice diversity lower bounds (re-verified
+  /// and reported in DivaReport::unsatisfied).
+  size_t l_diversity = 0;
+
+  /// Optional generalization hierarchies: when set, clusters are recoded
+  /// to lowest-common-ancestor labels instead of ★ wherever a taxonomy
+  /// exists (attributes without one still suppress). Counting semantics
+  /// are unchanged — a generalized label never matches a constraint's
+  /// target value — so every DIVA guarantee carries over.
+  std::shared_ptr<const GeneralizationContext> generalization;
+
+  /// Portfolio parallelism for the coloring search (the paper's
+  /// future-work direction): number of independently seeded searches run
+  /// on worker threads, first complete coloring wins. 0 or 1 = single
+  /// search.
+  size_t portfolio_threads = 0;
+
+  /// Optional t-closeness on top of k-anonymity (the paper's second
+  /// listed privacy extension). 1.0 = off (every relation is 1-close).
+  /// When < 1, output QI-groups are merged until each sensitive
+  /// distribution is within this distance of the global one.
+  double t_closeness = 1.0;
+};
+
+/// Everything DIVA measured about one run.
+struct DivaReport {
+  /// Did the coloring satisfy all constraints?
+  bool clustering_complete = false;
+  bool budget_exhausted = false;
+  size_t colored_constraints = 0;
+  size_t total_constraints = 0;
+  uint64_t coloring_steps = 0;
+  uint64_t backtracks = 0;
+
+  /// Tuples covered by the diverse clustering S_Sigma.
+  size_t sigma_rows = 0;
+  /// Cells suppressed by the Integrate repair.
+  size_t repair_cells = 0;
+  /// Constraints violated by the final output (empty on full success).
+  std::vector<size_t> unsatisfied;
+
+  double clustering_seconds = 0.0;
+  double anonymize_seconds = 0.0;
+  double integrate_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+struct DivaResult {
+  Relation relation;
+  DivaReport report;
+};
+
+/// Runs DIVA (Algorithm 1): diverse clustering by graph coloring,
+/// suppression, baseline anonymization of the remainder, and integration.
+/// The output relation is k-anonymous and — whenever the search succeeds —
+/// satisfies every constraint; row ids match the input.
+Result<DivaResult> RunDiva(const Relation& relation,
+                           const ConstraintSet& constraints,
+                           const DivaOptions& options);
+
+/// Instantiates the baseline anonymizer configured in `options`.
+std::unique_ptr<Anonymizer> MakeBaselineAnonymizer(const DivaOptions& options);
+
+}  // namespace diva
+
+#endif  // DIVA_CORE_DIVA_H_

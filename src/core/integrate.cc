@@ -1,0 +1,108 @@
+#include "core/integrate.h"
+
+#include <algorithm>
+#include <optional>
+
+namespace diva {
+
+namespace {
+
+/// First sensitive (non-QI, non-identifier) attribute among the
+/// constraint's target attributes, if any.
+std::optional<size_t> SensitiveTargetAttribute(
+    const Relation& relation, const DiversityConstraint& constraint) {
+  for (size_t attr : constraint.attribute_indices()) {
+    if (relation.schema().attribute(attr).role == AttributeRole::kSensitive) {
+      return attr;
+    }
+  }
+  return std::nullopt;
+}
+
+/// First quasi-identifier attribute among the targets (exists whenever
+/// SensitiveTargetAttribute is empty, since identifier-attribute targets
+/// are legal but pointless; fall back to the first target attribute).
+size_t QiTargetAttribute(const Relation& relation,
+                         const DiversityConstraint& constraint) {
+  for (size_t attr : constraint.attribute_indices()) {
+    if (relation.schema().IsQuasiIdentifier(attr)) return attr;
+  }
+  return constraint.attribute_indices().front();
+}
+
+}  // namespace
+
+IntegrateStats IntegrateRepair(Relation* relation,
+                               const ConstraintSet& constraints,
+                               const Clustering& rk_clusters) {
+  IntegrateStats stats;
+
+  for (const DiversityConstraint& constraint : constraints) {
+    size_t count = constraint.CountOccurrences(*relation);
+    if (count <= constraint.upper()) continue;
+    size_t excess = count - constraint.upper();
+    ++stats.repaired_constraints;
+
+    std::optional<size_t> sensitive_attr =
+        SensitiveTargetAttribute(*relation, constraint);
+    if (sensitive_attr.has_value()) {
+      // Cell-level repair: suppress the sensitive target value in exactly
+      // `excess` matching R_k rows. Sensitive cells are not part of the
+      // QI projection, so k-anonymity is untouched.
+      for (const Cluster& cluster : rk_clusters) {
+        for (RowId row : cluster) {
+          if (excess == 0) break;
+          if (constraint.MatchesRow(*relation, row)) {
+            relation->Set(row, *sensitive_attr, kSuppressed);
+            ++stats.suppressed_cells;
+            --excess;
+          }
+        }
+        if (excess == 0) break;
+      }
+      continue;
+    }
+
+    // QI-only target: a whole R_k cluster either matches (its rows share
+    // all QI values) or not. Suppressing one target attribute across a
+    // matching cluster removes |cluster| occurrences at |cluster| stars
+    // and keeps the cluster a uniform QI-group of unchanged size.
+    size_t repair_attr = QiTargetAttribute(*relation, constraint);
+    std::vector<size_t> matching;  // indices into rk_clusters
+    for (size_t c = 0; c < rk_clusters.size(); ++c) {
+      const Cluster& cluster = rk_clusters[c];
+      if (!cluster.empty() &&
+          constraint.MatchesRow(*relation, cluster.front())) {
+        matching.push_back(c);
+      }
+    }
+    std::sort(matching.begin(), matching.end(), [&](size_t a, size_t b) {
+      return rk_clusters[a].size() < rk_clusters[b].size();
+    });
+
+    while (excess > 0 && !matching.empty()) {
+      // Smallest matching cluster that covers the remaining excess, to
+      // minimize overshoot; otherwise the largest available.
+      size_t chosen_pos = matching.size();
+      for (size_t i = 0; i < matching.size(); ++i) {
+        if (rk_clusters[matching[i]].size() >= excess) {
+          chosen_pos = i;
+          break;
+        }
+      }
+      if (chosen_pos == matching.size()) chosen_pos = matching.size() - 1;
+      size_t cluster_index = matching[chosen_pos];
+      matching.erase(matching.begin() + static_cast<long>(chosen_pos));
+
+      const Cluster& cluster = rk_clusters[cluster_index];
+      for (RowId row : cluster) {
+        relation->Set(row, repair_attr, kSuppressed);
+      }
+      stats.suppressed_cells += cluster.size();
+      excess -= std::min(excess, cluster.size());
+    }
+  }
+  return stats;
+}
+
+}  // namespace diva

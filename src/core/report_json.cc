@@ -1,0 +1,47 @@
+#include "core/report_json.h"
+
+#include <cstdio>
+
+namespace diva {
+
+namespace {
+
+void AppendDouble(std::string* out, double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.6f", value);
+  out->append(buffer);
+}
+
+}  // namespace
+
+std::string ReportToJson(const DivaReport& report) {
+  std::string out = "{";
+  out += "\"clustering_complete\":";
+  out += report.clustering_complete ? "true" : "false";
+  out += ",\"budget_exhausted\":";
+  out += report.budget_exhausted ? "true" : "false";
+  out += ",\"colored_constraints\":" +
+         std::to_string(report.colored_constraints);
+  out += ",\"total_constraints\":" + std::to_string(report.total_constraints);
+  out += ",\"coloring_steps\":" + std::to_string(report.coloring_steps);
+  out += ",\"backtracks\":" + std::to_string(report.backtracks);
+  out += ",\"sigma_rows\":" + std::to_string(report.sigma_rows);
+  out += ",\"repair_cells\":" + std::to_string(report.repair_cells);
+  out += ",\"unsatisfied\":[";
+  for (size_t i = 0; i < report.unsatisfied.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(report.unsatisfied[i]);
+  }
+  out += "],\"timings\":{\"clustering_s\":";
+  AppendDouble(&out, report.clustering_seconds);
+  out += ",\"anonymize_s\":";
+  AppendDouble(&out, report.anonymize_seconds);
+  out += ",\"integrate_s\":";
+  AppendDouble(&out, report.integrate_seconds);
+  out += ",\"total_s\":";
+  AppendDouble(&out, report.total_seconds);
+  out += "}}";
+  return out;
+}
+
+}  // namespace diva

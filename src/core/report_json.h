@@ -1,0 +1,21 @@
+#ifndef DIVA_CORE_REPORT_JSON_H_
+#define DIVA_CORE_REPORT_JSON_H_
+
+#include <string>
+
+#include "core/diva.h"
+
+namespace diva {
+
+/// Serializes a DivaReport as a single-line JSON object — for log
+/// pipelines and dashboards around the anonymization service. Stable
+/// field names; numbers are emitted as JSON numbers, never strings.
+///
+/// {"clustering_complete":true,"budget_exhausted":false,
+///  "colored_constraints":3,"total_constraints":3,...,
+///  "unsatisfied":[],"timings":{"clustering_s":0.01,...}}
+std::string ReportToJson(const DivaReport& report);
+
+}  // namespace diva
+
+#endif  // DIVA_CORE_REPORT_JSON_H_

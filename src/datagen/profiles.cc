@@ -1,0 +1,187 @@
+#include "datagen/profiles.h"
+
+namespace diva {
+
+namespace {
+
+AttributeSpec Id(const std::string& name) {
+  AttributeSpec spec;
+  spec.name = name;
+  spec.role = AttributeRole::kIdentifier;
+  spec.domain_size = 1;  // ignored for identifiers
+  return spec;
+}
+
+AttributeSpec Categorical(const std::string& name, AttributeRole role,
+                          size_t domain, ValueDistribution dist,
+                          double skew = 1.0, double correlation = 0.0) {
+  AttributeSpec spec;
+  spec.name = name;
+  spec.role = role;
+  spec.kind = AttributeKind::kCategorical;
+  spec.domain_size = domain;
+  spec.distribution = dist;
+  spec.zipf_skew = skew;
+  spec.correlation = correlation;
+  return spec;
+}
+
+AttributeSpec Numeric(const std::string& name, AttributeRole role,
+                      size_t domain, int64_t base, ValueDistribution dist) {
+  AttributeSpec spec;
+  spec.name = name;
+  spec.role = role;
+  spec.kind = AttributeKind::kNumeric;
+  spec.domain_size = domain;
+  spec.numeric_base = base;
+  spec.distribution = dist;
+  return spec;
+}
+
+/// Low-cardinality published (sensitive-role) filler columns that bring
+/// the attribute count up to the original dataset's width without
+/// entering the QI projection.
+void AddFillers(SyntheticSpec* spec, const std::string& prefix,
+                size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    spec->attributes.push_back(
+        Categorical(prefix + std::to_string(i), AttributeRole::kSensitive,
+                    4 + (i % 5), ValueDistribution::kUniform));
+  }
+}
+
+constexpr AttributeRole kQi = AttributeRole::kQuasiIdentifier;
+constexpr AttributeRole kSens = AttributeRole::kSensitive;
+constexpr ValueDistribution kUnif = ValueDistribution::kUniform;
+constexpr ValueDistribution kZipf = ValueDistribution::kZipfian;
+constexpr ValueDistribution kGauss = ValueDistribution::kGaussian;
+
+}  // namespace
+
+const char* DatasetProfileToString(DatasetProfile profile) {
+  switch (profile) {
+    case DatasetProfile::kPantheon:
+      return "Pantheon";
+    case DatasetProfile::kCensus:
+      return "Census";
+    case DatasetProfile::kCredit:
+      return "Credit";
+    case DatasetProfile::kPopSyn:
+      return "Pop-Syn";
+  }
+  return "unknown";
+}
+
+size_t DefaultConstraintCount(DatasetProfile profile) {
+  switch (profile) {
+    case DatasetProfile::kPantheon:
+      return 24;
+    case DatasetProfile::kCensus:
+      return 21;
+    case DatasetProfile::kCredit:
+      return 18;
+    case DatasetProfile::kPopSyn:
+      return 10;
+  }
+  return 8;
+}
+
+SyntheticSpec ProfileSpec(DatasetProfile profile,
+                          const ProfileOptions& options) {
+  SyntheticSpec spec;
+  spec.seed = options.seed;
+  switch (profile) {
+    case DatasetProfile::kPantheon: {
+      spec.num_rows = options.num_rows ? options.num_rows : 11341;
+      spec.num_latent_classes = 24;
+      spec.latent_skew = 1.0;
+      spec.attributes.push_back(Id("ID"));
+      spec.attributes.push_back(
+          Categorical("GEN", kQi, 2, kZipf, 0.6, /*correlation=*/0.2));
+      spec.attributes.push_back(
+          Categorical("CONTINENT", kQi, 6, kUnif, 1.0, 0.3));
+      spec.attributes.push_back(
+          Categorical("COUNTRY", kQi, 40, kZipf, 1.3, 0.3));
+      spec.attributes.push_back(
+          Categorical("OCCUPATION", kQi, 30, kZipf, 1.45, 0.25));
+      spec.attributes.push_back(Numeric("BIRTH_DECADE", kQi, 12, 1900, kGauss));
+      spec.attributes.push_back(
+          Categorical("NOTABILITY", kSens, 20, kZipf, 1.1));
+      AddFillers(&spec, "P", 17 - spec.attributes.size());
+      break;
+    }
+    case DatasetProfile::kCensus: {
+      spec.num_rows = options.num_rows ? options.num_rows : 299285;
+      spec.num_latent_classes = 32;
+      spec.latent_skew = 1.1;
+      spec.attributes.push_back(Id("ID"));
+      spec.attributes.push_back(
+          Categorical("SEX", kQi, 2, kUnif, 1.0, 0.2));
+      spec.attributes.push_back(
+          Categorical("RACE", kQi, 9, kZipf, 1.8, 0.35));
+      spec.attributes.push_back(
+          Categorical("STATE", kQi, 51, kZipf, 1.7, 0.3));
+      spec.attributes.push_back(Numeric("AGE", kQi, 60, 18, kGauss));
+      spec.attributes.push_back(
+          Categorical("INCOME_BAND", kSens, 16, kZipf, 1.2));
+      AddFillers(&spec, "C", 40 - spec.attributes.size());
+      break;
+    }
+    case DatasetProfile::kCredit: {
+      spec.num_rows = options.num_rows ? options.num_rows : 1000;
+      spec.num_latent_classes = 8;
+      spec.latent_skew = 1.2;
+      spec.attributes.push_back(Id("ID"));
+      spec.attributes.push_back(
+          Categorical("SEX", kQi, 2, kUnif, 1.0, 0.3));
+      spec.attributes.push_back(
+          Categorical("HOUSING", kQi, 3, kZipf, 1.0, 0.35));
+      spec.attributes.push_back(
+          Categorical("PURPOSE", kQi, 10, kZipf, 1.4, 0.35));
+      spec.attributes.push_back(
+          Categorical("RISK", kSens, 2, kZipf, 0.7));
+      AddFillers(&spec, "G", 20 - spec.attributes.size());
+      break;
+    }
+    case DatasetProfile::kPopSyn: {
+      spec.num_rows = options.num_rows ? options.num_rows : 100000;
+      spec.num_latent_classes = 16;
+      spec.latent_skew = 1.0;
+      ValueDistribution char_dist = options.characteristic_distribution;
+      // Mirrors the paper's running example schema (Tables 1-3).
+      spec.attributes.push_back(Id("ID"));
+      spec.attributes.push_back(
+          Categorical("GEN", kQi, 3, char_dist, 0.7, 0.25));
+      spec.attributes.push_back(
+          Categorical("ETH", kQi, 8, char_dist, 1.3, 0.35));
+      spec.attributes.push_back(Numeric("AGE", kQi, 35, 20, kGauss));
+      spec.attributes.push_back(
+          Categorical("PRV", kQi, 13, char_dist, 1.2, 0.3));
+      spec.attributes.push_back(
+          Categorical("CTY", kQi, 40, char_dist, 1.6, 0.4));
+      spec.attributes.push_back(
+          Categorical("DIAG", kSens, 40, kZipf, 1.1));
+      break;
+    }
+  }
+  return spec;
+}
+
+Result<Relation> GenerateProfile(DatasetProfile profile,
+                                 const ProfileOptions& options) {
+  return GenerateSynthetic(ProfileSpec(profile, options));
+}
+
+Result<ConstraintSet> DefaultConstraints(DatasetProfile profile,
+                                         const Relation& relation,
+                                         uint64_t seed) {
+  ConstraintGenOptions gen;
+  gen.kind = ConstraintClass::kProportional;
+  gen.count = DefaultConstraintCount(profile);
+  gen.slack = 0.3;
+  gen.min_support = 4;
+  gen.seed = seed;
+  return GenerateConstraints(relation, gen);
+}
+
+}  // namespace diva

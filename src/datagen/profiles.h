@@ -1,0 +1,61 @@
+#ifndef DIVA_DATAGEN_PROFILES_H_
+#define DIVA_DATAGEN_PROFILES_H_
+
+#include "common/result.h"
+#include "constraint/generator.h"
+#include "datagen/synthetic.h"
+
+namespace diva {
+
+/// Synthetic stand-ins for the paper's four evaluation datasets
+/// (Table 4). Each profile matches the original's row count, attribute
+/// count, approximate QI-projection cardinality |Pi_QI(R)|, and value
+/// skew; see DESIGN.md §3 for the substitution argument.
+enum class DatasetProfile {
+  /// Pantheon (Wikipedia individuals): 11,341 x 17, |Pi_QI| ~ 5,636.
+  kPantheon,
+  /// U.S. Census population data: 299,285 x 40, |Pi_QI| ~ 12,405.
+  kCensus,
+  /// German Credit: 1,000 x 20, |Pi_QI| ~ 60.
+  kCredit,
+  /// Pop-Syn (Synner.io-style synthetic population): 100,000 x 7,
+  /// |Pi_QI| ~ 24,630. Mirrors the paper's running medical example
+  /// (GEN/ETH/AGE/PRV/CTY quasi-identifiers, DIAG sensitive).
+  kPopSyn,
+};
+
+const char* DatasetProfileToString(DatasetProfile profile);
+
+/// Default |Sigma| used with each profile in the paper (Table 4).
+size_t DefaultConstraintCount(DatasetProfile profile);
+
+struct ProfileOptions {
+  /// Override the profile's default row count (0 = default). Used by the
+  /// |R| sweeps of Fig 5c/5d.
+  size_t num_rows = 0;
+
+  /// Distribution of the characteristic attributes' values (Fig 4d knob;
+  /// honored by kPopSyn, others use their calibrated skew).
+  ValueDistribution characteristic_distribution = ValueDistribution::kZipfian;
+
+  uint64_t seed = 42;
+};
+
+/// The SyntheticSpec behind a profile (exposed for tests and ablations).
+SyntheticSpec ProfileSpec(DatasetProfile profile,
+                          const ProfileOptions& options = {});
+
+/// Generates the profile's relation.
+Result<Relation> GenerateProfile(DatasetProfile profile,
+                                 const ProfileOptions& options = {});
+
+/// Generates the profile's default constraint set (proportional class,
+/// Table 4 sizes) against `relation`, which must come from the same
+/// profile.
+Result<ConstraintSet> DefaultConstraints(DatasetProfile profile,
+                                         const Relation& relation,
+                                         uint64_t seed = 42);
+
+}  // namespace diva
+
+#endif  // DIVA_DATAGEN_PROFILES_H_

@@ -1,0 +1,122 @@
+#include "datagen/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace diva {
+
+const char* ValueDistributionToString(ValueDistribution dist) {
+  switch (dist) {
+    case ValueDistribution::kUniform:
+      return "Uniform";
+    case ValueDistribution::kZipfian:
+      return "Zipfian";
+    case ValueDistribution::kGaussian:
+      return "Gaussian";
+  }
+  return "unknown";
+}
+
+DomainSampler::DomainSampler(ValueDistribution distribution,
+                             size_t domain_size, double zipf_skew)
+    : distribution_(distribution), domain_size_(std::max<size_t>(1, domain_size)) {
+  if (distribution_ == ValueDistribution::kZipfian) {
+    zipf_.emplace(domain_size_, zipf_skew);
+  }
+}
+
+size_t DomainSampler::Sample(Rng* rng) const {
+  switch (distribution_) {
+    case ValueDistribution::kUniform:
+      return static_cast<size_t>(rng->NextBounded(domain_size_));
+    case ValueDistribution::kZipfian:
+      return zipf_->Sample(rng);
+    case ValueDistribution::kGaussian: {
+      double center = static_cast<double>(domain_size_ - 1) / 2.0;
+      double stddev = std::max(1.0, static_cast<double>(domain_size_) / 6.0);
+      double v = std::round(center + rng->Gaussian() * stddev);
+      if (v < 0.0) v = 0.0;
+      double max_index = static_cast<double>(domain_size_ - 1);
+      if (v > max_index) v = max_index;
+      return static_cast<size_t>(v);
+    }
+  }
+  return 0;
+}
+
+Result<Relation> GenerateSynthetic(const SyntheticSpec& spec) {
+  if (spec.attributes.empty()) {
+    return Status::InvalidArgument("synthetic spec has no attributes");
+  }
+  std::vector<Attribute> schema_attrs;
+  schema_attrs.reserve(spec.attributes.size());
+  for (const AttributeSpec& attr : spec.attributes) {
+    if (attr.domain_size == 0) {
+      return Status::InvalidArgument("attribute '" + attr.name +
+                                     "' has empty domain");
+    }
+    if (attr.correlation < 0.0 || attr.correlation > 1.0) {
+      return Status::InvalidArgument("attribute '" + attr.name +
+                                     "' correlation must be in [0,1]");
+    }
+    schema_attrs.push_back({attr.name, attr.role, attr.kind});
+  }
+  DIVA_ASSIGN_OR_RETURN(std::shared_ptr<const Schema> schema,
+                        Schema::Make(std::move(schema_attrs)));
+
+  // Pre-render value strings per attribute so row generation is just
+  // index sampling + code lookup.
+  Relation relation(schema);
+  std::vector<std::vector<ValueCode>> codes(spec.attributes.size());
+  for (size_t a = 0; a < spec.attributes.size(); ++a) {
+    const AttributeSpec& attr = spec.attributes[a];
+    if (attr.role == AttributeRole::kIdentifier) continue;  // per-row values
+    codes[a].reserve(attr.domain_size);
+    for (size_t v = 0; v < attr.domain_size; ++v) {
+      std::string text =
+          attr.kind == AttributeKind::kNumeric
+              ? std::to_string(attr.numeric_base + static_cast<int64_t>(v))
+              : attr.name + "_v" + std::to_string(v);
+      codes[a].push_back(relation.Encode(a, text));
+    }
+  }
+
+  std::vector<DomainSampler> samplers;
+  samplers.reserve(spec.attributes.size());
+  for (const AttributeSpec& attr : spec.attributes) {
+    samplers.emplace_back(attr.distribution, attr.domain_size,
+                          attr.zipf_skew);
+  }
+
+  size_t latent_classes = std::max<size_t>(1, spec.num_latent_classes);
+  ZipfSampler latent(latent_classes, spec.latent_skew);
+  Rng rng(spec.seed);
+
+  std::vector<ValueCode> row(spec.attributes.size());
+  for (size_t r = 0; r < spec.num_rows; ++r) {
+    size_t latent_class = latent.Sample(&rng);
+    for (size_t a = 0; a < spec.attributes.size(); ++a) {
+      const AttributeSpec& attr = spec.attributes[a];
+      size_t index;
+      if (attr.role == AttributeRole::kIdentifier) {
+        // Identifiers are unique per row; domain_size is ignored.
+        row[a] = relation.Encode(a, attr.name + "_" + std::to_string(r));
+        continue;
+      }
+      if (attr.correlation > 0.0 &&
+          rng.UniformDouble() < attr.correlation) {
+        // Deterministic mapping latent class -> domain value, salted per
+        // attribute so correlated attributes are not identical.
+        index = (latent_class * 2654435761ULL + a * 97003ULL) %
+                attr.domain_size;
+      } else {
+        index = samplers[a].Sample(&rng);
+      }
+      row[a] = codes[a][index];
+    }
+    relation.AppendRow(row);
+  }
+  return relation;
+}
+
+}  // namespace diva

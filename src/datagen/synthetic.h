@@ -1,0 +1,84 @@
+#ifndef DIVA_DATAGEN_SYNTHETIC_H_
+#define DIVA_DATAGEN_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "relation/relation.h"
+
+namespace diva {
+
+/// Marginal distribution of an attribute's values over its domain.
+enum class ValueDistribution {
+  kUniform,
+  /// Rank-frequency f(r) ~ 1/r^s (skew parameter per attribute).
+  kZipfian,
+  /// Discretized normal centered on the middle of the domain
+  /// (stddev = domain/6, clamped).
+  kGaussian,
+};
+
+const char* ValueDistributionToString(ValueDistribution dist);
+
+/// One synthetic attribute.
+struct AttributeSpec {
+  std::string name;
+  AttributeRole role = AttributeRole::kQuasiIdentifier;
+  AttributeKind kind = AttributeKind::kCategorical;
+
+  /// Number of distinct values the attribute can take (>= 1).
+  size_t domain_size = 8;
+
+  ValueDistribution distribution = ValueDistribution::kUniform;
+  /// Zipf skew (only for kZipfian).
+  double zipf_skew = 1.0;
+
+  /// Probability in [0, 1] that a row's value is derived from the row's
+  /// latent class instead of sampled independently. Correlated attributes
+  /// produce overlapping constraint target sets (non-zero conflict rates).
+  double correlation = 0.0;
+
+  /// Numeric attributes emit integer strings starting here
+  /// (value = numeric_base + domain index), e.g. ages 18..(18+domain-1).
+  int64_t numeric_base = 0;
+};
+
+/// Full synthetic relation spec.
+struct SyntheticSpec {
+  std::vector<AttributeSpec> attributes;
+  size_t num_rows = 1000;
+  /// Number of latent classes driving correlated attributes.
+  size_t num_latent_classes = 16;
+  /// Skew of the latent class distribution.
+  double latent_skew = 1.0;
+  uint64_t seed = 42;
+};
+
+/// Samples values over a fixed domain according to one distribution.
+class DomainSampler {
+ public:
+  DomainSampler(ValueDistribution distribution, size_t domain_size,
+                double zipf_skew);
+
+  /// Returns a domain index in [0, domain_size).
+  size_t Sample(Rng* rng) const;
+
+  size_t domain_size() const { return domain_size_; }
+
+ private:
+  ValueDistribution distribution_;
+  size_t domain_size_;
+  std::optional<ZipfSampler> zipf_;
+};
+
+/// Generates a relation per `spec`. Categorical attribute values are
+/// "<name>_v<i>"; numeric attribute values are decimal integers.
+/// Deterministic in spec.seed.
+Result<Relation> GenerateSynthetic(const SyntheticSpec& spec);
+
+}  // namespace diva
+
+#endif  // DIVA_DATAGEN_SYNTHETIC_H_

@@ -1,0 +1,114 @@
+#include "hierarchy/generalize.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace diva {
+
+namespace {
+
+/// True if all rows of `cluster` share one non-suppressed value on `col`.
+bool Unanimous(const Relation& relation, const Cluster& cluster, size_t col) {
+  ValueCode first = relation.At(cluster[0], col);
+  if (first == kSuppressed) return false;
+  for (size_t i = 1; i < cluster.size(); ++i) {
+    if (relation.At(cluster[i], col) != first) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status GeneralizeClustersInPlace(Relation* relation,
+                                 const Clustering& clustering,
+                                 const GeneralizationContext& context) {
+  if (context.num_attributes() != relation->NumAttributes()) {
+    return Status::InvalidArgument(
+        "generalization context arity mismatch: " +
+        std::to_string(context.num_attributes()) + " vs " +
+        std::to_string(relation->NumAttributes()));
+  }
+  const auto& qi = relation->schema().qi_indices();
+  for (const Cluster& cluster : clustering) {
+    if (cluster.empty()) continue;
+    for (size_t col : qi) {
+      if (Unanimous(*relation, cluster, col)) continue;
+      if (!context.HasTaxonomy(col)) {
+        for (RowId row : cluster) relation->Set(row, col, kSuppressed);
+        continue;
+      }
+      const Taxonomy& taxonomy = context.taxonomy(col);
+      // LCA over the cluster's (distinct) values.
+      Taxonomy::NodeId lca = Taxonomy::kInvalidNode;
+      for (RowId row : cluster) {
+        ValueCode code = relation->At(row, col);
+        if (code == kSuppressed) {
+          // A pre-suppressed cell can only generalize to the root.
+          lca = taxonomy.root();
+          break;
+        }
+        auto node = taxonomy.Find(relation->dictionary(col).ValueOf(code));
+        if (!node.has_value()) {
+          return Status::NotFound(
+              "value '" + relation->dictionary(col).ValueOf(code) +
+              "' of attribute '" + relation->schema().attribute(col).name +
+              "' is not in its taxonomy");
+        }
+        lca = (lca == Taxonomy::kInvalidNode) ? *node
+                                              : taxonomy.Lca(lca, *node);
+      }
+      ValueCode generalized =
+          relation->Encode(col, taxonomy.Label(lca));
+      for (RowId row : cluster) relation->Set(row, col, generalized);
+    }
+  }
+  return Status::OK();
+}
+
+double NcpLoss(const Relation& relation,
+               const GeneralizationContext& context) {
+  DIVA_CHECK_MSG(context.num_attributes() == relation.NumAttributes(),
+                 "generalization context arity mismatch");
+  const auto& qi = relation.schema().qi_indices();
+  size_t cells = relation.NumRows() * qi.size();
+  if (cells == 0) return 0.0;
+
+  double total = 0.0;
+  for (size_t col : qi) {
+    if (!context.HasTaxonomy(col)) {
+      for (RowId row = 0; row < relation.NumRows(); ++row) {
+        if (relation.At(row, col) == kSuppressed) total += 1.0;
+      }
+      continue;
+    }
+    const Taxonomy& taxonomy = context.taxonomy(col);
+    double denom = taxonomy.NumLeaves() > 1
+                       ? static_cast<double>(taxonomy.NumLeaves() - 1)
+                       : 1.0;
+    // Cache per-code cost: dictionaries are small relative to rows.
+    std::vector<double> cost_of_code;
+    for (RowId row = 0; row < relation.NumRows(); ++row) {
+      ValueCode code = relation.At(row, col);
+      if (code == kSuppressed) {
+        total += 1.0;
+        continue;
+      }
+      size_t index = static_cast<size_t>(code);
+      if (index >= cost_of_code.size()) {
+        cost_of_code.resize(index + 1, -1.0);
+      }
+      if (cost_of_code[index] < 0.0) {
+        auto node = taxonomy.Find(relation.dictionary(col).ValueOf(code));
+        cost_of_code[index] =
+            node.has_value()
+                ? static_cast<double>(taxonomy.LeafCount(*node) - 1) / denom
+                : 1.0;
+      }
+      total += cost_of_code[index];
+    }
+  }
+  return total / static_cast<double>(cells);
+}
+
+}  // namespace diva

@@ -1,0 +1,66 @@
+#ifndef DIVA_HIERARCHY_GENERALIZE_H_
+#define DIVA_HIERARCHY_GENERALIZE_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "anon/cluster.h"
+#include "common/result.h"
+#include "hierarchy/taxonomy.h"
+#include "relation/relation.h"
+
+namespace diva {
+
+/// Per-attribute taxonomies for generalization-based recoding. Attributes
+/// without a taxonomy fall back to suppression (★), which the paper
+/// treats as the maximal generalization.
+class GeneralizationContext {
+ public:
+  /// No taxonomies: recoding degenerates to plain suppression.
+  explicit GeneralizationContext(size_t num_attributes)
+      : taxonomies_(num_attributes) {}
+
+  /// Installs a taxonomy for attribute `attr` (overwrites any previous).
+  void SetTaxonomy(size_t attr, Taxonomy taxonomy) {
+    taxonomies_[attr] = std::move(taxonomy);
+  }
+
+  bool HasTaxonomy(size_t attr) const {
+    return taxonomies_[attr].has_value();
+  }
+  const Taxonomy& taxonomy(size_t attr) const { return *taxonomies_[attr]; }
+
+  size_t num_attributes() const { return taxonomies_.size(); }
+
+ private:
+  std::vector<std::optional<Taxonomy>> taxonomies_;
+};
+
+/// Generalization counterpart of SuppressClustersInPlace: for every
+/// cluster and every quasi-identifier attribute on which the cluster
+/// disagrees, all of the cluster's cells are replaced by the lowest
+/// common ancestor label of their values (interned into the attribute's
+/// dictionary) — or by ★ when the attribute has no taxonomy. Each
+/// cluster becomes a QI-group, so k-anonymity follows exactly as with
+/// suppression.
+///
+/// Fails with NotFound if a cluster value is missing from the attribute's
+/// taxonomy (leaves the relation partially recoded — treat as fatal).
+Status GeneralizeClustersInPlace(Relation* relation,
+                                 const Clustering& clustering,
+                                 const GeneralizationContext& context);
+
+/// NCP (Normalized Certainty Penalty) information loss of a generalized
+/// relation: a cell carrying taxonomy node g costs
+/// (LeafCount(g) - 1) / (NumLeaves - 1) ∈ [0, 1]; a suppressed cell costs
+/// 1; an untouched leaf costs 0. Returns the total over all QI cells
+/// divided by the number of QI cells (average per-cell loss in [0, 1]).
+/// Cells whose label is not in the attribute's taxonomy cost 1 (treated
+/// as suppressed) when the attribute has a taxonomy; attributes without
+/// taxonomies charge only for ★s.
+double NcpLoss(const Relation& relation, const GeneralizationContext& context);
+
+}  // namespace diva
+
+#endif  // DIVA_HIERARCHY_GENERALIZE_H_

@@ -1,0 +1,170 @@
+#include "hierarchy/recoding.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/logging.h"
+#include "relation/qi_groups.h"
+
+namespace diva {
+
+size_t RecodingVector::Height() const {
+  size_t height = 0;
+  for (size_t level : levels) height += level;
+  return height;
+}
+
+std::string RecodingVector::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < levels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(levels[i]);
+  }
+  out += "]";
+  return out;
+}
+
+GlobalRecoder::GlobalRecoder(const Relation& relation,
+                             GeneralizationContext context)
+    : relation_(&relation), context_(std::move(context)) {
+  DIVA_CHECK_MSG(context_.num_attributes() == relation.NumAttributes(),
+                 "generalization context arity mismatch");
+  max_levels_.assign(relation.NumAttributes(), 0);
+  for (size_t attr : relation.schema().qi_indices()) {
+    if (!context_.HasTaxonomy(attr)) {
+      max_levels_[attr] = 1;  // original / suppressed
+      continue;
+    }
+    const Taxonomy& taxonomy = context_.taxonomy(attr);
+    size_t height = 0;
+    for (size_t node = 0; node < taxonomy.NumNodes(); ++node) {
+      if (taxonomy.IsLeaf(static_cast<Taxonomy::NodeId>(node))) {
+        height = std::max(height,
+                          taxonomy.Depth(static_cast<Taxonomy::NodeId>(node)));
+      }
+    }
+    max_levels_[attr] = height;
+  }
+}
+
+RecodingVector GlobalRecoder::BottomVector() const {
+  RecodingVector vector;
+  vector.levels.assign(relation_->NumAttributes(), 0);
+  return vector;
+}
+
+Result<Relation> GlobalRecoder::Apply(const RecodingVector& vector) const {
+  if (vector.levels.size() != relation_->NumAttributes()) {
+    return Status::InvalidArgument("recoding vector arity mismatch");
+  }
+  for (size_t attr = 0; attr < vector.levels.size(); ++attr) {
+    if (vector.levels[attr] > max_levels_[attr]) {
+      return Status::InvalidArgument(
+          "recoding level " + std::to_string(vector.levels[attr]) +
+          " exceeds attribute '" + relation_->schema().attribute(attr).name +
+          "' height " + std::to_string(max_levels_[attr]));
+    }
+    if (vector.levels[attr] > 0 &&
+        !relation_->schema().IsQuasiIdentifier(attr)) {
+      return Status::InvalidArgument("cannot recode non-QI attribute '" +
+                                     relation_->schema().attribute(attr).name +
+                                     "'");
+    }
+  }
+
+  Relation out = *relation_;
+  for (size_t attr : relation_->schema().qi_indices()) {
+    size_t level = vector.levels[attr];
+    if (level == 0) continue;
+    if (!context_.HasTaxonomy(attr)) {
+      for (RowId row = 0; row < out.NumRows(); ++row) {
+        out.Set(row, attr, kSuppressed);
+      }
+      continue;
+    }
+    const Taxonomy& taxonomy = context_.taxonomy(attr);
+    // Per-code generalized target, computed once per distinct value.
+    std::vector<ValueCode> recoded_of_code;
+    for (RowId row = 0; row < out.NumRows(); ++row) {
+      ValueCode code = relation_->At(row, attr);
+      if (code == kSuppressed) continue;
+      size_t index = static_cast<size_t>(code);
+      if (index >= recoded_of_code.size()) {
+        recoded_of_code.resize(index + 1, kSuppressed - 1);  // sentinel -2
+      }
+      if (recoded_of_code[index] == kSuppressed - 1) {
+        auto node = taxonomy.Find(relation_->dictionary(attr).ValueOf(code));
+        if (!node.has_value()) {
+          return Status::NotFound(
+              "value '" + relation_->dictionary(attr).ValueOf(code) +
+              "' of attribute '" + relation_->schema().attribute(attr).name +
+              "' is not in its taxonomy");
+        }
+        Taxonomy::NodeId current = *node;
+        for (size_t step = 0;
+             step < level && taxonomy.Parent(current) != Taxonomy::kInvalidNode;
+             ++step) {
+          current = taxonomy.Parent(current);
+        }
+        recoded_of_code[index] = out.Encode(attr, taxonomy.Label(current));
+      }
+      out.Set(row, attr, recoded_of_code[index]);
+    }
+  }
+  return out;
+}
+
+Result<GlobalRecoder::SearchResult> GlobalRecoder::FindMinimalRecoding(
+    size_t k) const {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (relation_->NumRows() > 0 && relation_->NumRows() < k) {
+    return Status::Infeasible("relation has fewer than k tuples");
+  }
+
+  const auto& qi = relation_->schema().qi_indices();
+  size_t max_height = 0;
+  for (size_t attr : qi) max_height += max_levels_[attr];
+
+  // Enumerate vectors of a given total height over the QI attributes.
+  std::vector<RecodingVector> at_height;
+  std::function<void(size_t, size_t, RecodingVector*)> enumerate =
+      [&](size_t qi_index, size_t remaining, RecodingVector* current) {
+        if (qi_index == qi.size()) {
+          if (remaining == 0) at_height.push_back(*current);
+          return;
+        }
+        size_t attr = qi[qi_index];
+        size_t cap = std::min(remaining, max_levels_[attr]);
+        for (size_t level = 0; level <= cap; ++level) {
+          current->levels[attr] = level;
+          enumerate(qi_index + 1, remaining - level, current);
+        }
+        current->levels[attr] = 0;
+      };
+
+  for (size_t height = 0; height <= max_height; ++height) {
+    at_height.clear();
+    RecodingVector scratch = BottomVector();
+    enumerate(0, height, &scratch);
+
+    SearchResult best{BottomVector(), relation_->EmptyLike(), 0.0};
+    bool found = false;
+    for (const RecodingVector& vector : at_height) {
+      auto recoded = Apply(vector);
+      if (!recoded.ok()) return recoded.status();
+      if (!IsKAnonymous(*recoded, k)) continue;
+      double ncp = NcpLoss(*recoded, context_);
+      if (!found || ncp < best.ncp) {
+        found = true;
+        best.vector = vector;
+        best.relation = std::move(recoded).value();
+        best.ncp = ncp;
+      }
+    }
+    if (found) return best;
+  }
+  return Status::Infeasible(
+      "no full-domain recoding achieves k-anonymity (fewer than k rows)");
+}
+
+}  // namespace diva

@@ -1,0 +1,73 @@
+#ifndef DIVA_HIERARCHY_RECODING_H_
+#define DIVA_HIERARCHY_RECODING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "hierarchy/generalize.h"
+#include "relation/relation.h"
+
+namespace diva {
+
+/// A full-domain generalization level per attribute: level 0 keeps
+/// original values; level l replaces every value by its ancestor l steps
+/// up its taxonomy (clamped at the root). Attributes without a taxonomy
+/// have two levels: 0 = original, 1 = suppressed. Non-QI attributes are
+/// never recoded (their level must be 0).
+struct RecodingVector {
+  std::vector<size_t> levels;  // one per attribute
+
+  /// Sum of levels — the lattice height used by Samarati's search.
+  size_t Height() const;
+
+  /// "[1,0,2]" over QI attributes, for reports.
+  std::string ToString() const;
+
+  bool operator==(const RecodingVector& other) const {
+    return levels == other.levels;
+  }
+};
+
+/// Full-domain global recoding (Samarati 2001): unlike the clustering
+/// anonymizers, every occurrence of a value is generalized to the same
+/// level everywhere in the relation. Complements the local-recoding
+/// algorithms (k-member/OKA/Mondrian + Suppress/Generalize).
+class GlobalRecoder {
+ public:
+  /// `context` supplies the taxonomies; attributes without one fall back
+  /// to the 0/1 (original/suppressed) ladder.
+  GlobalRecoder(const Relation& relation, GeneralizationContext context);
+
+  /// Maximum level of attribute `attr` (0 for non-QI attributes).
+  size_t MaxLevel(size_t attr) const { return max_levels_[attr]; }
+
+  /// The identity vector (all zeros).
+  RecodingVector BottomVector() const;
+
+  /// Applies `vector` to a copy of the relation. Fails on invalid levels
+  /// or on values missing from their taxonomy.
+  Result<Relation> Apply(const RecodingVector& vector) const;
+
+  /// Searches the generalization lattice bottom-up (breadth-first by
+  /// height, with the standard monotonicity pruning: any vector above a
+  /// k-anonymous one is also k-anonymous) for a minimal-height vector
+  /// whose recoding is k-anonymous; ties broken by NCP loss. Fails with
+  /// Infeasible when even the top vector is not k-anonymous (fewer than
+  /// k rows).
+  struct SearchResult {
+    RecodingVector vector;
+    Relation relation;
+    double ncp = 0.0;
+  };
+  Result<SearchResult> FindMinimalRecoding(size_t k) const;
+
+ private:
+  const Relation* relation_;
+  GeneralizationContext context_;
+  std::vector<size_t> max_levels_;
+};
+
+}  // namespace diva
+
+#endif  // DIVA_HIERARCHY_RECODING_H_

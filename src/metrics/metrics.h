@@ -1,0 +1,43 @@
+#ifndef DIVA_METRICS_METRICS_H_
+#define DIVA_METRICS_METRICS_H_
+
+#include <cstdint>
+
+#include "constraint/diversity_constraint.h"
+#include "relation/relation.h"
+
+namespace diva {
+
+/// Number of suppressed cells (★s) in the relation — the paper's primary
+/// information-loss measure (Definition 2.2).
+size_t CountStars(const Relation& relation);
+
+/// ★s as a fraction of all QI cells, in [0, 1]. 0 for an empty relation.
+double SuppressionRatio(const Relation& relation);
+
+/// Bayardo–Agrawal discernibility metric disc(R', k): each tuple is
+/// penalized by the size of its QI-group when that group meets the
+/// k-anonymity bound, and by |R'| otherwise, i.e.
+///   disc = sum over groups G of (|G| >= k ? |G|^2 : |R'| * |G|).
+uint64_t Discernibility(const Relation& relation, size_t k);
+
+/// Discernibility normalized to an accuracy score in [0, 1]:
+///   1  when every QI-group has the minimum size k (disc = N*k),
+///   0  when all tuples are mutually indistinguishable (disc = N^2).
+/// Degenerate cases (N <= k) score 1.
+double DiscernibilityAccuracy(const Relation& relation, size_t k);
+
+/// Fraction of constraints in `constraints` satisfied by `relation`
+/// (1.0 for an empty set).
+double SatisfiedFraction(const Relation& relation,
+                         const ConstraintSet& constraints);
+
+/// The evaluation's accuracy measure (DESIGN.md §3): discernibility
+/// accuracy multiplied by the satisfied-constraint fraction, so both
+/// information loss and failed diversity requirements lower the score.
+double OverallAccuracy(const Relation& relation, size_t k,
+                       const ConstraintSet& constraints);
+
+}  // namespace diva
+
+#endif  // DIVA_METRICS_METRICS_H_

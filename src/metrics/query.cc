@@ -1,0 +1,82 @@
+#include "metrics/query.h"
+
+namespace diva {
+
+Result<CountBounds> CountValue(const Relation& relation,
+                               std::string_view attribute,
+                               std::string_view value) {
+  auto attr = relation.schema().IndexOf(attribute);
+  if (!attr.has_value()) {
+    return Status::NotFound("unknown attribute '" + std::string(attribute) +
+                            "'");
+  }
+  auto code = relation.FindCode(*attr, value);
+  CountBounds bounds;
+  for (RowId row = 0; row < relation.NumRows(); ++row) {
+    ValueCode cell = relation.At(row, *attr);
+    if (cell == kSuppressed) {
+      ++bounds.possible;
+    } else if (code.has_value() && cell == *code) {
+      ++bounds.certain;
+      ++bounds.possible;
+    }
+  }
+  return bounds;
+}
+
+CountBounds CountTarget(const Relation& relation,
+                        const DiversityConstraint& constraint) {
+  const auto& attrs = constraint.attribute_indices();
+  const auto& values = constraint.values();
+  std::vector<std::optional<ValueCode>> codes(attrs.size());
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    codes[i] = relation.FindCode(attrs[i], values[i]);
+  }
+  CountBounds bounds;
+  for (RowId row = 0; row < relation.NumRows(); ++row) {
+    bool all_match = true;
+    bool all_compatible = true;
+    for (size_t i = 0; i < attrs.size() && all_compatible; ++i) {
+      ValueCode cell = relation.At(row, attrs[i]);
+      if (cell == kSuppressed) {
+        all_match = false;  // could match, does not certainly
+      } else if (!codes[i].has_value() || cell != *codes[i]) {
+        all_match = false;
+        all_compatible = false;
+      }
+    }
+    if (all_match) ++bounds.certain;
+    if (all_compatible) ++bounds.possible;
+  }
+  return bounds;
+}
+
+Result<std::map<std::string, CountBounds>> Histogram(
+    const Relation& relation, std::string_view attribute) {
+  auto attr = relation.schema().IndexOf(attribute);
+  if (!attr.has_value()) {
+    return Status::NotFound("unknown attribute '" + std::string(attribute) +
+                            "'");
+  }
+  std::map<std::string, CountBounds> histogram;
+  size_t suppressed = 0;
+  for (RowId row = 0; row < relation.NumRows(); ++row) {
+    if (relation.IsSuppressed(row, *attr)) {
+      ++suppressed;
+    } else {
+      ++histogram[relation.ValueString(row, *attr)].certain;
+    }
+  }
+  for (auto& [value, bounds] : histogram) {
+    bounds.possible = bounds.certain + suppressed;
+  }
+  return histogram;
+}
+
+double UncertaintyRatio(const CountBounds& bounds) {
+  if (bounds.possible == 0) return 0.0;
+  return static_cast<double>(bounds.possible - bounds.certain) /
+         static_cast<double>(bounds.possible);
+}
+
+}  // namespace diva

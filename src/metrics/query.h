@@ -1,0 +1,53 @@
+#ifndef DIVA_METRICS_QUERY_H_
+#define DIVA_METRICS_QUERY_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "constraint/diversity_constraint.h"
+#include "relation/relation.h"
+
+namespace diva {
+
+/// Interval answer to a counting query over suppressed data: the true
+/// count on the original relation is guaranteed to lie in
+/// [certain, possible]. `certain` counts rows that still match exactly;
+/// `possible` additionally counts rows whose suppressed cells *could*
+/// have matched. On an unsuppressed relation certain == possible.
+struct CountBounds {
+  size_t certain = 0;
+  size_t possible = 0;
+
+  bool operator==(const CountBounds& other) const {
+    return certain == other.certain && possible == other.possible;
+  }
+};
+
+/// Bounds for "how many rows carry `value` in attribute `attr`".
+/// Fails with NotFound for an unknown attribute name.
+Result<CountBounds> CountValue(const Relation& relation,
+                               std::string_view attribute,
+                               std::string_view value);
+
+/// Bounds for a multi-attribute target (the same match semantics as a
+/// diversity constraint): a row is certain if every target attribute
+/// matches, possible if every target attribute matches or is suppressed.
+CountBounds CountTarget(const Relation& relation,
+                        const DiversityConstraint& constraint);
+
+/// Per-value histogram of `attribute` with bounds. Every value's
+/// `possible` includes the attribute's suppressed cells (any of them
+/// could hide any value). Fails with NotFound for an unknown attribute.
+Result<std::map<std::string, CountBounds>> Histogram(
+    const Relation& relation, std::string_view attribute);
+
+/// Relative width of the uncertainty interval of a counting query,
+/// (possible - certain) / max(1, possible) in [0, 1] — a quick
+/// utility-degradation gauge for analysts.
+double UncertaintyRatio(const CountBounds& bounds);
+
+}  // namespace diva
+
+#endif  // DIVA_METRICS_QUERY_H_

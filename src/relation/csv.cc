@@ -1,0 +1,171 @@
+#include "relation/csv.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace diva {
+
+namespace {
+
+/// Splits one logical CSV record starting at the current stream position.
+/// Handles quoted fields that may contain delimiters and newlines.
+/// Returns false at EOF with no data consumed.
+bool ReadRecord(std::istream& input, char delimiter,
+                std::vector<std::string>* fields, Status* error) {
+  fields->clear();
+  int first = input.peek();
+  if (first == EOF) return false;
+
+  std::string field;
+  bool in_quotes = false;
+  bool saw_any = false;
+  while (true) {
+    int ci = input.get();
+    if (ci == EOF) {
+      if (in_quotes) {
+        *error = Status::InvalidArgument("unterminated quoted CSV field");
+        return false;
+      }
+      break;
+    }
+    saw_any = true;
+    char c = static_cast<char>(ci);
+    if (in_quotes) {
+      if (c == '"') {
+        if (input.peek() == '"') {
+          input.get();
+          field.push_back('"');
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    if (c == '"' && field.empty()) {
+      in_quotes = true;
+    } else if (c == delimiter) {
+      fields->push_back(std::move(field));
+      field.clear();
+    } else if (c == '\r') {
+      if (input.peek() == '\n') input.get();
+      break;
+    } else if (c == '\n') {
+      break;
+    } else {
+      field.push_back(c);
+    }
+  }
+  if (!saw_any) return false;
+  fields->push_back(std::move(field));
+  return true;
+}
+
+bool NeedsQuoting(const std::string& field, char delimiter) {
+  for (char c : field) {
+    if (c == delimiter || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+void WriteField(std::ostream& out, const std::string& field, char delimiter) {
+  if (!NeedsQuoting(field, delimiter)) {
+    out << field;
+    return;
+  }
+  out << '"';
+  for (char c : field) {
+    if (c == '"') out << '"';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+Result<Relation> ReadCsv(std::istream& input,
+                         std::shared_ptr<const Schema> schema,
+                         const CsvOptions& options) {
+  Relation relation(schema);
+  std::vector<std::string> fields;
+  Status error;
+  size_t line = 0;
+
+  if (options.has_header) {
+    if (!ReadRecord(input, options.delimiter, &fields, &error)) {
+      if (!error.ok()) return error;
+      return Status::InvalidArgument("CSV input is empty (expected header)");
+    }
+    ++line;
+    if (fields.size() != schema->NumAttributes()) {
+      return Status::InvalidArgument(
+          "CSV header has " + std::to_string(fields.size()) +
+          " columns, schema has " + std::to_string(schema->NumAttributes()));
+    }
+    for (size_t i = 0; i < fields.size(); ++i) {
+      if (fields[i] != schema->attribute(i).name) {
+        return Status::InvalidArgument("CSV header column " +
+                                       std::to_string(i) + " is '" +
+                                       fields[i] + "', schema expects '" +
+                                       schema->attribute(i).name + "'");
+      }
+    }
+  }
+
+  while (ReadRecord(input, options.delimiter, &fields, &error)) {
+    ++line;
+    auto row = relation.AppendRowStrings(fields);
+    if (!row.ok()) {
+      return Status::InvalidArgument("line " + std::to_string(line) + ": " +
+                                     row.status().message());
+    }
+  }
+  if (!error.ok()) return error;
+  return relation;
+}
+
+Result<Relation> ReadCsvFile(const std::string& path,
+                             std::shared_ptr<const Schema> schema,
+                             const CsvOptions& options) {
+  std::ifstream input(path);
+  if (!input) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  return ReadCsv(input, std::move(schema), options);
+}
+
+Status WriteCsv(const Relation& relation, std::ostream& output,
+                const CsvOptions& options) {
+  if (options.has_header) {
+    for (size_t i = 0; i < relation.NumAttributes(); ++i) {
+      if (i > 0) output << options.delimiter;
+      WriteField(output, relation.schema().attribute(i).name,
+                 options.delimiter);
+    }
+    output << '\n';
+  }
+  for (RowId row = 0; row < relation.NumRows(); ++row) {
+    for (size_t col = 0; col < relation.NumAttributes(); ++col) {
+      if (col > 0) output << options.delimiter;
+      WriteField(output, relation.ValueString(row, col), options.delimiter);
+    }
+    output << '\n';
+  }
+  if (!output) return Status::IoError("CSV write failed");
+  return Status::OK();
+}
+
+Status WriteCsvFile(const Relation& relation, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream output(path, std::ios::trunc);
+  if (!output) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  return WriteCsv(relation, output, options);
+}
+
+}  // namespace diva

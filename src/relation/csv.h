@@ -1,0 +1,45 @@
+#ifndef DIVA_RELATION_CSV_H_
+#define DIVA_RELATION_CSV_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "relation/relation.h"
+
+namespace diva {
+
+/// Options shared by the CSV reader and writer.
+struct CsvOptions {
+  char delimiter = ',';
+  /// Reader: first line holds attribute names which must match `schema`
+  /// (in order). Writer: emit a header line.
+  bool has_header = true;
+};
+
+/// Parses CSV text into a relation over `schema`. Supports RFC-4180
+/// quoting ("" escapes a quote inside a quoted field) and both "*" and
+/// "★" as suppressed-cell markers. Every record must have exactly
+/// schema->NumAttributes() fields.
+Result<Relation> ReadCsv(std::istream& input,
+                         std::shared_ptr<const Schema> schema,
+                         const CsvOptions& options = {});
+
+/// Reads a CSV file from `path`.
+Result<Relation> ReadCsvFile(const std::string& path,
+                             std::shared_ptr<const Schema> schema,
+                             const CsvOptions& options = {});
+
+/// Writes `relation` as CSV (suppressed cells as "*"). Fields containing
+/// the delimiter, quotes, or newlines are quoted.
+Status WriteCsv(const Relation& relation, std::ostream& output,
+                const CsvOptions& options = {});
+
+/// Writes to a file at `path`, replacing any existing content.
+Status WriteCsvFile(const Relation& relation, const std::string& path,
+                    const CsvOptions& options = {});
+
+}  // namespace diva
+
+#endif  // DIVA_RELATION_CSV_H_

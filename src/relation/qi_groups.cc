@@ -1,0 +1,84 @@
+#include "relation/qi_groups.h"
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace diva {
+
+namespace {
+
+/// FNV-1a over the QI codes of a row.
+struct QiRowHasher {
+  const Relation* relation;
+
+  uint64_t operator()(RowId row) const {
+    uint64_t h = 1469598103934665603ULL;
+    for (size_t col : relation->schema().qi_indices()) {
+      uint64_t v = static_cast<uint64_t>(
+          static_cast<uint32_t>(relation->At(row, col)));
+      h ^= v;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+struct QiRowEquals {
+  const Relation* relation;
+
+  bool operator()(RowId a, RowId b) const {
+    for (size_t col : relation->schema().qi_indices()) {
+      if (relation->At(a, col) != relation->At(b, col)) return false;
+    }
+    return true;
+  }
+};
+
+QiGroups GroupRows(const Relation& relation, std::span<const RowId> rows) {
+  QiGroups out;
+  std::unordered_map<RowId, size_t, QiRowHasher, QiRowEquals> group_index(
+      16, QiRowHasher{&relation}, QiRowEquals{&relation});
+  for (RowId row : rows) {
+    auto [it, inserted] = group_index.try_emplace(row, out.groups.size());
+    if (inserted) {
+      out.groups.emplace_back();
+    }
+    out.groups[it->second].push_back(row);
+  }
+  return out;
+}
+
+}  // namespace
+
+size_t QiGroups::MinGroupSize() const {
+  if (groups.empty()) return 0;
+  size_t min_size = groups[0].size();
+  for (const auto& g : groups) {
+    if (g.size() < min_size) min_size = g.size();
+  }
+  return min_size;
+}
+
+QiGroups ComputeQiGroups(const Relation& relation) {
+  std::vector<RowId> all(relation.NumRows());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<RowId>(i);
+  return GroupRows(relation, all);
+}
+
+QiGroups ComputeQiGroups(const Relation& relation,
+                         std::span<const RowId> rows) {
+  return GroupRows(relation, rows);
+}
+
+bool IsKAnonymous(const Relation& relation, size_t k) {
+  if (relation.NumRows() == 0) return true;
+  QiGroups groups = ComputeQiGroups(relation);
+  return groups.MinGroupSize() >= k;
+}
+
+size_t CountDistinctQiProjections(const Relation& relation) {
+  QiGroups groups = ComputeQiGroups(relation);
+  return groups.groups.size();
+}
+
+}  // namespace diva

@@ -1,0 +1,73 @@
+#include "relation/relation.h"
+
+#include "common/logging.h"
+
+namespace diva {
+
+Relation::Relation(std::shared_ptr<const Schema> schema)
+    : schema_(std::move(schema)), stride_(schema_->NumAttributes()) {
+  DIVA_CHECK_MSG(schema_ != nullptr, "Relation requires a schema");
+  dictionaries_.reserve(stride_);
+  for (size_t i = 0; i < stride_; ++i) {
+    dictionaries_.push_back(std::make_shared<Dictionary>());
+  }
+}
+
+RowId Relation::AppendRow(std::span<const ValueCode> codes) {
+  DIVA_CHECK_MSG(codes.size() == stride_, "row arity mismatch");
+  data_.insert(data_.end(), codes.begin(), codes.end());
+  return static_cast<RowId>(num_rows_++);
+}
+
+Result<RowId> Relation::AppendRowStrings(
+    const std::vector<std::string>& fields) {
+  if (fields.size() != stride_) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(fields.size()) + " fields, schema has " +
+        std::to_string(stride_));
+  }
+  for (size_t i = 0; i < stride_; ++i) {
+    const std::string& f = fields[i];
+    if (f == kStarToken || f == kStarTokenUnicode) {
+      data_.push_back(kSuppressed);
+    } else {
+      data_.push_back(dictionaries_[i]->GetOrInsert(f));
+    }
+  }
+  return static_cast<RowId>(num_rows_++);
+}
+
+std::string Relation::ValueString(RowId row, size_t col) const {
+  ValueCode code = At(row, col);
+  if (code == kSuppressed) return std::string(kStarToken);
+  return dictionaries_[col]->ValueOf(code);
+}
+
+Relation Relation::EmptyLike() const {
+  Relation out(schema_);
+  out.dictionaries_ = dictionaries_;  // share
+  return out;
+}
+
+Relation Relation::SelectRows(std::span<const RowId> rows) const {
+  Relation out = EmptyLike();
+  out.data_.reserve(rows.size() * stride_);
+  for (RowId r : rows) {
+    DIVA_DCHECK(static_cast<size_t>(r) < num_rows_);
+    out.AppendRow(Row(r));
+  }
+  return out;
+}
+
+Result<Relation> RelationFromRows(
+    std::shared_ptr<const Schema> schema,
+    const std::vector<std::vector<std::string>>& rows) {
+  Relation relation(std::move(schema));
+  for (const auto& row : rows) {
+    auto result = relation.AppendRowStrings(row);
+    if (!result.ok()) return result.status();
+  }
+  return relation;
+}
+
+}  // namespace diva

@@ -1,0 +1,103 @@
+#ifndef DIVA_RELATION_RELATION_H_
+#define DIVA_RELATION_RELATION_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "relation/dictionary.h"
+#include "relation/schema.h"
+#include "relation/value.h"
+
+namespace diva {
+
+/// A dictionary-encoded relation: row-major int32 codes over a shared
+/// immutable schema. Suppressed cells hold kSuppressed.
+///
+/// Relations derived from one another (e.g., R and its anonymization R*)
+/// share dictionaries, so equal codes mean equal values across them, and
+/// row ids are stable: row i of R* is the anonymized row i of R.
+class Relation {
+ public:
+  /// Creates an empty relation over `schema` with fresh dictionaries.
+  explicit Relation(std::shared_ptr<const Schema> schema);
+
+  Relation(const Relation&) = default;
+  Relation& operator=(const Relation&) = default;
+  Relation(Relation&&) = default;
+  Relation& operator=(Relation&&) = default;
+
+  const Schema& schema() const { return *schema_; }
+  const std::shared_ptr<const Schema>& schema_ptr() const { return schema_; }
+
+  size_t NumRows() const { return num_rows_; }
+  size_t NumAttributes() const { return schema_->NumAttributes(); }
+
+  ValueCode At(RowId row, size_t col) const {
+    return data_[static_cast<size_t>(row) * stride_ + col];
+  }
+  void Set(RowId row, size_t col, ValueCode value) {
+    data_[static_cast<size_t>(row) * stride_ + col] = value;
+  }
+  bool IsSuppressed(RowId row, size_t col) const {
+    return At(row, col) == kSuppressed;
+  }
+
+  /// Read-only view of a row's codes.
+  std::span<const ValueCode> Row(RowId row) const {
+    return {data_.data() + static_cast<size_t>(row) * stride_, stride_};
+  }
+
+  /// Appends a row of pre-encoded codes; must have NumAttributes entries.
+  RowId AppendRow(std::span<const ValueCode> codes);
+
+  /// Encodes `fields` through the dictionaries and appends; "*"/"★" map to
+  /// kSuppressed. Must have NumAttributes entries.
+  Result<RowId> AppendRowStrings(const std::vector<std::string>& fields);
+
+  /// Textual value of a cell ("*" when suppressed).
+  std::string ValueString(RowId row, size_t col) const;
+
+  /// Dictionary of attribute `col` (shared with derived relations).
+  Dictionary& dictionary(size_t col) { return *dictionaries_[col]; }
+  const Dictionary& dictionary(size_t col) const {
+    return *dictionaries_[col];
+  }
+
+  /// An empty relation sharing this relation's schema and dictionaries.
+  /// Rows appended to it use compatible codes.
+  Relation EmptyLike() const;
+
+  /// A relation containing copies of the given rows (in the given order),
+  /// sharing schema and dictionaries.
+  Relation SelectRows(std::span<const RowId> rows) const;
+
+  /// Interns `value` in attribute `col`'s dictionary and returns its code.
+  ValueCode Encode(size_t col, std::string_view value) {
+    return dictionaries_[col]->GetOrInsert(value);
+  }
+
+  /// Looks up the code of `value` in attribute `col` without interning.
+  std::optional<ValueCode> FindCode(size_t col, std::string_view value) const {
+    return dictionaries_[col]->Find(value);
+  }
+
+ private:
+  std::shared_ptr<const Schema> schema_;
+  std::vector<std::shared_ptr<Dictionary>> dictionaries_;
+  std::vector<ValueCode> data_;
+  size_t stride_ = 0;
+  size_t num_rows_ = 0;
+};
+
+/// Convenience test/demo builder: encodes `rows` of strings over `schema`.
+Result<Relation> RelationFromRows(
+    std::shared_ptr<const Schema> schema,
+    const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace diva
+
+#endif  // DIVA_RELATION_RELATION_H_

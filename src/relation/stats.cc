@@ -1,0 +1,98 @@
+#include "relation/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+#include "relation/qi_groups.h"
+
+namespace diva {
+
+RelationStats ComputeStats(const Relation& relation) {
+  RelationStats stats;
+  stats.num_rows = relation.NumRows();
+  stats.num_attributes = relation.NumAttributes();
+  stats.distinct_qi_projections = CountDistinctQiProjections(relation);
+
+  for (size_t col = 0; col < relation.NumAttributes(); ++col) {
+    AttributeStats attr;
+    const Attribute& declared = relation.schema().attribute(col);
+    attr.name = declared.name;
+    attr.role = declared.role;
+    attr.kind = declared.kind;
+
+    std::unordered_map<ValueCode, size_t> counts;
+    for (RowId row = 0; row < relation.NumRows(); ++row) {
+      ValueCode code = relation.At(row, col);
+      if (code == kSuppressed) {
+        ++attr.suppressed;
+      } else {
+        ++counts[code];
+      }
+    }
+    attr.distinct_values = counts.size();
+    ValueCode modal_code = kSuppressed;
+    for (const auto& [code, count] : counts) {
+      if (count > attr.modal_count ||
+          (count == attr.modal_count && modal_code != kSuppressed &&
+           code < modal_code)) {
+        attr.modal_count = count;
+        modal_code = code;
+      }
+    }
+    if (modal_code != kSuppressed) {
+      attr.modal_value = relation.dictionary(col).ValueOf(modal_code);
+    }
+
+    if (declared.kind == AttributeKind::kNumeric) {
+      bool first = true;
+      for (const auto& [code, count] : counts) {
+        auto value = relation.dictionary(col).NumericValueOf(code);
+        if (!value.has_value()) continue;
+        if (first) {
+          attr.min_value = attr.max_value = *value;
+          attr.has_numeric_range = true;
+          first = false;
+        } else {
+          attr.min_value = std::min(attr.min_value, *value);
+          attr.max_value = std::max(attr.max_value, *value);
+        }
+      }
+    }
+    stats.attributes.push_back(std::move(attr));
+  }
+  return stats;
+}
+
+std::string StatsToString(const RelationStats& stats) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "%zu rows, %zu attributes, %zu distinct QI projections\n",
+                stats.num_rows, stats.num_attributes,
+                stats.distinct_qi_projections);
+  out += line;
+  std::snprintf(line, sizeof(line), "%-16s %-16s %-12s %9s %9s  %s\n",
+                "attribute", "role", "kind", "distinct", "stars", "mode");
+  out += line;
+  for (const AttributeStats& attr : stats.attributes) {
+    std::string mode = attr.modal_value;
+    if (!mode.empty()) {
+      mode += " (" + std::to_string(attr.modal_count) + ")";
+    }
+    if (attr.has_numeric_range) {
+      char range[64];
+      std::snprintf(range, sizeof(range), " range [%g, %g]", attr.min_value,
+                    attr.max_value);
+      mode += range;
+    }
+    std::snprintf(line, sizeof(line), "%-16s %-16s %-12s %9zu %9zu  %s\n",
+                  attr.name.c_str(), AttributeRoleToString(attr.role),
+                  AttributeKindToString(attr.kind), attr.distinct_values,
+                  attr.suppressed, mode.c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace diva

@@ -1,0 +1,50 @@
+#ifndef DIVA_RELATION_STATS_H_
+#define DIVA_RELATION_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "relation/relation.h"
+
+namespace diva {
+
+/// Per-attribute profile of a relation — the statistics a data steward
+/// inspects before configuring anonymization (domain sizes drive
+/// re-identification risk; star counts measure damage afterwards).
+struct AttributeStats {
+  std::string name;
+  AttributeRole role = AttributeRole::kQuasiIdentifier;
+  AttributeKind kind = AttributeKind::kCategorical;
+
+  /// Distinct non-suppressed values present in the data.
+  size_t distinct_values = 0;
+  /// Suppressed cells.
+  size_t suppressed = 0;
+  /// Most frequent non-suppressed value and its count (empty when the
+  /// column is fully suppressed).
+  std::string modal_value;
+  size_t modal_count = 0;
+  /// For numeric attributes with at least one parseable value.
+  double min_value = 0.0;
+  double max_value = 0.0;
+  bool has_numeric_range = false;
+};
+
+/// Whole-relation profile.
+struct RelationStats {
+  size_t num_rows = 0;
+  size_t num_attributes = 0;
+  /// |Pi_QI(R)| — distinct quasi-identifier projections.
+  size_t distinct_qi_projections = 0;
+  std::vector<AttributeStats> attributes;
+};
+
+/// Computes the profile in one pass per attribute.
+RelationStats ComputeStats(const Relation& relation);
+
+/// Renders the profile as an aligned text table (for CLIs and reports).
+std::string StatsToString(const RelationStats& stats);
+
+}  // namespace diva
+
+#endif  // DIVA_RELATION_STATS_H_

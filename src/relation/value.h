@@ -1,0 +1,28 @@
+#ifndef DIVA_RELATION_VALUE_H_
+#define DIVA_RELATION_VALUE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace diva {
+
+/// Dictionary code of an attribute value. Codes are dense non-negative
+/// integers assigned per attribute in first-seen order; the reserved code
+/// kSuppressed represents a suppressed cell.
+using ValueCode = int32_t;
+
+/// Reserved code for a suppressed ("★") cell.
+inline constexpr ValueCode kSuppressed = -1;
+
+/// Index of a tuple within its relation. Stable across suppression: the
+/// anonymized relation R* keeps the row ids of R.
+using RowId = uint32_t;
+
+/// Canonical textual rendering of a suppressed cell (paper uses ★; we emit
+/// "*" for CSV portability and accept both on input).
+inline constexpr std::string_view kStarToken = "*";
+inline constexpr std::string_view kStarTokenUnicode = "★";
+
+}  // namespace diva
+
+#endif  // DIVA_RELATION_VALUE_H_

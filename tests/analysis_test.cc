@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "constraint/analysis.h"
+#include "tests/test_util.h"
+
+namespace diva {
+namespace {
+
+using testing::MedicalConstraints;
+using testing::MedicalRelation;
+using testing::MedicalSchema;
+using testing::MustParse;
+
+std::vector<ConstraintIssueKind> Kinds(
+    const std::vector<ConstraintIssue>& issues) {
+  std::vector<ConstraintIssueKind> kinds;
+  for (const auto& issue : issues) kinds.push_back(issue.kind);
+  return kinds;
+}
+
+TEST(AnalysisTest, CleanSetHasNoIssues) {
+  Relation r = MedicalRelation();
+  ConstraintSet constraints = MedicalConstraints(*MedicalSchema());
+  EXPECT_TRUE(AnalyzeConstraintSet(r, constraints, 2).empty());
+}
+
+TEST(AnalysisTest, InsufficientSupport) {
+  Relation r = MedicalRelation();
+  ConstraintSet constraints = {
+      MustParse(*MedicalSchema(), "ETH[Asian] in [7,9]")};  // only 3 exist
+  auto issues = AnalyzeConstraintSet(r, constraints, 2);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].kind, ConstraintIssueKind::kInsufficientSupport);
+  EXPECT_EQ(issues[0].constraint, 0u);
+  EXPECT_EQ(issues[0].other, ConstraintIssue::kNoOther);
+}
+
+TEST(AnalysisTest, UnclusterableRange) {
+  Relation r = MedicalRelation();
+  // k = 4: any preserving cluster has >= 4 target tuples, but upper = 2.
+  ConstraintSet constraints = {
+      MustParse(*MedicalSchema(), "ETH[Asian] in [1,2]")};
+  auto issues = AnalyzeConstraintSet(r, constraints, 4);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].kind, ConstraintIssueKind::kUnclusterableRange);
+}
+
+TEST(AnalysisTest, DuplicateTarget) {
+  Relation r = MedicalRelation();
+  ConstraintSet constraints = {
+      MustParse(*MedicalSchema(), "ETH[Asian] in [2,5]"),
+      MustParse(*MedicalSchema(), "ETH[Asian] in [1,4]"),
+  };
+  auto issues = AnalyzeConstraintSet(r, constraints, 2);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].kind, ConstraintIssueKind::kDuplicateTarget);
+  EXPECT_EQ(issues[0].constraint, 0u);
+  EXPECT_EQ(issues[0].other, 1u);
+}
+
+TEST(AnalysisTest, DuplicateDetectionIsOrderInsensitive) {
+  Relation r = MedicalRelation();
+  ConstraintSet constraints = {
+      MustParse(*MedicalSchema(), "GEN,ETH[Male,African] in [1,3]"),
+      MustParse(*MedicalSchema(), "ETH,GEN[African,Male] in [1,2]"),
+  };
+  auto issues = AnalyzeConstraintSet(r, constraints, 2);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].kind, ConstraintIssueKind::kDuplicateTarget);
+}
+
+TEST(AnalysisTest, ContradictoryBounds) {
+  Relation r = MedicalRelation();
+  ConstraintSet constraints = {
+      MustParse(*MedicalSchema(), "ETH[Asian] in [0,1]"),
+      MustParse(*MedicalSchema(), "ETH[Asian] in [3,5]"),
+  };
+  auto issues = AnalyzeConstraintSet(r, constraints, 2);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].kind, ConstraintIssueKind::kContradictoryBounds);
+}
+
+TEST(AnalysisTest, NestedConflict) {
+  Relation r = MedicalRelation();
+  // Child (Male Africans, 2 tuples) demands >= 2; parent GEN[Male] caps
+  // at 1 — impossible, since every Male African is a Male.
+  ConstraintSet constraints = {
+      MustParse(*MedicalSchema(), "GEN,ETH[Male,African] in [2,2]"),
+      MustParse(*MedicalSchema(), "GEN[Male] in [0,1]"),
+  };
+  auto issues = AnalyzeConstraintSet(r, constraints, 2);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].kind, ConstraintIssueKind::kNestedConflict);
+  EXPECT_EQ(issues[0].constraint, 0u);
+  EXPECT_EQ(issues[0].other, 1u);
+}
+
+TEST(AnalysisTest, NestedButCompatibleIsClean) {
+  Relation r = MedicalRelation();
+  ConstraintSet constraints = {
+      MustParse(*MedicalSchema(), "GEN,ETH[Male,African] in [1,2]"),
+      MustParse(*MedicalSchema(), "GEN[Male] in [2,5]"),
+  };
+  EXPECT_TRUE(AnalyzeConstraintSet(r, constraints, 2).empty());
+}
+
+TEST(AnalysisTest, MultipleIssuesAllReported) {
+  Relation r = MedicalRelation();
+  ConstraintSet constraints = {
+      MustParse(*MedicalSchema(), "ETH[Asian] in [7,9]"),   // support
+      MustParse(*MedicalSchema(), "ETH[Asian] in [0,1]"),   // contradiction
+      MustParse(*MedicalSchema(), "CTY[Calgary] in [1,2]"),  // unclusterable
+  };
+  auto issues = AnalyzeConstraintSet(r, constraints, 4);
+  auto kinds = Kinds(issues);
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(),
+                      ConstraintIssueKind::kInsufficientSupport),
+            kinds.end());
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(),
+                      ConstraintIssueKind::kContradictoryBounds),
+            kinds.end());
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(),
+                      ConstraintIssueKind::kUnclusterableRange),
+            kinds.end());
+}
+
+TEST(AnalysisTest, KindNamesAreStable) {
+  EXPECT_STREQ(
+      ConstraintIssueKindToString(ConstraintIssueKind::kDuplicateTarget),
+      "duplicate-target");
+  EXPECT_STREQ(
+      ConstraintIssueKindToString(ConstraintIssueKind::kNestedConflict),
+      "nested-conflict");
+}
+
+}  // namespace
+}  // namespace diva

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "anon/anonymizer.h"
+#include "anon/suppress.h"
+#include "datagen/synthetic.h"
+#include "relation/qi_groups.h"
+#include "tests/test_util.h"
+
+namespace diva {
+namespace {
+
+using testing::MedicalRelation;
+
+enum class Algo { kKMember, kOka, kMondrian };
+
+std::unique_ptr<Anonymizer> MakeAlgo(Algo algo, uint64_t seed) {
+  AnonymizerOptions options;
+  options.seed = seed;
+  switch (algo) {
+    case Algo::kKMember:
+      return MakeKMember(options);
+    case Algo::kOka:
+      return MakeOka(options);
+    case Algo::kMondrian:
+      return MakeMondrian(options);
+  }
+  return nullptr;
+}
+
+const char* AlgoName(Algo algo) {
+  switch (algo) {
+    case Algo::kKMember:
+      return "kmember";
+    case Algo::kOka:
+      return "oka";
+    case Algo::kMondrian:
+      return "mondrian";
+  }
+  return "?";
+}
+
+Relation SyntheticFixture(size_t rows, uint64_t seed) {
+  SyntheticSpec spec;
+  spec.num_rows = rows;
+  spec.seed = seed;
+  AttributeSpec a;
+  a.name = "A";
+  a.domain_size = 5;
+  a.distribution = ValueDistribution::kZipfian;
+  AttributeSpec b = a;
+  b.name = "B";
+  b.domain_size = 9;
+  AttributeSpec age;
+  age.name = "AGE";
+  age.kind = AttributeKind::kNumeric;
+  age.domain_size = 60;
+  age.numeric_base = 20;
+  age.distribution = ValueDistribution::kGaussian;
+  AttributeSpec s;
+  s.name = "S";
+  s.role = AttributeRole::kSensitive;
+  s.domain_size = 6;
+  spec.attributes = {a, b, age, s};
+  auto relation = GenerateSynthetic(spec);
+  DIVA_CHECK(relation.ok());
+  return std::move(relation).value();
+}
+
+struct AnonCase {
+  Algo algo;
+  size_t k;
+  size_t rows;
+};
+
+class AnonymizerPropertyTest : public ::testing::TestWithParam<AnonCase> {};
+
+TEST_P(AnonymizerPropertyTest, ClustersPartitionRowsWithMinSizeK) {
+  const AnonCase& param = GetParam();
+  Relation r = SyntheticFixture(param.rows, /*seed=*/31);
+  auto algo = MakeAlgo(param.algo, /*seed=*/5);
+  std::vector<RowId> rows(r.NumRows());
+  std::iota(rows.begin(), rows.end(), 0);
+  auto clusters = algo->BuildClusters(r, rows, param.k);
+  ASSERT_TRUE(clusters.ok()) << clusters.status().ToString();
+
+  std::vector<int> seen(r.NumRows(), 0);
+  for (const Cluster& c : *clusters) {
+    EXPECT_GE(c.size(), param.k);
+    for (RowId row : c) {
+      ASSERT_LT(row, r.NumRows());
+      ++seen[row];
+    }
+  }
+  for (size_t row = 0; row < seen.size(); ++row) {
+    EXPECT_EQ(seen[row], 1) << "row " << row << " covered "
+                            << seen[row] << " times";
+  }
+}
+
+TEST_P(AnonymizerPropertyTest, AnonymizeOutputIsKAnonymous) {
+  const AnonCase& param = GetParam();
+  Relation r = SyntheticFixture(param.rows, /*seed=*/67);
+  auto algo = MakeAlgo(param.algo, /*seed=*/11);
+  auto anonymized = Anonymize(algo.get(), r, param.k);
+  ASSERT_TRUE(anonymized.ok()) << anonymized.status().ToString();
+  EXPECT_TRUE(IsKAnonymous(*anonymized, param.k));
+  EXPECT_EQ(anonymized->NumRows(), r.NumRows());
+  // Sensitive values untouched.
+  for (RowId row = 0; row < r.NumRows(); ++row) {
+    EXPECT_EQ(anonymized->At(row, 3), r.At(row, 3));
+  }
+  // Non-suppressed QI cells keep their original values (suppression only).
+  for (RowId row = 0; row < r.NumRows(); ++row) {
+    for (size_t col : r.schema().qi_indices()) {
+      if (!anonymized->IsSuppressed(row, col)) {
+        EXPECT_EQ(anonymized->At(row, col), r.At(row, col));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AnonymizerPropertyTest,
+    ::testing::Values(AnonCase{Algo::kKMember, 2, 50},
+                      AnonCase{Algo::kKMember, 5, 200},
+                      AnonCase{Algo::kKMember, 10, 403},
+                      AnonCase{Algo::kOka, 2, 50},
+                      AnonCase{Algo::kOka, 5, 200},
+                      AnonCase{Algo::kOka, 10, 403},
+                      AnonCase{Algo::kMondrian, 2, 50},
+                      AnonCase{Algo::kMondrian, 5, 200},
+                      AnonCase{Algo::kMondrian, 10, 403}),
+    [](const ::testing::TestParamInfo<AnonCase>& info) {
+      return std::string(AlgoName(info.param.algo)) + "_k" +
+             std::to_string(info.param.k) + "_n" +
+             std::to_string(info.param.rows);
+    });
+
+class AnonymizerCommonTest : public ::testing::TestWithParam<Algo> {};
+
+TEST_P(AnonymizerCommonTest, EmptyInputYieldsEmptyClustering) {
+  Relation r = MedicalRelation();
+  auto algo = MakeAlgo(GetParam(), 1);
+  auto clusters = algo->BuildClusters(r, {}, 3);
+  ASSERT_TRUE(clusters.ok());
+  EXPECT_TRUE(clusters->empty());
+}
+
+TEST_P(AnonymizerCommonTest, FewerThanKRowsIsInfeasible) {
+  Relation r = MedicalRelation();
+  auto algo = MakeAlgo(GetParam(), 1);
+  std::vector<RowId> rows = {0, 1};
+  auto clusters = algo->BuildClusters(r, rows, 3);
+  ASSERT_FALSE(clusters.ok());
+  EXPECT_EQ(clusters.status().code(), StatusCode::kInfeasible);
+}
+
+TEST_P(AnonymizerCommonTest, KZeroRejected) {
+  Relation r = MedicalRelation();
+  auto algo = MakeAlgo(GetParam(), 1);
+  std::vector<RowId> rows = {0, 1, 2};
+  auto clusters = algo->BuildClusters(r, rows, 0);
+  ASSERT_FALSE(clusters.ok());
+  EXPECT_EQ(clusters.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_P(AnonymizerCommonTest, SubsetClusteringTouchesOnlySubset) {
+  Relation r = MedicalRelation();
+  auto algo = MakeAlgo(GetParam(), 3);
+  std::vector<RowId> rows = {2, 3, 4, 5, 6};
+  auto clusters = algo->BuildClusters(r, rows, 2);
+  ASSERT_TRUE(clusters.ok());
+  for (const Cluster& c : *clusters) {
+    for (RowId row : c) {
+      EXPECT_GE(row, 2u);
+      EXPECT_LE(row, 6u);
+    }
+  }
+  EXPECT_EQ(TotalRows(*clusters), rows.size());
+}
+
+TEST_P(AnonymizerCommonTest, WholeRelationEqualsKGivesOneCluster) {
+  Relation r = MedicalRelation();
+  auto algo = MakeAlgo(GetParam(), 7);
+  std::vector<RowId> rows(r.NumRows());
+  std::iota(rows.begin(), rows.end(), 0);
+  auto clusters = algo->BuildClusters(r, rows, r.NumRows());
+  ASSERT_TRUE(clusters.ok());
+  ASSERT_EQ(clusters->size(), 1u);
+  EXPECT_EQ(clusters->front().size(), r.NumRows());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, AnonymizerCommonTest,
+                         ::testing::Values(Algo::kKMember, Algo::kOka,
+                                           Algo::kMondrian),
+                         [](const ::testing::TestParamInfo<Algo>& info) {
+                           return AlgoName(info.param);
+                         });
+
+TEST(KMemberTest, SampledModeStaysKAnonymous) {
+  Relation r = SyntheticFixture(500, 13);
+  AnonymizerOptions options;
+  options.seed = 3;
+  options.sample_size = 16;
+  auto algo = MakeKMember(options);
+  auto anonymized = Anonymize(algo.get(), r, 10);
+  ASSERT_TRUE(anonymized.ok());
+  EXPECT_TRUE(IsKAnonymous(*anonymized, 10));
+}
+
+TEST(MondrianTest, PartitionsAreContiguousInSortOrder) {
+  // Mondrian on a single numeric attribute must produce contiguous value
+  // ranges: group extents must not overlap.
+  auto schema = Schema::Make({
+      {"V", AttributeRole::kQuasiIdentifier, AttributeKind::kNumeric},
+      {"S", AttributeRole::kSensitive, AttributeKind::kCategorical},
+  });
+  ASSERT_TRUE(schema.ok());
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 64; ++i) {
+    rows.push_back({std::to_string(i), "s"});
+  }
+  auto r = RelationFromRows(*schema, rows);
+  ASSERT_TRUE(r.ok());
+  auto algo = MakeMondrian({});
+  std::vector<RowId> all(r->NumRows());
+  std::iota(all.begin(), all.end(), 0);
+  auto clusters = algo->BuildClusters(*r, all, 4);
+  ASSERT_TRUE(clusters.ok());
+  EXPECT_GT(clusters->size(), 1u);
+
+  std::vector<std::pair<int, int>> extents;
+  for (const Cluster& c : *clusters) {
+    int lo = 1000;
+    int hi = -1;
+    for (RowId row : c) {
+      int v = static_cast<int>(row);  // value == row index here
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    extents.emplace_back(lo, hi);
+  }
+  std::sort(extents.begin(), extents.end());
+  for (size_t i = 1; i < extents.size(); ++i) {
+    EXPECT_GT(extents[i].first, extents[i - 1].second);
+  }
+}
+
+}  // namespace
+}  // namespace diva

@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/clusterings.h"
+#include "tests/test_util.h"
+
+namespace diva {
+namespace {
+
+using testing::MedicalRelation;
+using testing::MedicalSchema;
+using testing::MustParse;
+
+std::vector<CandidateClustering> Enumerate(const Relation& r,
+                                           const DiversityConstraint& c,
+                                           size_t k,
+                                           ClusteringEnumOptions options = {}) {
+  return EnumerateClusterings(r, c, c.TargetTuples(r), k, options);
+}
+
+/// Canonical form of a clustering for set comparisons.
+std::set<std::set<RowId>> Canonical(const Clustering& clustering) {
+  std::set<std::set<RowId>> out;
+  for (const Cluster& c : clustering) {
+    out.insert(std::set<RowId>(c.begin(), c.end()));
+  }
+  return out;
+}
+
+TEST(ClusteringsTest, PaperSigma2HasUniqueClustering) {
+  // Clusterings(s2, R) = {{t5, t6}} (rows {4, 5}) for k = 2.
+  Relation r = MedicalRelation();
+  auto s2 = MustParse(*MedicalSchema(), "ETH[African] in [1,3]");
+  auto candidates = Enumerate(r, s2, 2);
+  ASSERT_FALSE(candidates.empty());
+  std::set<std::set<std::set<RowId>>> distinct;
+  for (const auto& candidate : candidates) {
+    distinct.insert(Canonical(candidate.clusters));
+    EXPECT_EQ(candidate.preserved, 2u);
+  }
+  EXPECT_EQ(distinct.size(), 1u);
+  EXPECT_TRUE(distinct.count({{4, 5}}));
+}
+
+TEST(ClusteringsTest, PaperSigma1CandidatesAreSubsetsOfTargets) {
+  // Clusterings(s1, R) per the paper: {{t8,t9}}, {{t8,t10}}, {{t9,t10}},
+  // {{t8,t9,t10}} — all subsets of I_s1 = {7, 8, 9} with >= 2 rows.
+  Relation r = MedicalRelation();
+  auto s1 = MustParse(*MedicalSchema(), "ETH[Asian] in [2,5]");
+  auto candidates = Enumerate(r, s1, 2);
+  ASSERT_FALSE(candidates.empty());
+  std::set<std::set<std::set<RowId>>> distinct;
+  for (const auto& candidate : candidates) {
+    for (const Cluster& cluster : candidate.clusters) {
+      EXPECT_GE(cluster.size(), 2u);
+      for (RowId row : cluster) {
+        EXPECT_TRUE(row == 7 || row == 8 || row == 9);
+      }
+    }
+    EXPECT_GE(candidate.preserved, 2u);
+    EXPECT_LE(candidate.preserved, 3u);
+    distinct.insert(Canonical(candidate.clusters));
+  }
+  // All four clusterings from the paper are reachable with 3 targets.
+  EXPECT_TRUE(distinct.count({{7, 8}}) || distinct.count({{7, 9}}) ||
+              distinct.count({{8, 9}}));
+  EXPECT_TRUE(distinct.count({{7, 8, 9}}));
+}
+
+TEST(ClusteringsTest, PreservedEqualsTotalRows) {
+  Relation r = MedicalRelation();
+  auto s3 = MustParse(*MedicalSchema(), "CTY[Vancouver] in [2,4]");
+  for (const auto& candidate : Enumerate(r, s3, 2)) {
+    EXPECT_EQ(candidate.preserved, TotalRows(candidate.clusters));
+  }
+}
+
+TEST(ClusteringsTest, ClustersWithinCandidateAreDisjoint) {
+  Relation r = MedicalRelation();
+  auto s3 = MustParse(*MedicalSchema(), "CTY[Vancouver] in [2,4]");
+  for (const auto& candidate : Enumerate(r, s3, 2)) {
+    std::set<RowId> seen;
+    for (const Cluster& cluster : candidate.clusters) {
+      for (RowId row : cluster) {
+        EXPECT_TRUE(seen.insert(row).second) << "row " << row << " repeated";
+      }
+    }
+  }
+}
+
+TEST(ClusteringsTest, LowerBoundZeroYieldsEmptyCandidate) {
+  Relation r = MedicalRelation();
+  auto c = MustParse(*MedicalSchema(), "ETH[Asian] in [0,2]");
+  auto candidates = Enumerate(r, c, 2);
+  ASSERT_FALSE(candidates.empty());
+  EXPECT_TRUE(candidates.front().clusters.empty());
+  EXPECT_EQ(candidates.front().preserved, 0u);
+}
+
+TEST(ClusteringsTest, InfeasibleLowerBoundYieldsNothing) {
+  Relation r = MedicalRelation();
+  // Only 3 Asians exist; demanding >= 5 is impossible.
+  auto c = MustParse(*MedicalSchema(), "ETH[Asian] in [5,9]");
+  EXPECT_TRUE(Enumerate(r, c, 2).empty());
+}
+
+TEST(ClusteringsTest, UpperBoundBelowKYieldsNothing) {
+  Relation r = MedicalRelation();
+  // Preserving any cluster needs >= k = 3 target rows, but upper is 2.
+  auto c = MustParse(*MedicalSchema(), "ETH[Asian] in [1,2]");
+  EXPECT_TRUE(Enumerate(r, c, 3).empty());
+}
+
+TEST(ClusteringsTest, OrderedModeIsMinimalSuppressionFirst) {
+  Relation r = MedicalRelation();
+  auto s1 = MustParse(*MedicalSchema(), "ETH[Asian] in [2,5]");
+  ClusteringEnumOptions options;
+  options.ordered = true;
+  auto candidates = Enumerate(r, s1, 2, options);
+  ASSERT_GE(candidates.size(), 2u);
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    EXPECT_LE(candidates[i - 1].preserved, candidates[i].preserved);
+  }
+}
+
+TEST(ClusteringsTest, CapIsRespected) {
+  Relation r = MedicalRelation();
+  auto s3 = MustParse(*MedicalSchema(), "CTY[Vancouver] in [2,4]");
+  ClusteringEnumOptions options;
+  options.max_clusterings = 3;
+  auto candidates = Enumerate(r, s3, 2, options);
+  EXPECT_LE(candidates.size(), 3u);
+}
+
+TEST(ClusteringsTest, DeterministicForSameSeed) {
+  Relation r = MedicalRelation();
+  auto s3 = MustParse(*MedicalSchema(), "CTY[Vancouver] in [2,4]");
+  ClusteringEnumOptions options;
+  options.seed = 77;
+  auto a = Enumerate(r, s3, 2, options);
+  auto b = Enumerate(r, s3, 2, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].clusters, b[i].clusters);
+  }
+}
+
+TEST(ClusteringsTest, BlockPartitionsHonorK) {
+  Relation r = MedicalRelation();
+  auto s3 = MustParse(*MedicalSchema(), "CTY[Vancouver] in [2,4]");
+  for (size_t k : {2u, 3u, 4u}) {
+    for (const auto& candidate : Enumerate(r, s3, k)) {
+      for (const Cluster& cluster : candidate.clusters) {
+        EXPECT_GE(cluster.size(), k);
+      }
+    }
+  }
+}
+
+TEST(ClusteringsTest, MultiAttributeConstraint) {
+  Relation r = MedicalRelation();
+  auto c = MustParse(*MedicalSchema(), "GEN,ETH[Male,African] in [2,2]");
+  auto candidates = Enumerate(r, c, 2);
+  ASSERT_FALSE(candidates.empty());
+  EXPECT_EQ(Canonical(candidates.front().clusters),
+            (std::set<std::set<RowId>>{{4, 5}}));
+}
+
+// ---------------------------------------- bounded (dynamic) enumeration
+
+TEST(ClusteringsBoundsTest, RespectsMinAndMaxPreserve) {
+  Relation r = MedicalRelation();
+  // Free targets: the four Vancouver rows.
+  std::vector<RowId> free_targets = {5, 6, 7, 9};
+  ClusteringEnumOptions options;
+  auto candidates =
+      EnumerateClusteringsWithBounds(r, free_targets, 2, 3, 4, options);
+  ASSERT_FALSE(candidates.empty());
+  for (const auto& candidate : candidates) {
+    EXPECT_GE(candidate.preserved, 3u);
+    EXPECT_LE(candidate.preserved, 4u);
+    for (const Cluster& cluster : candidate.clusters) {
+      EXPECT_GE(cluster.size(), 2u);
+    }
+  }
+}
+
+TEST(ClusteringsBoundsTest, EmptyWhenUnmeetable) {
+  Relation r = MedicalRelation();
+  std::vector<RowId> free_targets = {5, 6};
+  ClusteringEnumOptions options;
+  // Need at least 3 preserved but only 2 free rows.
+  EXPECT_TRUE(
+      EnumerateClusteringsWithBounds(r, free_targets, 2, 3, 5, options)
+          .empty());
+  // Cluster must have >= k = 3 rows but max_preserve is 2.
+  EXPECT_TRUE(
+      EnumerateClusteringsWithBounds(r, free_targets, 3, 1, 2, options)
+          .empty());
+  // No free rows at all.
+  EXPECT_TRUE(EnumerateClusteringsWithBounds(r, {}, 2, 1, 5, options).empty());
+}
+
+TEST(ClusteringsBoundsTest, RunAlignedBlocksKeepIdenticalTuplesTogether) {
+  // 3 runs of identical tuples (sizes 6, 6, 3). With k = 3, blocks must
+  // align to runs: the two 6-runs become uniform blocks; the remainder
+  // run of 3 forms its own block. No block mixes runs unless forced.
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 6; ++i) rows.push_back({"F", "Asian", "30", "BC", "V", "x"});
+  for (int i = 0; i < 6; ++i) rows.push_back({"M", "African", "40", "AB", "C", "x"});
+  for (int i = 0; i < 3; ++i) rows.push_back({"F", "Cauc", "50", "MB", "W", "x"});
+  auto relation = RelationFromRows(testing::MedicalSchema(), rows);
+  ASSERT_TRUE(relation.ok());
+
+  std::vector<RowId> all(15);
+  for (RowId i = 0; i < 15; ++i) all[i] = i;
+  ClusteringEnumOptions options;
+  auto candidates =
+      EnumerateClusteringsWithBounds(*relation, all, 3, 15, 15, options);
+  ASSERT_FALSE(candidates.empty());
+
+  // The first (run-aligned block) candidate: every cluster is uniform.
+  const auto& blocks = candidates.front().clusters;
+  for (const Cluster& cluster : blocks) {
+    EXPECT_GE(cluster.size(), 3u);
+    for (RowId row : cluster) {
+      for (size_t col : relation->schema().qi_indices()) {
+        EXPECT_EQ(relation->At(row, col), relation->At(cluster[0], col))
+            << "mixed block";
+      }
+    }
+  }
+  EXPECT_EQ(blocks.size(), 3u);
+}
+
+TEST(ClusteringsBoundsTest, SmallRunsBufferTogetherAwayFromBigRuns) {
+  // One big run (8 rows) plus four small runs of 2. k = 4: the big run
+  // must stay pure; small runs combine into mixed buffer blocks.
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 8; ++i) rows.push_back({"F", "Asian", "30", "BC", "V", "x"});
+  for (int v = 0; v < 4; ++v) {
+    for (int i = 0; i < 2; ++i) {
+      rows.push_back({"M", "Eth" + std::to_string(v), "40", "AB", "C", "x"});
+    }
+  }
+  auto relation = RelationFromRows(testing::MedicalSchema(), rows);
+  ASSERT_TRUE(relation.ok());
+  std::vector<RowId> all(16);
+  for (RowId i = 0; i < 16; ++i) all[i] = i;
+  ClusteringEnumOptions options;
+  auto candidates =
+      EnumerateClusteringsWithBounds(*relation, all, 4, 16, 16, options);
+  ASSERT_FALSE(candidates.empty());
+  // Find the run-aligned candidate: one block must be exactly the 8 Asian
+  // rows (pure), so their contribution survives.
+  bool found_pure_big_run = false;
+  for (const Cluster& cluster : candidates.front().clusters) {
+    if (cluster.size() == 8) {
+      bool all_asian = true;
+      for (RowId row : cluster) {
+        if (relation->ValueString(row, 1) != "Asian") all_asian = false;
+      }
+      found_pure_big_run = found_pure_big_run || all_asian;
+    }
+  }
+  EXPECT_TRUE(found_pure_big_run);
+}
+
+}  // namespace
+}  // namespace diva

@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/coloring.h"
+#include "core/constraint_graph.h"
+#include "core/diva.h"
+#include "relation/qi_groups.h"
+#include "tests/test_util.h"
+
+namespace diva {
+namespace {
+
+using testing::MedicalConstraints;
+using testing::MedicalRelation;
+using testing::MedicalSchema;
+using testing::MustParse;
+
+ColoringOutcome Color(const Relation& r, const ConstraintSet& constraints,
+                      ColoringOptions options) {
+  ConstraintGraph graph = BuildConstraintGraph(r, constraints);
+  return ColorConstraints(r, constraints, graph, options);
+}
+
+// ------------------------------------------------------------ graph
+
+TEST(ConstraintGraphTest, PaperFigure2) {
+  Relation r = MedicalRelation();
+  ConstraintSet constraints = MedicalConstraints(*MedicalSchema());
+  ConstraintGraph graph = BuildConstraintGraph(r, constraints);
+
+  ASSERT_EQ(graph.NumNodes(), 3u);
+  EXPECT_EQ(graph.targets[0], (std::vector<RowId>{7, 8, 9}));
+  EXPECT_EQ(graph.targets[1], (std::vector<RowId>{4, 5}));
+  EXPECT_EQ(graph.targets[2], (std::vector<RowId>{5, 6, 7, 9}));
+
+  // Edges: {v1,v3} and {v2,v3}; no edge {v1,v2}.
+  EXPECT_TRUE(graph.HasEdge(0, 2));
+  EXPECT_TRUE(graph.HasEdge(2, 0));
+  EXPECT_TRUE(graph.HasEdge(1, 2));
+  EXPECT_FALSE(graph.HasEdge(0, 1));
+  EXPECT_EQ(graph.adjacency[2], (std::vector<size_t>{0, 1}));
+}
+
+TEST(ConstraintGraphTest, EmptySetIsEmptyGraph) {
+  Relation r = MedicalRelation();
+  ConstraintGraph graph = BuildConstraintGraph(r, {});
+  EXPECT_EQ(graph.NumNodes(), 0u);
+}
+
+// ------------------------------------------------------------ coloring
+
+class ColoringStrategyTest
+    : public ::testing::TestWithParam<SelectionStrategy> {};
+
+TEST_P(ColoringStrategyTest, PaperExampleColorsCompletely) {
+  // Example 3.4: a complete coloring of {v1, v2, v3} exists for k = 2.
+  Relation r = MedicalRelation();
+  ConstraintSet constraints = MedicalConstraints(*MedicalSchema());
+
+  ColoringOptions options;
+  options.k = 2;
+  options.strategy = GetParam();
+  ColoringOutcome outcome = Color(r, constraints, options);
+
+  EXPECT_TRUE(outcome.complete);
+  EXPECT_EQ(outcome.NumColored(), 3u);
+  // Preserved counts within every constraint's bounds.
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    EXPECT_GE(outcome.preserved[i], constraints[i].lower()) << i;
+    EXPECT_LE(outcome.preserved[i], constraints[i].upper()) << i;
+  }
+  // Chosen clusters pairwise disjoint, each of size >= k.
+  std::set<RowId> seen;
+  for (const Cluster& cluster : outcome.chosen_clusters) {
+    EXPECT_GE(cluster.size(), 2u);
+    for (RowId row : cluster) {
+      EXPECT_TRUE(seen.insert(row).second);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, ColoringStrategyTest,
+    ::testing::Values(SelectionStrategy::kBasic, SelectionStrategy::kMinChoice,
+                      SelectionStrategy::kMaxFanOut),
+    [](const ::testing::TestParamInfo<SelectionStrategy>& info) {
+      return SelectionStrategyToString(info.param);
+    });
+
+TEST(ColoringTest, UpperBoundsNeverExceeded) {
+  // Section 3.2's interaction example: s2 = (ETH[African],1,3) preserves
+  // two Males as a side effect; a GEN[Male] constraint's upper bound must
+  // account for that contribution.
+  Relation r = MedicalRelation();
+  auto schema = MedicalSchema();
+  ConstraintSet constraints = {
+      MustParse(*schema, "ETH[African] in [1,3]"),
+      MustParse(*schema, "GEN[Male] in [1,3]"),
+  };
+  ColoringOptions options;
+  options.k = 2;
+  ColoringOutcome outcome = Color(r, constraints, options);
+  EXPECT_LE(outcome.preserved[0], 3u);
+  EXPECT_LE(outcome.preserved[1], 3u);
+  if (outcome.complete) {
+    EXPECT_GE(outcome.preserved[0], 1u);
+    EXPECT_GE(outcome.preserved[1], 1u);
+  }
+}
+
+TEST(ColoringTest, CrossContributionSatisfiesNestedConstraint) {
+  // The African cluster {t5, t6} preserves two Males, so GEN[Male] with
+  // lower bound 2 is satisfiable with no cluster of its own — the
+  // dynamic deficit accounting must discover this.
+  Relation r = MedicalRelation();
+  auto schema = MedicalSchema();
+  ConstraintSet constraints = {
+      MustParse(*schema, "ETH[African] in [2,2]"),
+      MustParse(*schema, "GEN[Male] in [2,3]"),
+  };
+  ColoringOptions options;
+  options.k = 2;
+  options.strategy = SelectionStrategy::kMaxFanOut;
+  ColoringOutcome outcome = Color(r, constraints, options);
+  ASSERT_TRUE(outcome.complete);
+  EXPECT_EQ(outcome.preserved[0], 2u);
+  EXPECT_GE(outcome.preserved[1], 2u);
+  EXPECT_LE(outcome.preserved[1], 3u);
+}
+
+TEST(ColoringTest, IdenticalConstraintsShareClusters) {
+  // Two identical constraints: the second's lower bound is covered by the
+  // first's cluster; contributions are counted once.
+  Relation r = MedicalRelation();
+  auto schema = MedicalSchema();
+  ConstraintSet constraints = {
+      MustParse(*schema, "ETH[African] in [2,2]"),
+      MustParse(*schema, "ETH[African] in [2,2]"),
+  };
+  ColoringOptions options;
+  options.k = 2;
+  ColoringOutcome outcome = Color(r, constraints, options);
+  ASSERT_TRUE(outcome.complete);
+  EXPECT_EQ(outcome.preserved[0], 2u);
+  EXPECT_EQ(outcome.preserved[1], 2u);
+  EXPECT_EQ(outcome.chosen_clusters.size(), 1u);
+}
+
+TEST(ColoringTest, OverlappingClustersRejected) {
+  // ETH[African] in [2,2] must take rows {4,5}. CTY[Winnipeg] (targets
+  // {3,4,8}) must then avoid row 4: only {3,8} remains free.
+  Relation r = MedicalRelation();
+  auto schema = MedicalSchema();
+  ConstraintSet constraints = {
+      MustParse(*schema, "ETH[African] in [2,2]"),
+      MustParse(*schema, "CTY[Winnipeg] in [2,2]"),
+  };
+  ColoringOptions options;
+  options.k = 2;
+  ColoringOutcome outcome = Color(r, constraints, options);
+  ASSERT_TRUE(outcome.complete);
+  std::set<RowId> seen;
+  for (const Cluster& cluster : outcome.chosen_clusters) {
+    for (RowId row : cluster) {
+      EXPECT_TRUE(seen.insert(row).second) << "overlap on row " << row;
+    }
+  }
+  EXPECT_TRUE(seen.count(4));  // African cluster took t5
+  EXPECT_TRUE(seen.count(3) && seen.count(8));  // Winnipeg took {t4, t9}
+}
+
+TEST(ColoringTest, InfeasibleNodeLeavesPartialAssignment) {
+  Relation r = MedicalRelation();
+  auto schema = MedicalSchema();
+  ConstraintSet constraints = {
+      MustParse(*schema, "ETH[Asian] in [2,5]"),
+      MustParse(*schema, "ETH[Martian] in [1,3]"),  // no targets
+  };
+  ColoringOptions options;
+  options.k = 2;
+  ColoringOutcome outcome = Color(r, constraints, options);
+  EXPECT_FALSE(outcome.complete);
+  EXPECT_EQ(outcome.NumColored(), 1u);  // best partial keeps the Asian node
+  EXPECT_GE(outcome.preserved[0], 2u);
+}
+
+TEST(ColoringTest, BudgetExhaustionReported) {
+  Relation r = MedicalRelation();
+  ConstraintSet constraints = MedicalConstraints(*MedicalSchema());
+  ColoringOptions options;
+  options.k = 2;
+  options.step_budget = 1;  // absurdly small
+  ColoringOutcome outcome = Color(r, constraints, options);
+  EXPECT_TRUE(outcome.budget_exhausted || outcome.complete);
+  // Both search passes together may take a couple of steps each.
+  EXPECT_LE(outcome.steps, 4u);
+}
+
+TEST(ColoringTest, EmptyConstraintSetIsTriviallyComplete) {
+  Relation r = MedicalRelation();
+  ColoringOptions options;
+  ColoringOutcome outcome = Color(r, {}, options);
+  EXPECT_TRUE(outcome.complete);
+  EXPECT_TRUE(outcome.chosen_clusters.empty());
+}
+
+TEST(ColoringTest, DeterministicForSeed) {
+  Relation r = MedicalRelation();
+  ConstraintSet constraints = MedicalConstraints(*MedicalSchema());
+  ColoringOptions options;
+  options.k = 2;
+  options.strategy = SelectionStrategy::kBasic;
+  options.seed = 123;
+  ColoringOutcome a = Color(r, constraints, options);
+  ColoringOutcome b = Color(r, constraints, options);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.steps, b.steps);
+}
+
+// ------------------------------------------------------------ portfolio
+
+TEST(PortfolioTest, SingleThreadEqualsSequential) {
+  Relation r = MedicalRelation();
+  ConstraintSet constraints = MedicalConstraints(*MedicalSchema());
+  ConstraintGraph graph = BuildConstraintGraph(r, constraints);
+  ColoringOptions options;
+  options.k = 2;
+  options.seed = 7;
+  ColoringOutcome sequential =
+      ColorConstraints(r, constraints, graph, options);
+  ColoringOutcome portfolio =
+      ColorConstraintsPortfolio(r, constraints, graph, options, 1);
+  EXPECT_EQ(sequential.assignment, portfolio.assignment);
+  EXPECT_EQ(sequential.complete, portfolio.complete);
+}
+
+TEST(PortfolioTest, MultiThreadFindsValidColoring) {
+  Relation r = MedicalRelation();
+  ConstraintSet constraints = MedicalConstraints(*MedicalSchema());
+  ConstraintGraph graph = BuildConstraintGraph(r, constraints);
+  ColoringOptions options;
+  options.k = 2;
+  ColoringOutcome outcome =
+      ColorConstraintsPortfolio(r, constraints, graph, options, 4);
+  EXPECT_TRUE(outcome.complete);
+  // Valid coloring invariants regardless of which worker won.
+  std::set<RowId> seen;
+  for (const Cluster& cluster : outcome.chosen_clusters) {
+    EXPECT_GE(cluster.size(), 2u);
+    for (RowId row : cluster) EXPECT_TRUE(seen.insert(row).second);
+  }
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    EXPECT_GE(outcome.preserved[i], constraints[i].lower());
+    EXPECT_LE(outcome.preserved[i], constraints[i].upper());
+  }
+}
+
+TEST(PortfolioTest, DivaWithPortfolioOption) {
+  Relation r = MedicalRelation();
+  ConstraintSet constraints = MedicalConstraints(*MedicalSchema());
+  DivaOptions options;
+  options.k = 2;
+  options.portfolio_threads = 3;
+  auto result = RunDiva(r, constraints, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(IsKAnonymous(result->relation, 2));
+  EXPECT_TRUE(SatisfiesAll(result->relation, constraints));
+}
+
+TEST(ColoringTest, PreservedMatchesChosenClusters) {
+  // Invariant: outcome.preserved[j] equals the sum of contributions of
+  // the distinct chosen clusters.
+  Relation r = MedicalRelation();
+  ConstraintSet constraints = MedicalConstraints(*MedicalSchema());
+  ColoringOptions options;
+  options.k = 2;
+  ColoringOutcome outcome = Color(r, constraints, options);
+  ASSERT_TRUE(outcome.complete);
+  for (size_t j = 0; j < constraints.size(); ++j) {
+    uint64_t expected = 0;
+    for (const Cluster& cluster : outcome.chosen_clusters) {
+      bool all_match = true;
+      for (RowId row : cluster) {
+        if (!constraints[j].MatchesRow(r, row)) {
+          all_match = false;
+          break;
+        }
+      }
+      if (all_match) expected += cluster.size();
+    }
+    EXPECT_EQ(outcome.preserved[j], expected) << "constraint " << j;
+  }
+}
+
+}  // namespace
+}  // namespace diva

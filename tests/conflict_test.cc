@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "constraint/conflict.h"
+#include "tests/test_util.h"
+
+namespace diva {
+namespace {
+
+using testing::MedicalConstraints;
+using testing::MedicalRelation;
+using testing::MedicalSchema;
+using testing::MustParse;
+
+TEST(ConflictTest, SortedIntersectionSize) {
+  EXPECT_EQ(SortedIntersectionSize({1, 2, 3}, {2, 3, 4}), 2u);
+  EXPECT_EQ(SortedIntersectionSize({}, {1}), 0u);
+  EXPECT_EQ(SortedIntersectionSize({1, 5, 9}, {2, 6, 10}), 0u);
+  EXPECT_EQ(SortedIntersectionSize({1, 2}, {1, 2}), 2u);
+}
+
+TEST(ConflictTest, DisjointTargetsHaveZeroConflict) {
+  Relation r = MedicalRelation();
+  auto schema = MedicalSchema();
+  auto asian = MustParse(*schema, "ETH[Asian] in [2,5]");
+  auto african = MustParse(*schema, "ETH[African] in [1,3]");
+  EXPECT_DOUBLE_EQ(PairConflictRate(r, asian, african), 0.0);
+}
+
+TEST(ConflictTest, PaperExampleOverlaps) {
+  Relation r = MedicalRelation();
+  auto schema = MedicalSchema();
+  auto s1 = MustParse(*schema, "ETH[Asian] in [2,5]");       // {7,8,9}
+  auto s2 = MustParse(*schema, "ETH[African] in [1,3]");     // {4,5}
+  auto s3 = MustParse(*schema, "CTY[Vancouver] in [2,4]");   // {5,6,7,9}
+
+  // |I_s1 ∩ I_s3| = |{7,9}| = 2, min size = 3.
+  EXPECT_DOUBLE_EQ(PairConflictRate(r, s1, s3), 2.0 / 3.0);
+  // |I_s2 ∩ I_s3| = |{5}| = 1, min size = 2.
+  EXPECT_DOUBLE_EQ(PairConflictRate(r, s2, s3), 0.5);
+}
+
+TEST(ConflictTest, NestedTargetsScoreOne) {
+  Relation r = MedicalRelation();
+  auto schema = MedicalSchema();
+  auto outer = MustParse(*schema, "ETH[African] in [1,3]");
+  auto inner = MustParse(*schema, "GEN,ETH[Male,African] in [1,2]");
+  EXPECT_DOUBLE_EQ(PairConflictRate(r, outer, inner), 1.0);
+}
+
+TEST(ConflictTest, EmptyTargetGivesZero) {
+  Relation r = MedicalRelation();
+  auto schema = MedicalSchema();
+  auto ghost = MustParse(*schema, "ETH[Martian] in [0,5]");
+  auto real = MustParse(*schema, "ETH[Asian] in [2,5]");
+  EXPECT_DOUBLE_EQ(PairConflictRate(r, ghost, real), 0.0);
+}
+
+TEST(ConflictTest, SetConflictIsMeanOverPairs) {
+  Relation r = MedicalRelation();
+  ConstraintSet constraints = MedicalConstraints(*MedicalSchema());
+  // Pairs: (s1,s2)=0, (s1,s3)=2/3, (s2,s3)=1/2 -> mean = 7/18.
+  EXPECT_NEAR(ConflictRate(r, constraints), (0.0 + 2.0 / 3.0 + 0.5) / 3.0,
+              1e-12);
+}
+
+TEST(ConflictTest, FewerThanTwoConstraintsIsZero) {
+  Relation r = MedicalRelation();
+  ConstraintSet one = {MustParse(*MedicalSchema(), "ETH[Asian] in [2,5]")};
+  EXPECT_DOUBLE_EQ(ConflictRate(r, {}), 0.0);
+  EXPECT_DOUBLE_EQ(ConflictRate(r, one), 0.0);
+}
+
+}  // namespace
+}  // namespace diva

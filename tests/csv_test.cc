@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "relation/csv.h"
+#include "tests/test_util.h"
+
+namespace diva {
+namespace {
+
+using testing::MedicalRelation;
+using testing::MedicalSchema;
+
+TEST(CsvTest, RoundTripThroughString) {
+  Relation original = MedicalRelation();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(original, out).ok());
+
+  std::istringstream in(out.str());
+  auto read = ReadCsv(in, MedicalSchema());
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->NumRows(), original.NumRows());
+  for (RowId row = 0; row < original.NumRows(); ++row) {
+    for (size_t col = 0; col < original.NumAttributes(); ++col) {
+      EXPECT_EQ(read->ValueString(row, col), original.ValueString(row, col))
+          << "row " << row << " col " << col;
+    }
+  }
+}
+
+TEST(CsvTest, HeaderValidated) {
+  std::istringstream in("WRONG,ETH,AGE,PRV,CTY,DIAG\n");
+  auto read = ReadCsv(in, MedicalSchema());
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, MissingHeaderRejected) {
+  std::istringstream in("");
+  auto read = ReadCsv(in, MedicalSchema());
+  EXPECT_FALSE(read.ok());
+}
+
+TEST(CsvTest, NoHeaderMode) {
+  std::istringstream in("Female,Asian,30,BC,Vancouver,Flu\n");
+  CsvOptions options;
+  options.has_header = false;
+  auto read = ReadCsv(in, MedicalSchema(), options);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->NumRows(), 1u);
+  EXPECT_EQ(read->ValueString(0, 1), "Asian");
+}
+
+TEST(CsvTest, QuotedFieldsWithDelimiterAndQuotes) {
+  std::istringstream in(
+      "GEN,ETH,AGE,PRV,CTY,DIAG\n"
+      "Female,\"As,ian\",30,BC,\"Van\"\"couver\",Flu\n");
+  auto read = ReadCsv(in, MedicalSchema());
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->ValueString(0, 1), "As,ian");
+  EXPECT_EQ(read->ValueString(0, 4), "Van\"couver");
+}
+
+TEST(CsvTest, QuotedFieldsSurviveRoundTrip) {
+  auto relation = RelationFromRows(
+      MedicalSchema(), {{"Fe,male", "A\"B", "30", "line\nbreak", "v", "d"}});
+  ASSERT_TRUE(relation.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(*relation, out).ok());
+  std::istringstream in(out.str());
+  auto read = ReadCsv(in, MedicalSchema());
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->ValueString(0, 0), "Fe,male");
+  EXPECT_EQ(read->ValueString(0, 1), "A\"B");
+  EXPECT_EQ(read->ValueString(0, 3), "line\nbreak");
+}
+
+TEST(CsvTest, StarsParseAsSuppressed) {
+  std::istringstream in(
+      "GEN,ETH,AGE,PRV,CTY,DIAG\n"
+      "*,Asian,30,BC,★,Flu\n");
+  auto read = ReadCsv(in, MedicalSchema());
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->IsSuppressed(0, 0));
+  EXPECT_TRUE(read->IsSuppressed(0, 4));
+}
+
+TEST(CsvTest, ArityMismatchReportsLine) {
+  std::istringstream in(
+      "GEN,ETH,AGE,PRV,CTY,DIAG\n"
+      "Female,Asian,30,BC,Vancouver,Flu\n"
+      "too,short\n");
+  auto read = ReadCsv(in, MedicalSchema());
+  ASSERT_FALSE(read.ok());
+  EXPECT_NE(read.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(CsvTest, CrLfLineEndings) {
+  std::istringstream in(
+      "GEN,ETH,AGE,PRV,CTY,DIAG\r\n"
+      "Female,Asian,30,BC,Vancouver,Flu\r\n");
+  auto read = ReadCsv(in, MedicalSchema());
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->NumRows(), 1u);
+  EXPECT_EQ(read->ValueString(0, 5), "Flu");
+}
+
+TEST(CsvTest, UnterminatedQuoteRejected) {
+  std::istringstream in(
+      "GEN,ETH,AGE,PRV,CTY,DIAG\n"
+      "\"unterminated,Asian,30,BC,V,Flu\n");
+  auto read = ReadCsv(in, MedicalSchema());
+  EXPECT_FALSE(read.ok());
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const char* path = "csv_test_roundtrip.csv";
+  Relation original = MedicalRelation();
+  ASSERT_TRUE(WriteCsvFile(original, path).ok());
+  auto read = ReadCsvFile(path, MedicalSchema());
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->NumRows(), original.NumRows());
+  std::remove(path);
+}
+
+TEST(CsvTest, MissingFileIsIoError) {
+  auto read = ReadCsvFile("/nonexistent/nope.csv", MedicalSchema());
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace diva

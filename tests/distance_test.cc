@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "anon/distance.h"
+#include "tests/test_util.h"
+
+namespace diva {
+namespace {
+
+using testing::MedicalRelation;
+using testing::MedicalSchema;
+
+TEST(DistanceTest, IdenticalRowsAreZero) {
+  auto r = RelationFromRows(MedicalSchema(),
+                            {
+                                {"F", "Asian", "30", "BC", "V", "Flu"},
+                                {"F", "Asian", "30", "BC", "V", "Cold"},
+                            });
+  ASSERT_TRUE(r.ok());
+  DistanceMetric metric(*r);
+  EXPECT_DOUBLE_EQ(metric.Distance(0, 1), 0.0);  // sensitive ignored
+}
+
+TEST(DistanceTest, SymmetricAndNonNegative) {
+  Relation r = MedicalRelation();
+  DistanceMetric metric(r);
+  for (RowId a = 0; a < r.NumRows(); ++a) {
+    for (RowId b = 0; b < r.NumRows(); ++b) {
+      double d = metric.Distance(a, b);
+      EXPECT_GE(d, 0.0);
+      EXPECT_DOUBLE_EQ(d, metric.Distance(b, a));
+    }
+  }
+}
+
+TEST(DistanceTest, NumericColumnDetected) {
+  Relation r = MedicalRelation();
+  DistanceMetric metric(r);
+  EXPECT_TRUE(metric.IsNumericColumn(2));   // AGE
+  EXPECT_FALSE(metric.IsNumericColumn(1));  // ETH
+}
+
+TEST(DistanceTest, NumericContributionIsNormalized) {
+  Relation r = MedicalRelation();
+  DistanceMetric metric(r);
+  // t1 (Female Caucasian 80 AB Calgary) vs t2 (Female Caucasian 32 AB
+  // Calgary): only AGE differs. Ages span [32, 80] in Table 1, so the
+  // normalized gap is (80-32)/(80-32) = 1.
+  EXPECT_DOUBLE_EQ(metric.Distance(0, 1), (80.0 - 32.0) / (80.0 - 32.0));
+  // t5 vs t6 (African males): AGE 32 vs 43, PRV and CTY differ.
+  EXPECT_NEAR(metric.Distance(4, 5), (43.0 - 32.0) / 48.0 + 2.0, 1e-12);
+}
+
+TEST(DistanceTest, CategoricalIsHamming) {
+  auto r = RelationFromRows(MedicalSchema(),
+                            {
+                                {"F", "Asian", "30", "BC", "V", "x"},
+                                {"M", "African", "30", "AB", "W", "x"},
+                            });
+  ASSERT_TRUE(r.ok());
+  DistanceMetric metric(*r);
+  EXPECT_DOUBLE_EQ(metric.Distance(0, 1), 4.0);  // GEN, ETH, PRV, CTY
+}
+
+TEST(DistanceTest, SuppressedMismatchesEverything) {
+  auto r = RelationFromRows(MedicalSchema(),
+                            {
+                                {"*", "Asian", "30", "BC", "V", "x"},
+                                {"*", "Asian", "30", "BC", "V", "x"},
+                                {"F", "Asian", "30", "BC", "V", "x"},
+                            });
+  ASSERT_TRUE(r.ok());
+  DistanceMetric metric(*r);
+  EXPECT_DOUBLE_EQ(metric.Distance(0, 1), 1.0);  // star vs star
+  EXPECT_DOUBLE_EQ(metric.Distance(0, 2), 1.0);  // star vs value
+}
+
+// --------------------------------------------------- ClusterCostTracker
+
+TEST(ClusterCostTrackerTest, SingletonHasZeroCost) {
+  Relation r = MedicalRelation();
+  ClusterCostTracker tracker(r);
+  tracker.Reset(0);
+  EXPECT_EQ(tracker.size(), 1u);
+  EXPECT_EQ(tracker.TotalCost(), 0u);
+}
+
+TEST(ClusterCostTrackerTest, CostIncreaseMatchesSuppressionDelta) {
+  Relation r = MedicalRelation();
+  ClusterCostTracker tracker(r);
+  // t9 + t10 (rows 8, 9): agree on GEN, ETH; diverge on AGE, PRV, CTY.
+  tracker.Reset(8);
+  // Adding row 9: divergent goes 0 -> 3, cost 2*3 - 1*0 = 6.
+  EXPECT_EQ(tracker.CostIncrease(9), 6u);
+  tracker.Add(9);
+  EXPECT_EQ(tracker.TotalCost(), 6u);
+  // Adding row 7 (t8: Female Asian 58 BC Vancouver): still agrees on GEN
+  // and ETH -> divergent stays 3, cost 3*3 - 2*3 = 3.
+  EXPECT_EQ(tracker.CostIncrease(7), 3u);
+  tracker.Add(7);
+  EXPECT_EQ(tracker.TotalCost(), 9u);
+}
+
+TEST(ClusterCostTrackerTest, IdenticalTupleAddsNothing) {
+  auto r = RelationFromRows(MedicalSchema(),
+                            {
+                                {"F", "Asian", "30", "BC", "V", "a"},
+                                {"F", "Asian", "30", "BC", "V", "b"},
+                            });
+  ASSERT_TRUE(r.ok());
+  ClusterCostTracker tracker(*r);
+  tracker.Reset(0);
+  EXPECT_EQ(tracker.CostIncrease(1), 0u);
+  tracker.Add(1);
+  EXPECT_EQ(tracker.TotalCost(), 0u);
+}
+
+TEST(ClusterCostTrackerTest, TracksAcrossManyAdds) {
+  Relation r = MedicalRelation();
+  ClusterCostTracker tracker(r);
+  tracker.Reset(0);
+  size_t total = 0;
+  for (RowId row = 1; row < r.NumRows(); ++row) {
+    size_t inc = tracker.CostIncrease(row);
+    tracker.Add(row);
+    total += inc;
+    EXPECT_EQ(tracker.TotalCost(), total);
+  }
+  // All 10 tuples in one cluster: every QI column diverges -> 5 * 10.
+  EXPECT_EQ(tracker.TotalCost(), 50u);
+}
+
+}  // namespace
+}  // namespace diva

@@ -1,0 +1,191 @@
+// Randomized mini-workload fuzzing: many small random relations and
+// constraint sets, every algorithm run on each, core invariants checked.
+// Catches interaction bugs that hand-written cases miss.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "anon/anonymizer.h"
+#include "anon/privacy.h"
+#include "anon/suppress.h"
+#include "common/rng.h"
+#include "constraint/generator.h"
+#include "core/diva.h"
+#include "datagen/synthetic.h"
+#include "metrics/metrics.h"
+#include "relation/qi_groups.h"
+
+namespace diva {
+namespace {
+
+struct FuzzWorkload {
+  Relation relation;
+  ConstraintSet constraints;
+  size_t k;
+};
+
+/// Builds a random small workload from a fuzz seed: 20-220 rows, 2-4
+/// categorical QI attributes with random domains and skews, an optional
+/// numeric attribute, one sensitive attribute, 0-6 generated constraints,
+/// k in [2, 8].
+FuzzWorkload MakeWorkload(uint64_t fuzz_seed) {
+  Rng rng(fuzz_seed);
+  SyntheticSpec spec;
+  spec.num_rows = 20 + static_cast<size_t>(rng.NextBounded(200));
+  spec.seed = rng.Next();
+  spec.num_latent_classes = 2 + static_cast<size_t>(rng.NextBounded(12));
+  spec.latent_skew = rng.UniformDouble() * 1.5;
+
+  size_t num_qi = 2 + static_cast<size_t>(rng.NextBounded(3));
+  for (size_t i = 0; i < num_qi; ++i) {
+    AttributeSpec attr;
+    attr.name = "Q" + std::to_string(i);
+    attr.domain_size = 2 + static_cast<size_t>(rng.NextBounded(9));
+    attr.distribution = static_cast<ValueDistribution>(rng.NextBounded(3));
+    attr.zipf_skew = 0.5 + rng.UniformDouble();
+    attr.correlation = rng.UniformDouble() * 0.5;
+    spec.attributes.push_back(attr);
+  }
+  if (rng.NextBounded(2) == 0) {
+    AttributeSpec numeric;
+    numeric.name = "NUM";
+    numeric.kind = AttributeKind::kNumeric;
+    numeric.domain_size = 5 + static_cast<size_t>(rng.NextBounded(40));
+    numeric.numeric_base = static_cast<int64_t>(rng.NextBounded(100));
+    numeric.distribution = ValueDistribution::kGaussian;
+    spec.attributes.push_back(numeric);
+  }
+  AttributeSpec sensitive;
+  sensitive.name = "S";
+  sensitive.role = AttributeRole::kSensitive;
+  sensitive.domain_size = 2 + static_cast<size_t>(rng.NextBounded(6));
+  spec.attributes.push_back(sensitive);
+
+  auto relation = GenerateSynthetic(spec);
+  DIVA_CHECK_MSG(relation.ok(), relation.status().ToString());
+
+  size_t k = 2 + static_cast<size_t>(rng.NextBounded(7));
+
+  ConstraintGenOptions gen;
+  gen.count = static_cast<size_t>(rng.NextBounded(7));
+  gen.min_support = 2;
+  gen.slack = 0.1 + rng.UniformDouble() * 0.5;
+  gen.kind = static_cast<ConstraintClass>(rng.NextBounded(3));
+  gen.seed = rng.Next();
+  if (rng.NextBounded(2) == 0) {
+    gen.target_conflict = rng.UniformDouble();
+  }
+  ConstraintSet constraints;
+  auto generated = GenerateConstraints(*relation, gen);
+  if (generated.ok()) constraints = std::move(generated).value();
+
+  return {std::move(relation).value(), std::move(constraints), k};
+}
+
+class FuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzTest, BaselinesAlwaysKAnonymous) {
+  FuzzWorkload workload = MakeWorkload(GetParam());
+  if (workload.relation.NumRows() < workload.k) GTEST_SKIP();
+  for (BaselineAlgorithm algorithm :
+       {BaselineAlgorithm::kKMember, BaselineAlgorithm::kOka,
+        BaselineAlgorithm::kMondrian}) {
+    DivaOptions factory;
+    factory.baseline = algorithm;
+    factory.anonymizer.seed = GetParam();
+    auto anonymizer = MakeBaselineAnonymizer(factory);
+    auto result = Anonymize(anonymizer.get(), workload.relation, workload.k);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(IsKAnonymous(*result, workload.k))
+        << BaselineAlgorithmToString(algorithm) << " seed " << GetParam();
+  }
+}
+
+TEST_P(FuzzTest, DivaInvariantsHold) {
+  FuzzWorkload workload = MakeWorkload(GetParam());
+  if (workload.relation.NumRows() < workload.k) GTEST_SKIP();
+
+  DivaOptions options;
+  options.k = workload.k;
+  options.seed = GetParam() * 31 + 1;
+  options.coloring_budget = 20000;
+  auto result = RunDiva(workload.relation, workload.constraints, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Invariant 1: k-anonymity, always.
+  EXPECT_TRUE(IsKAnonymous(result->relation, workload.k))
+      << "seed " << GetParam();
+  // Invariant 2: upper bounds, always.
+  for (const auto& constraint : workload.constraints) {
+    EXPECT_LE(constraint.CountOccurrences(result->relation),
+              constraint.upper())
+        << constraint.ToString() << " seed " << GetParam();
+  }
+  // Invariant 3: complete coloring => Sigma satisfied.
+  if (result->report.clustering_complete) {
+    EXPECT_TRUE(SatisfiesAll(result->relation, workload.constraints))
+        << "seed " << GetParam();
+  }
+  // Invariant 4: suppression-only output (modulo blanked identifiers).
+  for (RowId row = 0; row < workload.relation.NumRows(); ++row) {
+    for (size_t col = 0; col < workload.relation.NumAttributes(); ++col) {
+      if (!result->relation.IsSuppressed(row, col)) {
+        EXPECT_EQ(result->relation.At(row, col),
+                  workload.relation.At(row, col));
+      }
+    }
+  }
+  // Invariant 5: accuracy within [0, 1].
+  double accuracy =
+      OverallAccuracy(result->relation, workload.k, workload.constraints);
+  EXPECT_GE(accuracy, 0.0);
+  EXPECT_LE(accuracy, 1.0);
+}
+
+TEST_P(FuzzTest, DivaIsDeterministic) {
+  FuzzWorkload workload = MakeWorkload(GetParam());
+  if (workload.relation.NumRows() < workload.k) GTEST_SKIP();
+  DivaOptions options;
+  options.k = workload.k;
+  options.seed = GetParam();
+  options.coloring_budget = 10000;
+  auto a = RunDiva(workload.relation, workload.constraints, options);
+  auto b = RunDiva(workload.relation, workload.constraints, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (RowId row = 0; row < workload.relation.NumRows(); ++row) {
+    for (size_t col = 0; col < workload.relation.NumAttributes(); ++col) {
+      ASSERT_EQ(a->relation.At(row, col), b->relation.At(row, col))
+          << "seed " << GetParam();
+    }
+  }
+}
+
+TEST_P(FuzzTest, PrivacyEnforcementUpgrades) {
+  FuzzWorkload workload = MakeWorkload(GetParam());
+  if (workload.relation.NumRows() < workload.k) GTEST_SKIP();
+  auto anonymizer = MakeKMember({});
+  std::vector<RowId> rows(workload.relation.NumRows());
+  std::iota(rows.begin(), rows.end(), 0);
+  auto clusters =
+      anonymizer->BuildClusters(workload.relation, rows, workload.k);
+  ASSERT_TRUE(clusters.ok());
+  Relation out = workload.relation;
+  SuppressClustersInPlace(&out, *clusters);
+
+  size_t l = 2;
+  if (CountDistinctSensitiveProjections(out) >= l) {
+    auto merged = EnforceLDiversity(&out, *clusters, l);
+    ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+    EXPECT_TRUE(IsDistinctLDiverse(out, l)) << "seed " << GetParam();
+    EXPECT_TRUE(IsKAnonymous(out, workload.k)) << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range<uint64_t>(1, 33),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace diva

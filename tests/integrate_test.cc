@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "anon/suppress.h"
+#include "core/integrate.h"
+#include "relation/qi_groups.h"
+#include "tests/test_util.h"
+
+namespace diva {
+namespace {
+
+using testing::MedicalRelation;
+using testing::MedicalSchema;
+using testing::MustParse;
+
+TEST(IntegrateTest, NoViolationIsNoOp) {
+  Relation r = MedicalRelation();
+  ConstraintSet constraints = {MustParse(*MedicalSchema(),
+                                         "ETH[Asian] in [2,5]")};
+  Clustering rk = {{0, 1, 2}};
+  IntegrateStats stats = IntegrateRepair(&r, constraints, rk);
+  EXPECT_EQ(stats.repaired_constraints, 0u);
+  EXPECT_EQ(stats.suppressed_cells, 0u);
+  EXPECT_EQ(r.ValueString(7, 1), "Asian");
+}
+
+TEST(IntegrateTest, QiUpperBoundRepairedByWholeClusters) {
+  // Build a relation where a QI-only constraint is over-satisfied by the
+  // R_k side: six identical Asian rows in two clusters of three, with an
+  // upper bound of 4.
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 6; ++i) {
+    rows.push_back({"F", "Asian", "30", "BC", "V", "Flu"});
+  }
+  auto relation = RelationFromRows(MedicalSchema(), rows);
+  ASSERT_TRUE(relation.ok());
+  Relation r = std::move(relation).value();
+
+  ConstraintSet constraints = {MustParse(*MedicalSchema(),
+                                         "ETH[Asian] in [0,4]")};
+  Clustering rk = {{0, 1, 2}, {3, 4, 5}};
+  SuppressClustersInPlace(&r, rk);  // no-op: rows identical
+  ASSERT_EQ(constraints[0].CountOccurrences(r), 6u);
+
+  IntegrateStats stats = IntegrateRepair(&r, constraints, rk);
+  EXPECT_EQ(stats.repaired_constraints, 1u);
+  // Excess = 2, smallest covering cluster has 3 rows.
+  EXPECT_EQ(stats.suppressed_cells, 3u);
+  EXPECT_LE(constraints[0].CountOccurrences(r), 4u);
+  // k-anonymity (k = 3) still holds: the repaired cluster is uniform.
+  EXPECT_TRUE(IsKAnonymous(r, 3));
+}
+
+TEST(IntegrateTest, PicksSmallestCoveringCluster) {
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 9; ++i) {
+    rows.push_back({"F", "Asian", "30", "BC", "V", "Flu"});
+  }
+  auto relation = RelationFromRows(MedicalSchema(), rows);
+  ASSERT_TRUE(relation.ok());
+  Relation r = std::move(relation).value();
+  ConstraintSet constraints = {MustParse(*MedicalSchema(),
+                                         "ETH[Asian] in [0,7]")};
+  // Clusters of sizes 2, 3, 4; excess = 2 -> the size-2 cluster suffices.
+  Clustering rk = {{0, 1}, {2, 3, 4}, {5, 6, 7, 8}};
+  IntegrateStats stats = IntegrateRepair(&r, constraints, rk);
+  EXPECT_EQ(stats.suppressed_cells, 2u);
+  EXPECT_EQ(constraints[0].CountOccurrences(r), 7u);
+}
+
+TEST(IntegrateTest, CombinesClustersWhenOneIsNotEnough) {
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 9; ++i) {
+    rows.push_back({"F", "Asian", "30", "BC", "V", "Flu"});
+  }
+  auto relation = RelationFromRows(MedicalSchema(), rows);
+  ASSERT_TRUE(relation.ok());
+  Relation r = std::move(relation).value();
+  ConstraintSet constraints = {MustParse(*MedicalSchema(),
+                                         "ETH[Asian] in [0,1]")};
+  // Excess = 8; clusters 2+3+4 = 9 rows; repair should remove >= 8.
+  Clustering rk = {{0, 1}, {2, 3, 4}, {5, 6, 7, 8}};
+  IntegrateStats stats = IntegrateRepair(&r, constraints, rk);
+  EXPECT_LE(constraints[0].CountOccurrences(r), 1u);
+  EXPECT_GE(stats.suppressed_cells, 8u);
+}
+
+TEST(IntegrateTest, SensitiveTargetRepairedCellWise) {
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 5; ++i) {
+    rows.push_back({"F", "Asian", "30", "BC", "V", "Flu"});
+  }
+  auto relation = RelationFromRows(MedicalSchema(), rows);
+  ASSERT_TRUE(relation.ok());
+  Relation r = std::move(relation).value();
+  ConstraintSet constraints = {MustParse(*MedicalSchema(),
+                                         "DIAG[Flu] in [0,3]")};
+  Clustering rk = {{0, 1, 2, 3, 4}};
+  IntegrateStats stats = IntegrateRepair(&r, constraints, rk);
+  // Exactly the excess (2) sensitive cells suppressed — no overshoot.
+  EXPECT_EQ(stats.suppressed_cells, 2u);
+  EXPECT_EQ(constraints[0].CountOccurrences(r), 3u);
+  // QI cells untouched; group intact.
+  EXPECT_TRUE(IsKAnonymous(r, 5));
+}
+
+TEST(IntegrateTest, MixedTargetPrefersSensitiveCell) {
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 4; ++i) {
+    rows.push_back({"F", "Asian", "30", "BC", "V", "Flu"});
+  }
+  auto relation = RelationFromRows(MedicalSchema(), rows);
+  ASSERT_TRUE(relation.ok());
+  Relation r = std::move(relation).value();
+  ConstraintSet constraints = {MustParse(*MedicalSchema(),
+                                         "ETH,DIAG[Asian,Flu] in [0,2]")};
+  Clustering rk = {{0, 1, 2, 3}};
+  IntegrateStats stats = IntegrateRepair(&r, constraints, rk);
+  EXPECT_EQ(stats.suppressed_cells, 2u);
+  EXPECT_EQ(constraints[0].CountOccurrences(r), 2u);
+  // The QI column survived (repair used DIAG cells).
+  for (RowId row = 0; row < 4; ++row) {
+    EXPECT_FALSE(r.IsSuppressed(row, 1));
+  }
+}
+
+TEST(IntegrateTest, MultipleConstraintsRepairedIndependently) {
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 4; ++i) rows.push_back({"F", "Asian", "30", "BC", "V", "Flu"});
+  for (int i = 0; i < 4; ++i) rows.push_back({"M", "African", "30", "BC", "W", "Cold"});
+  auto relation = RelationFromRows(MedicalSchema(), rows);
+  ASSERT_TRUE(relation.ok());
+  Relation r = std::move(relation).value();
+  ConstraintSet constraints = {
+      MustParse(*MedicalSchema(), "ETH[Asian] in [0,2]"),
+      MustParse(*MedicalSchema(), "ETH[African] in [0,2]"),
+  };
+  Clustering rk = {{0, 1, 2, 3}, {4, 5, 6, 7}};
+  IntegrateStats stats = IntegrateRepair(&r, constraints, rk);
+  EXPECT_EQ(stats.repaired_constraints, 2u);
+  EXPECT_LE(constraints[0].CountOccurrences(r), 2u);
+  EXPECT_LE(constraints[1].CountOccurrences(r), 2u);
+}
+
+TEST(IntegrateTest, RepairOfOneConstraintCanFixAnother) {
+  // Two constraints targeting the same column value: repairing the first
+  // also lowers the second's count; the second must then not over-repair.
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 6; ++i) rows.push_back({"F", "Asian", "30", "BC", "V", "Flu"});
+  auto relation = RelationFromRows(MedicalSchema(), rows);
+  ASSERT_TRUE(relation.ok());
+  Relation r = std::move(relation).value();
+  ConstraintSet constraints = {
+      MustParse(*MedicalSchema(), "ETH[Asian] in [0,3]"),
+      MustParse(*MedicalSchema(), "ETH,CTY[Asian,V] in [0,3]"),
+  };
+  Clustering rk = {{0, 1, 2}, {3, 4, 5}};
+  IntegrateStats stats = IntegrateRepair(&r, constraints, rk);
+  EXPECT_EQ(stats.repaired_constraints, 1u);  // second already fixed
+  EXPECT_LE(constraints[0].CountOccurrences(r), 3u);
+  EXPECT_LE(constraints[1].CountOccurrences(r), 3u);
+}
+
+}  // namespace
+}  // namespace diva

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "anon/anonymizer.h"
+#include "metrics/metrics.h"
+#include "tests/test_util.h"
+
+namespace diva {
+namespace {
+
+using testing::MedicalConstraints;
+using testing::MedicalRelation;
+using testing::MedicalSchema;
+using testing::MustParse;
+
+Relation PaperTable2() {
+  auto r = RelationFromRows(
+      MedicalSchema(),
+      {
+          {"*", "Caucasian", "*", "AB", "Calgary", "Hypertension"},
+          {"*", "Caucasian", "*", "AB", "Calgary", "Tuberculosis"},
+          {"*", "Caucasian", "*", "AB", "Calgary", "Osteoarthritis"},
+          {"Male", "*", "*", "*", "*", "Migraine"},
+          {"Male", "*", "*", "*", "*", "Hypertension"},
+          {"Male", "*", "*", "*", "*", "Seizure"},
+          {"Male", "*", "*", "*", "*", "Hypertension"},
+          {"Female", "Asian", "*", "*", "*", "Seizure"},
+          {"Female", "Asian", "*", "*", "*", "Influenza"},
+          {"Female", "Asian", "*", "*", "*", "Migraine"},
+      });
+  DIVA_CHECK(r.ok());
+  return std::move(r).value();
+}
+
+TEST(MetricsTest, CountStars) {
+  EXPECT_EQ(CountStars(MedicalRelation()), 0u);
+  // Table 2: rows 1-3 have 2 stars each, rows 4-7 have 4, rows 8-10 have 3.
+  EXPECT_EQ(CountStars(PaperTable2()), 3u * 2 + 4u * 4 + 3u * 3);
+}
+
+TEST(MetricsTest, SuppressionRatio) {
+  EXPECT_DOUBLE_EQ(SuppressionRatio(MedicalRelation()), 0.0);
+  // 31 stars over 10 rows x 5 QI attributes.
+  EXPECT_DOUBLE_EQ(SuppressionRatio(PaperTable2()), 31.0 / 50.0);
+  Relation empty(MedicalSchema());
+  EXPECT_DOUBLE_EQ(SuppressionRatio(empty), 0.0);
+}
+
+TEST(MetricsTest, DiscernibilityOnHandCases) {
+  // Table 2 groups: {3, 4, 3} with k = 3 -> 9 + 16 + 9 = 34.
+  EXPECT_EQ(Discernibility(PaperTable2(), 3), 34u);
+  // Table 1: ten singleton groups, all below k = 3 -> 10 * (10 * 1) = 100.
+  EXPECT_EQ(Discernibility(MedicalRelation(), 3), 100u);
+  // With k = 1, singletons are fine: 10 * 1 = 10.
+  EXPECT_EQ(Discernibility(MedicalRelation(), 1), 10u);
+}
+
+TEST(MetricsTest, DiscernibilityAccuracyBounds) {
+  // Perfectly k-grouped relation scores close to 1 (Table 2 is nearly
+  // optimal for k=3: groups of 3,4,3 vs ideal 3,3,3(,1)).
+  double acc = DiscernibilityAccuracy(PaperTable2(), 3);
+  EXPECT_GT(acc, 0.9);
+  EXPECT_LE(acc, 1.0);
+  // Table 1 under k = 3: all groups undersized -> disc = N^2 -> accuracy 0.
+  EXPECT_DOUBLE_EQ(DiscernibilityAccuracy(MedicalRelation(), 3), 0.0);
+  // Degenerate n <= k.
+  EXPECT_DOUBLE_EQ(DiscernibilityAccuracy(MedicalRelation(), 10), 1.0);
+  Relation empty(MedicalSchema());
+  EXPECT_DOUBLE_EQ(DiscernibilityAccuracy(empty, 5), 1.0);
+}
+
+TEST(MetricsTest, MoreMergingLowersDiscAccuracy) {
+  // One giant group (all cells suppressed) must score worse than the
+  // paper's Table 2 grouping.
+  Relation all_merged = MedicalRelation();
+  Clustering one_cluster = {{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}};
+  auto anonymizer = MakeKMember({});
+  // Suppress everything by hand: a single 10-row cluster.
+  for (RowId row = 0; row < all_merged.NumRows(); ++row) {
+    for (size_t col : all_merged.schema().qi_indices()) {
+      all_merged.Set(row, col, kSuppressed);
+    }
+  }
+  EXPECT_LT(DiscernibilityAccuracy(all_merged, 3),
+            DiscernibilityAccuracy(PaperTable2(), 3));
+  EXPECT_DOUBLE_EQ(DiscernibilityAccuracy(all_merged, 3), 0.0);
+}
+
+TEST(MetricsTest, SatisfiedFraction) {
+  Relation r = MedicalRelation();
+  auto schema = MedicalSchema();
+  ConstraintSet constraints = MedicalConstraints(*schema);
+  EXPECT_DOUBLE_EQ(SatisfiedFraction(r, constraints), 1.0);
+  EXPECT_DOUBLE_EQ(SatisfiedFraction(r, {}), 1.0);
+
+  constraints.push_back(MustParse(*schema, "ETH[Asian] in [9,9]"));
+  EXPECT_DOUBLE_EQ(SatisfiedFraction(r, constraints), 0.75);
+}
+
+TEST(MetricsTest, OverallAccuracyIsProduct) {
+  Relation r = PaperTable2();
+  auto schema = MedicalSchema();
+  ConstraintSet half_violated = {
+      MustParse(*schema, "ETH[Asian] in [2,5]"),   // satisfied (3 Asians)
+      MustParse(*schema, "ETH[African] in [1,3]"),  // violated (0 survive)
+  };
+  double expected =
+      DiscernibilityAccuracy(r, 3) * SatisfiedFraction(r, half_violated);
+  EXPECT_DOUBLE_EQ(OverallAccuracy(r, 3, half_violated), expected);
+  EXPECT_DOUBLE_EQ(SatisfiedFraction(r, half_violated), 0.5);
+}
+
+}  // namespace
+}  // namespace diva

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "anon/anonymizer.h"
+#include "core/diva.h"
+#include "metrics/query.h"
+#include "tests/test_util.h"
+
+namespace diva {
+namespace {
+
+using testing::MedicalConstraints;
+using testing::MedicalRelation;
+using testing::MedicalSchema;
+using testing::MustParse;
+
+TEST(QueryTest, ExactOnUnsuppressedData) {
+  Relation r = MedicalRelation();
+  auto asians = CountValue(r, "ETH", "Asian");
+  ASSERT_TRUE(asians.ok());
+  EXPECT_EQ(asians->certain, 3u);
+  EXPECT_EQ(asians->possible, 3u);
+  EXPECT_DOUBLE_EQ(UncertaintyRatio(*asians), 0.0);
+}
+
+TEST(QueryTest, UnknownAttributeRejected) {
+  Relation r = MedicalRelation();
+  EXPECT_FALSE(CountValue(r, "ZODIAC", "Leo").ok());
+  EXPECT_FALSE(Histogram(r, "ZODIAC").ok());
+}
+
+TEST(QueryTest, UnknownValueHasOnlySuppressedUpside) {
+  auto r = RelationFromRows(MedicalSchema(),
+                            {
+                                {"F", "*", "30", "BC", "V", "x"},
+                                {"F", "Asian", "30", "BC", "V", "x"},
+                            });
+  ASSERT_TRUE(r.ok());
+  auto bounds = CountValue(*r, "ETH", "Martian");
+  ASSERT_TRUE(bounds.ok());
+  EXPECT_EQ(bounds->certain, 0u);
+  EXPECT_EQ(bounds->possible, 1u);  // the star could be anything
+}
+
+TEST(QueryTest, SuppressionWidensBounds) {
+  auto r = RelationFromRows(MedicalSchema(),
+                            {
+                                {"F", "Asian", "30", "BC", "V", "x"},
+                                {"F", "*", "30", "BC", "V", "x"},
+                                {"F", "African", "30", "BC", "V", "x"},
+                            });
+  ASSERT_TRUE(r.ok());
+  auto bounds = CountValue(*r, "ETH", "Asian");
+  ASSERT_TRUE(bounds.ok());
+  EXPECT_EQ(bounds->certain, 1u);
+  EXPECT_EQ(bounds->possible, 2u);
+  EXPECT_DOUBLE_EQ(UncertaintyRatio(*bounds), 0.5);
+}
+
+TEST(QueryTest, MultiAttributeTargetBounds) {
+  auto r = RelationFromRows(MedicalSchema(),
+                            {
+                                {"Male", "African", "30", "BC", "V", "x"},
+                                {"Male", "*", "30", "BC", "V", "x"},
+                                {"Female", "*", "30", "BC", "V", "x"},
+                                {"Male", "Asian", "30", "BC", "V", "x"},
+                            });
+  ASSERT_TRUE(r.ok());
+  auto constraint = MustParse(*MedicalSchema(),
+                              "GEN,ETH[Male,African] in [0,9]");
+  CountBounds bounds = CountTarget(*r, constraint);
+  EXPECT_EQ(bounds.certain, 1u);   // row 0
+  EXPECT_EQ(bounds.possible, 2u);  // row 1 compatible; rows 2-3 not
+}
+
+TEST(QueryTest, HistogramBounds) {
+  auto r = RelationFromRows(MedicalSchema(),
+                            {
+                                {"F", "Asian", "30", "BC", "V", "x"},
+                                {"F", "Asian", "30", "BC", "V", "x"},
+                                {"F", "African", "30", "BC", "V", "x"},
+                                {"F", "*", "30", "BC", "V", "x"},
+                            });
+  ASSERT_TRUE(r.ok());
+  auto histogram = Histogram(*r, "ETH");
+  ASSERT_TRUE(histogram.ok());
+  EXPECT_EQ(histogram->at("Asian"), (CountBounds{2, 3}));
+  EXPECT_EQ(histogram->at("African"), (CountBounds{1, 2}));
+  EXPECT_EQ(histogram->size(), 2u);  // stars are not a value
+}
+
+TEST(QueryTest, TruthAlwaysInsideBounds) {
+  // Property: for any anonymization of R, the original count lies within
+  // [certain, possible] of the published relation.
+  Relation original = MedicalRelation();
+  auto kmember = MakeKMember({});
+  auto published = Anonymize(kmember.get(), original, 3);
+  ASSERT_TRUE(published.ok());
+
+  for (const char* value : {"Asian", "African", "Caucasian"}) {
+    auto truth = CountValue(original, "ETH", value);
+    auto bounds = CountValue(*published, "ETH", value);
+    ASSERT_TRUE(truth.ok() && bounds.ok());
+    EXPECT_GE(truth->certain, bounds->certain) << value;
+    EXPECT_LE(truth->certain, bounds->possible) << value;
+  }
+}
+
+TEST(QueryTest, DivaKeepsConstraintCountsCertain) {
+  // The point of DIVA: counts targeted by Sigma stay certain (within
+  // bounds) instead of dissolving into uncertainty.
+  Relation r = MedicalRelation();
+  ConstraintSet constraints = MedicalConstraints(*MedicalSchema());
+  DivaOptions options;
+  options.k = 2;
+  auto result = RunDiva(r, constraints, options);
+  ASSERT_TRUE(result.ok());
+  for (const auto& constraint : constraints) {
+    CountBounds bounds = CountTarget(result->relation, constraint);
+    EXPECT_GE(bounds.certain, constraint.lower()) << constraint.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace diva

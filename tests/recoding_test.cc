@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "hierarchy/recoding.h"
+#include "relation/qi_groups.h"
+#include "tests/test_util.h"
+
+namespace diva {
+namespace {
+
+using testing::MedicalRelation;
+using testing::MedicalSchema;
+
+GeneralizationContext MedicalContext() {
+  GeneralizationContext context(6);
+  auto geography = Taxonomy::FromText(
+      "Calgary,West\n"
+      "Vancouver,West\n"
+      "Winnipeg,Central\n"
+      "West,Canada\n"
+      "Central,Canada\n");
+  DIVA_CHECK(geography.ok());
+  context.SetTaxonomy(4, std::move(geography).value());  // CTY
+  auto age = Taxonomy::Intervals(0, 99, 10);
+  DIVA_CHECK(age.ok());
+  context.SetTaxonomy(2, std::move(age).value());  // AGE
+  return context;
+}
+
+TEST(RecodingVectorTest, HeightAndToString) {
+  RecodingVector vector;
+  vector.levels = {1, 0, 2};
+  EXPECT_EQ(vector.Height(), 3u);
+  EXPECT_EQ(vector.ToString(), "[1,0,2]");
+}
+
+TEST(GlobalRecoderTest, MaxLevels) {
+  Relation r = MedicalRelation();
+  GlobalRecoder recoder(r, MedicalContext());
+  EXPECT_EQ(recoder.MaxLevel(0), 1u);  // GEN: no taxonomy -> 0/1
+  EXPECT_EQ(recoder.MaxLevel(2), 2u);  // AGE intervals: leaf->decade->root
+  EXPECT_EQ(recoder.MaxLevel(4), 2u);  // CTY: city->region->Canada
+  EXPECT_EQ(recoder.MaxLevel(5), 0u);  // DIAG: sensitive, never recoded
+}
+
+TEST(GlobalRecoderTest, IdentityVectorIsNoOp) {
+  Relation r = MedicalRelation();
+  GlobalRecoder recoder(r, MedicalContext());
+  auto recoded = recoder.Apply(recoder.BottomVector());
+  ASSERT_TRUE(recoded.ok());
+  for (RowId row = 0; row < r.NumRows(); ++row) {
+    for (size_t col = 0; col < r.NumAttributes(); ++col) {
+      EXPECT_EQ(recoded->At(row, col), r.At(row, col));
+    }
+  }
+}
+
+TEST(GlobalRecoderTest, FullDomainSemantics) {
+  // Level 1 on CTY: EVERY city becomes its region, everywhere.
+  Relation r = MedicalRelation();
+  GlobalRecoder recoder(r, MedicalContext());
+  RecodingVector vector = recoder.BottomVector();
+  vector.levels[4] = 1;
+  auto recoded = recoder.Apply(vector);
+  ASSERT_TRUE(recoded.ok());
+  for (RowId row = 0; row < recoded->NumRows(); ++row) {
+    std::string city = recoded->ValueString(row, 4);
+    EXPECT_TRUE(city == "West" || city == "Central") << city;
+  }
+  // Level 2: everything is Canada.
+  vector.levels[4] = 2;
+  recoded = recoder.Apply(vector);
+  ASSERT_TRUE(recoded.ok());
+  for (RowId row = 0; row < recoded->NumRows(); ++row) {
+    EXPECT_EQ(recoded->ValueString(row, 4), "Canada");
+  }
+}
+
+TEST(GlobalRecoderTest, NoTaxonomyLevelOneSuppresses) {
+  Relation r = MedicalRelation();
+  GlobalRecoder recoder(r, MedicalContext());
+  RecodingVector vector = recoder.BottomVector();
+  vector.levels[0] = 1;  // GEN
+  auto recoded = recoder.Apply(vector);
+  ASSERT_TRUE(recoded.ok());
+  for (RowId row = 0; row < recoded->NumRows(); ++row) {
+    EXPECT_TRUE(recoded->IsSuppressed(row, 0));
+  }
+}
+
+TEST(GlobalRecoderTest, InvalidVectorsRejected) {
+  Relation r = MedicalRelation();
+  GlobalRecoder recoder(r, MedicalContext());
+  RecodingVector wrong_arity;
+  wrong_arity.levels = {0, 0};
+  EXPECT_FALSE(recoder.Apply(wrong_arity).ok());
+
+  RecodingVector too_high = recoder.BottomVector();
+  too_high.levels[4] = 9;
+  EXPECT_FALSE(recoder.Apply(too_high).ok());
+
+  RecodingVector sensitive = recoder.BottomVector();
+  sensitive.levels[5] = 1;
+  EXPECT_FALSE(recoder.Apply(sensitive).ok());
+}
+
+TEST(GlobalRecoderTest, FindMinimalRecodingIsKAnonymousAndMinimal) {
+  Relation r = MedicalRelation();
+  GlobalRecoder recoder(r, MedicalContext());
+  auto result = recoder.FindMinimalRecoding(2);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(IsKAnonymous(result->relation, 2));
+  EXPECT_GT(result->vector.Height(), 0u);  // Table 1 is not 2-anonymous raw
+
+  // Minimality: no vector of smaller height is k-anonymous. (Exhaustive
+  // re-check over the small lattice.)
+  size_t height = result->vector.Height();
+  std::vector<size_t> qi = r.schema().qi_indices();
+  std::vector<size_t> caps;
+  for (size_t attr : qi) caps.push_back(recoder.MaxLevel(attr));
+  std::vector<size_t> levels(qi.size(), 0);
+  std::function<void(size_t)> walk = [&](size_t i) {
+    if (i == qi.size()) {
+      RecodingVector vector = recoder.BottomVector();
+      size_t total = 0;
+      for (size_t j = 0; j < qi.size(); ++j) {
+        vector.levels[qi[j]] = levels[j];
+        total += levels[j];
+      }
+      if (total < height) {
+        auto recoded = recoder.Apply(vector);
+        ASSERT_TRUE(recoded.ok());
+        EXPECT_FALSE(IsKAnonymous(*recoded, 2))
+            << "smaller vector " << vector.ToString() << " is 2-anonymous";
+      }
+      return;
+    }
+    for (levels[i] = 0; levels[i] <= caps[i]; ++levels[i]) walk(i + 1);
+    levels[i] = 0;
+  };
+  walk(0);
+}
+
+TEST(GlobalRecoderTest, LargerKNeedsMoreGeneralization) {
+  Relation r = MedicalRelation();
+  GlobalRecoder recoder(r, MedicalContext());
+  auto k2 = recoder.FindMinimalRecoding(2);
+  auto k5 = recoder.FindMinimalRecoding(5);
+  ASSERT_TRUE(k2.ok() && k5.ok());
+  EXPECT_LE(k2->vector.Height(), k5->vector.Height());
+  EXPECT_LE(k2->ncp, k5->ncp + 1e-12);
+  EXPECT_TRUE(IsKAnonymous(k5->relation, 5));
+}
+
+TEST(GlobalRecoderTest, InfeasibleWhenFewerRowsThanK) {
+  auto r = RelationFromRows(MedicalSchema(),
+                            {{"F", "Asian", "30", "BC", "Vancouver", "x"}});
+  ASSERT_TRUE(r.ok());
+  GlobalRecoder recoder(*r, MedicalContext());
+  auto result = recoder.FindMinimalRecoding(2);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(GlobalRecoderTest, TopVectorAlwaysKAnonymousForSmallK) {
+  // With every QI at its root, all rows are indistinguishable.
+  Relation r = MedicalRelation();
+  GlobalRecoder recoder(r, MedicalContext());
+  RecodingVector top = recoder.BottomVector();
+  for (size_t attr : r.schema().qi_indices()) {
+    top.levels[attr] = recoder.MaxLevel(attr);
+  }
+  auto recoded = recoder.Apply(top);
+  ASSERT_TRUE(recoded.ok());
+  EXPECT_TRUE(IsKAnonymous(*recoded, r.NumRows()));
+}
+
+}  // namespace
+}  // namespace diva

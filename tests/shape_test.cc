@@ -1,0 +1,135 @@
+// Shape-regression tests: scaled-down versions of the paper's headline
+// comparisons, asserted with generous margins. These guard the
+// *qualitative* claims EXPERIMENTS.md reports — if a refactor breaks
+// "DIVA beats the plain baselines under diversity constraints" or
+// "uniform data colors better than Zipfian", a unit test should say so,
+// not a human reading benchmark output.
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_common.h"
+#include "constraint/generator.h"
+#include "core/diva.h"
+#include "datagen/profiles.h"
+#include "metrics/metrics.h"
+
+namespace diva {
+namespace {
+
+using bench::RunBaselineOnce;
+using bench::RunDivaOnce;
+
+/// Fig 5a's headline at one point: on a Credit-style workload with
+/// minority-value constraints, DIVA's accuracy beats every plain
+/// baseline by a wide margin.
+TEST(ShapeTest, DivaBeatsBaselinesOnCredit) {
+  ProfileOptions profile_options;
+  profile_options.seed = 21;
+  auto credit = GenerateProfile(DatasetProfile::kCredit, profile_options);
+  ASSERT_TRUE(credit.ok());
+  ConstraintGenOptions gen;
+  gen.count = 18;
+  gen.min_support = 25;
+  gen.slack = 0.2;
+  gen.seed = 21;
+  auto constraints = GenerateConstraints(*credit, gen);
+  ASSERT_TRUE(constraints.ok());
+
+  double diva =
+      RunDivaOnce(*credit, *constraints, SelectionStrategy::kMinChoice,
+                  /*k=*/10, /*seed=*/1000)
+          .accuracy;
+  for (BaselineAlgorithm baseline :
+       {BaselineAlgorithm::kKMember, BaselineAlgorithm::kOka,
+        BaselineAlgorithm::kMondrian}) {
+    double score =
+        RunBaselineOnce(*credit, *constraints, baseline, 10, 1000).accuracy;
+    EXPECT_GT(diva, score + 0.05) << BaselineAlgorithmToString(baseline);
+  }
+  EXPECT_GT(diva, 0.8);
+}
+
+/// Fig 4d's headline: uniform characteristic values color better than
+/// Zipfian ones.
+TEST(ShapeTest, UniformColorsBetterThanZipfian) {
+  auto run = [](ValueDistribution distribution) {
+    ProfileOptions profile_options;
+    profile_options.num_rows = 2000;
+    profile_options.characteristic_distribution = distribution;
+    profile_options.seed = 13;
+    auto popsyn = GenerateProfile(DatasetProfile::kPopSyn, profile_options);
+    DIVA_CHECK(popsyn.ok());
+    ConstraintGenOptions gen;
+    gen.count = 8;
+    gen.min_support = 30;
+    gen.seed = 13;
+    auto constraints = GenerateConstraints(*popsyn, gen);
+    DIVA_CHECK_MSG(constraints.ok(), constraints.status().ToString());
+    return RunDivaOnce(*popsyn, *constraints, SelectionStrategy::kMinChoice,
+                       15, 1000)
+        .accuracy;
+  };
+  double uniform = run(ValueDistribution::kUniform);
+  double zipfian = run(ValueDistribution::kZipfian);
+  EXPECT_GE(uniform, zipfian - 0.02);
+}
+
+/// Fig 4a's headline: DIVA-Basic searches orders of magnitude more than
+/// the selective strategies (steps, not seconds — immune to machine
+/// load).
+TEST(ShapeTest, BasicSearchesMoreThanMinChoice) {
+  // The fig4a configuration at |Sigma| = 20: MinChoice colors the set in
+  // ~|Sigma| steps, Basic's shuffled pool backtracks by the tens of
+  // thousands.
+  ProfileOptions profile_options;
+  profile_options.num_rows = 9000;
+  profile_options.seed = 5;
+  auto census = GenerateProfile(DatasetProfile::kCensus, profile_options);
+  ASSERT_TRUE(census.ok());
+  ConstraintGenOptions gen;
+  gen.count = 20;
+  gen.min_support = 60;
+  gen.seed = 5;
+  auto constraints = GenerateConstraints(*census, gen);
+  ASSERT_TRUE(constraints.ok());
+
+  auto steps = [&](SelectionStrategy strategy) {
+    DivaOptions options;
+    options.k = 30;
+    options.strategy = strategy;
+    options.seed = 1000;
+    options.coloring_budget = 150000;
+    auto result = RunDiva(*census, *constraints, options);
+    DIVA_CHECK(result.ok());
+    return result->report.coloring_steps;
+  };
+  uint64_t min_choice = steps(SelectionStrategy::kMinChoice);
+  uint64_t basic = steps(SelectionStrategy::kBasic);
+  EXPECT_GT(basic, 2 * min_choice);
+}
+
+/// Fig 5a's k-trend: DIVA accuracy does not improve as k grows.
+TEST(ShapeTest, AccuracyDeclinesWithK) {
+  ProfileOptions profile_options;
+  profile_options.seed = 21;
+  auto credit = GenerateProfile(DatasetProfile::kCredit, profile_options);
+  ASSERT_TRUE(credit.ok());
+  ConstraintGenOptions gen;
+  gen.count = 18;
+  gen.min_support = 25;
+  gen.slack = 0.2;
+  gen.seed = 21;
+  auto constraints = GenerateConstraints(*credit, gen);
+  ASSERT_TRUE(constraints.ok());
+
+  double at_k10 = RunDivaOnce(*credit, *constraints,
+                              SelectionStrategy::kMinChoice, 10, 1000)
+                      .accuracy;
+  double at_k50 = RunDivaOnce(*credit, *constraints,
+                              SelectionStrategy::kMinChoice, 50, 1000)
+                      .accuracy;
+  EXPECT_GT(at_k10, at_k50 + 0.1);
+}
+
+}  // namespace
+}  // namespace diva

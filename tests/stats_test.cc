@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "anon/privacy.h"
+#include "relation/stats.h"
+#include "tests/test_util.h"
+
+namespace diva {
+namespace {
+
+using testing::MedicalRelation;
+using testing::MedicalSchema;
+
+TEST(StatsTest, ProfileOfPaperTable1) {
+  RelationStats stats = ComputeStats(MedicalRelation());
+  EXPECT_EQ(stats.num_rows, 10u);
+  EXPECT_EQ(stats.num_attributes, 6u);
+  EXPECT_EQ(stats.distinct_qi_projections, 10u);
+
+  const AttributeStats& gen = stats.attributes[0];
+  EXPECT_EQ(gen.name, "GEN");
+  EXPECT_EQ(gen.distinct_values, 2u);
+  EXPECT_EQ(gen.suppressed, 0u);
+  EXPECT_EQ(gen.modal_value, "Female");  // 5/5 tie -> first-seen code wins
+  EXPECT_EQ(gen.modal_count, 5u);
+
+  const AttributeStats& eth = stats.attributes[1];
+  EXPECT_EQ(eth.distinct_values, 3u);
+  EXPECT_EQ(eth.modal_value, "Caucasian");
+  EXPECT_EQ(eth.modal_count, 5u);
+
+  const AttributeStats& age = stats.attributes[2];
+  EXPECT_TRUE(age.has_numeric_range);
+  EXPECT_DOUBLE_EQ(age.min_value, 32.0);
+  EXPECT_DOUBLE_EQ(age.max_value, 80.0);
+}
+
+TEST(StatsTest, CountsSuppressedCells) {
+  auto r = RelationFromRows(MedicalSchema(),
+                            {
+                                {"*", "Asian", "30", "BC", "V", "x"},
+                                {"*", "*", "30", "BC", "V", "x"},
+                                {"F", "Asian", "30", "BC", "V", "x"},
+                            });
+  ASSERT_TRUE(r.ok());
+  RelationStats stats = ComputeStats(*r);
+  EXPECT_EQ(stats.attributes[0].suppressed, 2u);
+  EXPECT_EQ(stats.attributes[0].distinct_values, 1u);
+  EXPECT_EQ(stats.attributes[1].suppressed, 1u);
+}
+
+TEST(StatsTest, EmptyRelation) {
+  Relation r(MedicalSchema());
+  RelationStats stats = ComputeStats(r);
+  EXPECT_EQ(stats.num_rows, 0u);
+  EXPECT_EQ(stats.attributes[2].has_numeric_range, false);
+  EXPECT_TRUE(stats.attributes[0].modal_value.empty());
+}
+
+TEST(StatsTest, ToStringContainsHeadline) {
+  RelationStats stats = ComputeStats(MedicalRelation());
+  std::string text = StatsToString(stats);
+  EXPECT_NE(text.find("10 rows, 6 attributes"), std::string::npos);
+  EXPECT_NE(text.find("GEN"), std::string::npos);
+  EXPECT_NE(text.find("range [32, 80]"), std::string::npos);
+}
+
+// ------------------------------------------------------- (X,Y)-anonymity
+
+TEST(XYAnonymityTest, ValidatesArguments) {
+  Relation r = MedicalRelation();
+  EXPECT_FALSE(IsXYAnonymous(r, {}, {0}, 2).ok());
+  EXPECT_FALSE(IsXYAnonymous(r, {0}, {}, 2).ok());
+  EXPECT_FALSE(IsXYAnonymous(r, {99}, {0}, 2).ok());
+  EXPECT_FALSE(IsXYAnonymous(r, {0}, {99}, 2).ok());
+}
+
+TEST(XYAnonymityTest, TrivialForKOne) {
+  Relation r = MedicalRelation();
+  auto result = IsXYAnonymous(r, {0}, {5}, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(*result);
+}
+
+TEST(XYAnonymityTest, DetectsWeakLinking) {
+  // GEN -> DIAG on Table 1: Female links to {Hypertension, Tuberculosis,
+  // Seizure, Influenza, Migraine} (5 distinct), Male to {Osteoarthritis,
+  // Migraine, Hypertension, Seizure} (4 distinct).
+  Relation r = MedicalRelation();
+  auto at4 = IsXYAnonymous(r, {0}, {5}, 4);
+  auto at5 = IsXYAnonymous(r, {0}, {5}, 5);
+  ASSERT_TRUE(at4.ok() && at5.ok());
+  EXPECT_TRUE(*at4);
+  EXPECT_FALSE(*at5);  // Male has only 4 distinct diagnoses
+}
+
+TEST(XYAnonymityTest, GeneralizesKAnonymity) {
+  // X = QI, Y = a unique column: (X,Y)-anonymity == k-anonymity.
+  auto schema = Schema::Make({
+      {"Q", AttributeRole::kQuasiIdentifier, AttributeKind::kCategorical},
+      {"UID", AttributeRole::kSensitive, AttributeKind::kCategorical},
+  });
+  ASSERT_TRUE(schema.ok());
+  auto r = RelationFromRows(*schema, {{"a", "u1"},
+                                      {"a", "u2"},
+                                      {"b", "u3"},
+                                      {"b", "u4"},
+                                      {"b", "u5"}});
+  ASSERT_TRUE(r.ok());
+  auto at2 = IsXYAnonymous(*r, {0}, {1}, 2);
+  auto at3 = IsXYAnonymous(*r, {0}, {1}, 3);
+  ASSERT_TRUE(at2.ok() && at3.ok());
+  EXPECT_TRUE(*at2);
+  EXPECT_FALSE(*at3);  // value "a" links to only 2 UIDs
+}
+
+}  // namespace
+}  // namespace diva

@@ -1,0 +1,74 @@
+#ifndef DIVA_TESTS_TEST_UTIL_H_
+#define DIVA_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+#include "constraint/diversity_constraint.h"
+#include "constraint/parser.h"
+#include "relation/relation.h"
+#include "relation/schema.h"
+
+namespace diva {
+namespace testing {
+
+/// Schema of the paper's running example (Table 1): GEN, ETH, AGE, PRV,
+/// CTY are quasi-identifiers, DIAG is sensitive.
+inline std::shared_ptr<const Schema> MedicalSchema() {
+  auto schema = Schema::Make({
+      {"GEN", AttributeRole::kQuasiIdentifier, AttributeKind::kCategorical},
+      {"ETH", AttributeRole::kQuasiIdentifier, AttributeKind::kCategorical},
+      {"AGE", AttributeRole::kQuasiIdentifier, AttributeKind::kNumeric},
+      {"PRV", AttributeRole::kQuasiIdentifier, AttributeKind::kCategorical},
+      {"CTY", AttributeRole::kQuasiIdentifier, AttributeKind::kCategorical},
+      {"DIAG", AttributeRole::kSensitive, AttributeKind::kCategorical},
+  });
+  DIVA_CHECK(schema.ok());
+  return schema.value();
+}
+
+/// The paper's Table 1. Row ids 0..9 correspond to tuples t1..t10.
+inline Relation MedicalRelation() {
+  auto relation = RelationFromRows(
+      MedicalSchema(),
+      {
+          {"Female", "Caucasian", "80", "AB", "Calgary", "Hypertension"},
+          {"Female", "Caucasian", "32", "AB", "Calgary", "Tuberculosis"},
+          {"Male", "Caucasian", "59", "AB", "Calgary", "Osteoarthritis"},
+          {"Male", "Caucasian", "46", "MB", "Winnipeg", "Migraine"},
+          {"Male", "African", "32", "MB", "Winnipeg", "Hypertension"},
+          {"Male", "African", "43", "BC", "Vancouver", "Seizure"},
+          {"Male", "Caucasian", "35", "BC", "Vancouver", "Hypertension"},
+          {"Female", "Asian", "58", "BC", "Vancouver", "Seizure"},
+          {"Female", "Asian", "63", "MB", "Winnipeg", "Influenza"},
+          {"Female", "Asian", "71", "BC", "Vancouver", "Migraine"},
+      });
+  DIVA_CHECK(relation.ok());
+  return std::move(relation).value();
+}
+
+/// The paper's example constraints (Example 3.1):
+///   s1 = (ETH[Asian], 2, 5), s2 = (ETH[African], 1, 3),
+///   s3 = (CTY[Vancouver], 2, 4).
+inline ConstraintSet MedicalConstraints(const Schema& schema) {
+  auto constraints = ParseConstraintSet(schema,
+                                        "ETH[Asian] in [2,5]\n"
+                                        "ETH[African] in [1,3]\n"
+                                        "CTY[Vancouver] in [2,4]\n");
+  DIVA_CHECK(constraints.ok());
+  return std::move(constraints).value();
+}
+
+/// Parses one constraint or aborts (test convenience).
+inline DiversityConstraint MustParse(const Schema& schema,
+                                     std::string_view text) {
+  auto constraint = ParseConstraint(schema, text);
+  DIVA_CHECK_MSG(constraint.ok(), constraint.status().ToString());
+  return std::move(constraint).value();
+}
+
+}  // namespace testing
+}  // namespace diva
+
+#endif  // DIVA_TESTS_TEST_UTIL_H_
