@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4b.dir/bench_fig4b.cpp.o"
+  "CMakeFiles/bench_fig4b.dir/bench_fig4b.cpp.o.d"
+  "bench_fig4b"
+  "bench_fig4b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4d.dir/bench_fig4d.cpp.o"
+  "CMakeFiles/bench_fig4d.dir/bench_fig4d.cpp.o.d"
+  "bench_fig4d"
+  "bench_fig4d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5a.dir/bench_fig5a.cpp.o"
+  "CMakeFiles/bench_fig5a.dir/bench_fig5a.cpp.o.d"
+  "bench_fig5a"
+  "bench_fig5a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5d.dir/bench_fig5d.cpp.o"
+  "CMakeFiles/bench_fig5d.dir/bench_fig5d.cpp.o.d"
+  "bench_fig5d"
+  "bench_fig5d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

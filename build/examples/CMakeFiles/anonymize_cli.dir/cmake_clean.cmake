@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anonymize_cli.dir/anonymize_cli.cpp.o"
+  "CMakeFiles/anonymize_cli.dir/anonymize_cli.cpp.o.d"
+  "anonymize_cli"
+  "anonymize_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anonymize_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

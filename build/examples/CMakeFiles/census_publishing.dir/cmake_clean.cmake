@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/census_publishing.dir/census_publishing.cpp.o"
+  "CMakeFiles/census_publishing.dir/census_publishing.cpp.o.d"
+  "census_publishing"
+  "census_publishing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/census_publishing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generalization_demo.dir/generalization_demo.cpp.o"
+  "CMakeFiles/generalization_demo.dir/generalization_demo.cpp.o.d"
+  "generalization_demo"
+  "generalization_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generalization_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

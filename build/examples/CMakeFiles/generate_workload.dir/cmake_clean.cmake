@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generate_workload.dir/generate_workload.cpp.o"
+  "CMakeFiles/generate_workload.dir/generate_workload.cpp.o.d"
+  "generate_workload"
+  "generate_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generate_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

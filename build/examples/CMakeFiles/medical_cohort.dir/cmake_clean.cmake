@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medical_cohort.dir/medical_cohort.cpp.o"
+  "CMakeFiles/medical_cohort.dir/medical_cohort.cpp.o.d"
+  "medical_cohort"
+  "medical_cohort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medical_cohort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/anon/anonymizer.cc" "src/anon/CMakeFiles/diva_anon.dir/anonymizer.cc.o" "gcc" "src/anon/CMakeFiles/diva_anon.dir/anonymizer.cc.o.d"
+  "/root/repo/src/anon/distance.cc" "src/anon/CMakeFiles/diva_anon.dir/distance.cc.o" "gcc" "src/anon/CMakeFiles/diva_anon.dir/distance.cc.o.d"
+  "/root/repo/src/anon/kmember.cc" "src/anon/CMakeFiles/diva_anon.dir/kmember.cc.o" "gcc" "src/anon/CMakeFiles/diva_anon.dir/kmember.cc.o.d"
+  "/root/repo/src/anon/mondrian.cc" "src/anon/CMakeFiles/diva_anon.dir/mondrian.cc.o" "gcc" "src/anon/CMakeFiles/diva_anon.dir/mondrian.cc.o.d"
+  "/root/repo/src/anon/oka.cc" "src/anon/CMakeFiles/diva_anon.dir/oka.cc.o" "gcc" "src/anon/CMakeFiles/diva_anon.dir/oka.cc.o.d"
+  "/root/repo/src/anon/privacy.cc" "src/anon/CMakeFiles/diva_anon.dir/privacy.cc.o" "gcc" "src/anon/CMakeFiles/diva_anon.dir/privacy.cc.o.d"
+  "/root/repo/src/anon/suppress.cc" "src/anon/CMakeFiles/diva_anon.dir/suppress.cc.o" "gcc" "src/anon/CMakeFiles/diva_anon.dir/suppress.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relation/CMakeFiles/diva_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/diva_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

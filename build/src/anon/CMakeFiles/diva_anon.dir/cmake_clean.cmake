@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diva_anon.dir/anonymizer.cc.o"
+  "CMakeFiles/diva_anon.dir/anonymizer.cc.o.d"
+  "CMakeFiles/diva_anon.dir/distance.cc.o"
+  "CMakeFiles/diva_anon.dir/distance.cc.o.d"
+  "CMakeFiles/diva_anon.dir/kmember.cc.o"
+  "CMakeFiles/diva_anon.dir/kmember.cc.o.d"
+  "CMakeFiles/diva_anon.dir/mondrian.cc.o"
+  "CMakeFiles/diva_anon.dir/mondrian.cc.o.d"
+  "CMakeFiles/diva_anon.dir/oka.cc.o"
+  "CMakeFiles/diva_anon.dir/oka.cc.o.d"
+  "CMakeFiles/diva_anon.dir/privacy.cc.o"
+  "CMakeFiles/diva_anon.dir/privacy.cc.o.d"
+  "CMakeFiles/diva_anon.dir/suppress.cc.o"
+  "CMakeFiles/diva_anon.dir/suppress.cc.o.d"
+  "libdiva_anon.a"
+  "libdiva_anon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diva_anon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

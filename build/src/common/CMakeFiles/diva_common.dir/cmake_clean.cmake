@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diva_common.dir/rng.cc.o"
+  "CMakeFiles/diva_common.dir/rng.cc.o.d"
+  "CMakeFiles/diva_common.dir/status.cc.o"
+  "CMakeFiles/diva_common.dir/status.cc.o.d"
+  "CMakeFiles/diva_common.dir/string_util.cc.o"
+  "CMakeFiles/diva_common.dir/string_util.cc.o.d"
+  "libdiva_common.a"
+  "libdiva_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diva_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/constraint/analysis.cc" "src/constraint/CMakeFiles/diva_constraint.dir/analysis.cc.o" "gcc" "src/constraint/CMakeFiles/diva_constraint.dir/analysis.cc.o.d"
+  "/root/repo/src/constraint/conflict.cc" "src/constraint/CMakeFiles/diva_constraint.dir/conflict.cc.o" "gcc" "src/constraint/CMakeFiles/diva_constraint.dir/conflict.cc.o.d"
+  "/root/repo/src/constraint/diversity_constraint.cc" "src/constraint/CMakeFiles/diva_constraint.dir/diversity_constraint.cc.o" "gcc" "src/constraint/CMakeFiles/diva_constraint.dir/diversity_constraint.cc.o.d"
+  "/root/repo/src/constraint/generator.cc" "src/constraint/CMakeFiles/diva_constraint.dir/generator.cc.o" "gcc" "src/constraint/CMakeFiles/diva_constraint.dir/generator.cc.o.d"
+  "/root/repo/src/constraint/parser.cc" "src/constraint/CMakeFiles/diva_constraint.dir/parser.cc.o" "gcc" "src/constraint/CMakeFiles/diva_constraint.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relation/CMakeFiles/diva_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/diva_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diva_constraint.dir/analysis.cc.o"
+  "CMakeFiles/diva_constraint.dir/analysis.cc.o.d"
+  "CMakeFiles/diva_constraint.dir/conflict.cc.o"
+  "CMakeFiles/diva_constraint.dir/conflict.cc.o.d"
+  "CMakeFiles/diva_constraint.dir/diversity_constraint.cc.o"
+  "CMakeFiles/diva_constraint.dir/diversity_constraint.cc.o.d"
+  "CMakeFiles/diva_constraint.dir/generator.cc.o"
+  "CMakeFiles/diva_constraint.dir/generator.cc.o.d"
+  "CMakeFiles/diva_constraint.dir/parser.cc.o"
+  "CMakeFiles/diva_constraint.dir/parser.cc.o.d"
+  "libdiva_constraint.a"
+  "libdiva_constraint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diva_constraint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/clusterings.cc" "src/core/CMakeFiles/diva_core.dir/clusterings.cc.o" "gcc" "src/core/CMakeFiles/diva_core.dir/clusterings.cc.o.d"
+  "/root/repo/src/core/coloring.cc" "src/core/CMakeFiles/diva_core.dir/coloring.cc.o" "gcc" "src/core/CMakeFiles/diva_core.dir/coloring.cc.o.d"
+  "/root/repo/src/core/constraint_graph.cc" "src/core/CMakeFiles/diva_core.dir/constraint_graph.cc.o" "gcc" "src/core/CMakeFiles/diva_core.dir/constraint_graph.cc.o.d"
+  "/root/repo/src/core/diva.cc" "src/core/CMakeFiles/diva_core.dir/diva.cc.o" "gcc" "src/core/CMakeFiles/diva_core.dir/diva.cc.o.d"
+  "/root/repo/src/core/integrate.cc" "src/core/CMakeFiles/diva_core.dir/integrate.cc.o" "gcc" "src/core/CMakeFiles/diva_core.dir/integrate.cc.o.d"
+  "/root/repo/src/core/report_json.cc" "src/core/CMakeFiles/diva_core.dir/report_json.cc.o" "gcc" "src/core/CMakeFiles/diva_core.dir/report_json.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hierarchy/CMakeFiles/diva_hierarchy.dir/DependInfo.cmake"
+  "/root/repo/build/src/anon/CMakeFiles/diva_anon.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraint/CMakeFiles/diva_constraint.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/diva_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/diva_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

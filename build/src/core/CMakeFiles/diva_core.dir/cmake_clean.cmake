@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diva_core.dir/clusterings.cc.o"
+  "CMakeFiles/diva_core.dir/clusterings.cc.o.d"
+  "CMakeFiles/diva_core.dir/coloring.cc.o"
+  "CMakeFiles/diva_core.dir/coloring.cc.o.d"
+  "CMakeFiles/diva_core.dir/constraint_graph.cc.o"
+  "CMakeFiles/diva_core.dir/constraint_graph.cc.o.d"
+  "CMakeFiles/diva_core.dir/diva.cc.o"
+  "CMakeFiles/diva_core.dir/diva.cc.o.d"
+  "CMakeFiles/diva_core.dir/integrate.cc.o"
+  "CMakeFiles/diva_core.dir/integrate.cc.o.d"
+  "CMakeFiles/diva_core.dir/report_json.cc.o"
+  "CMakeFiles/diva_core.dir/report_json.cc.o.d"
+  "libdiva_core.a"
+  "libdiva_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diva_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diva_datagen.dir/profiles.cc.o"
+  "CMakeFiles/diva_datagen.dir/profiles.cc.o.d"
+  "CMakeFiles/diva_datagen.dir/synthetic.cc.o"
+  "CMakeFiles/diva_datagen.dir/synthetic.cc.o.d"
+  "libdiva_datagen.a"
+  "libdiva_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diva_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

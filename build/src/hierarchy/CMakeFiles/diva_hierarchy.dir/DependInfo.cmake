@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hierarchy/generalize.cc" "src/hierarchy/CMakeFiles/diva_hierarchy.dir/generalize.cc.o" "gcc" "src/hierarchy/CMakeFiles/diva_hierarchy.dir/generalize.cc.o.d"
+  "/root/repo/src/hierarchy/recoding.cc" "src/hierarchy/CMakeFiles/diva_hierarchy.dir/recoding.cc.o" "gcc" "src/hierarchy/CMakeFiles/diva_hierarchy.dir/recoding.cc.o.d"
+  "/root/repo/src/hierarchy/taxonomy.cc" "src/hierarchy/CMakeFiles/diva_hierarchy.dir/taxonomy.cc.o" "gcc" "src/hierarchy/CMakeFiles/diva_hierarchy.dir/taxonomy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/anon/CMakeFiles/diva_anon.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/diva_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/diva_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diva_hierarchy.dir/generalize.cc.o"
+  "CMakeFiles/diva_hierarchy.dir/generalize.cc.o.d"
+  "CMakeFiles/diva_hierarchy.dir/recoding.cc.o"
+  "CMakeFiles/diva_hierarchy.dir/recoding.cc.o.d"
+  "CMakeFiles/diva_hierarchy.dir/taxonomy.cc.o"
+  "CMakeFiles/diva_hierarchy.dir/taxonomy.cc.o.d"
+  "libdiva_hierarchy.a"
+  "libdiva_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diva_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

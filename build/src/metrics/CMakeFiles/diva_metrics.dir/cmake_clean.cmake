@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diva_metrics.dir/metrics.cc.o"
+  "CMakeFiles/diva_metrics.dir/metrics.cc.o.d"
+  "CMakeFiles/diva_metrics.dir/query.cc.o"
+  "CMakeFiles/diva_metrics.dir/query.cc.o.d"
+  "libdiva_metrics.a"
+  "libdiva_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diva_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

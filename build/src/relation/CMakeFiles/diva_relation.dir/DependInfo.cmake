@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relation/csv.cc" "src/relation/CMakeFiles/diva_relation.dir/csv.cc.o" "gcc" "src/relation/CMakeFiles/diva_relation.dir/csv.cc.o.d"
+  "/root/repo/src/relation/dictionary.cc" "src/relation/CMakeFiles/diva_relation.dir/dictionary.cc.o" "gcc" "src/relation/CMakeFiles/diva_relation.dir/dictionary.cc.o.d"
+  "/root/repo/src/relation/qi_groups.cc" "src/relation/CMakeFiles/diva_relation.dir/qi_groups.cc.o" "gcc" "src/relation/CMakeFiles/diva_relation.dir/qi_groups.cc.o.d"
+  "/root/repo/src/relation/relation.cc" "src/relation/CMakeFiles/diva_relation.dir/relation.cc.o" "gcc" "src/relation/CMakeFiles/diva_relation.dir/relation.cc.o.d"
+  "/root/repo/src/relation/schema.cc" "src/relation/CMakeFiles/diva_relation.dir/schema.cc.o" "gcc" "src/relation/CMakeFiles/diva_relation.dir/schema.cc.o.d"
+  "/root/repo/src/relation/stats.cc" "src/relation/CMakeFiles/diva_relation.dir/stats.cc.o" "gcc" "src/relation/CMakeFiles/diva_relation.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/diva_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

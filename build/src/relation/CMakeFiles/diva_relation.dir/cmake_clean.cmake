@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diva_relation.dir/csv.cc.o"
+  "CMakeFiles/diva_relation.dir/csv.cc.o.d"
+  "CMakeFiles/diva_relation.dir/dictionary.cc.o"
+  "CMakeFiles/diva_relation.dir/dictionary.cc.o.d"
+  "CMakeFiles/diva_relation.dir/qi_groups.cc.o"
+  "CMakeFiles/diva_relation.dir/qi_groups.cc.o.d"
+  "CMakeFiles/diva_relation.dir/relation.cc.o"
+  "CMakeFiles/diva_relation.dir/relation.cc.o.d"
+  "CMakeFiles/diva_relation.dir/schema.cc.o"
+  "CMakeFiles/diva_relation.dir/schema.cc.o.d"
+  "CMakeFiles/diva_relation.dir/stats.cc.o"
+  "CMakeFiles/diva_relation.dir/stats.cc.o.d"
+  "libdiva_relation.a"
+  "libdiva_relation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diva_relation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anonymizer_test.dir/anonymizer_test.cc.o"
+  "CMakeFiles/anonymizer_test.dir/anonymizer_test.cc.o.d"
+  "anonymizer_test"
+  "anonymizer_test.pdb"
+  "anonymizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anonymizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clusterings_test.dir/clusterings_test.cc.o"
+  "CMakeFiles/clusterings_test.dir/clusterings_test.cc.o.d"
+  "clusterings_test"
+  "clusterings_test.pdb"
+  "clusterings_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clusterings_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/diva_test.cc" "tests/CMakeFiles/diva_test.dir/diva_test.cc.o" "gcc" "tests/CMakeFiles/diva_test.dir/diva_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/diva_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/diva_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/hierarchy/CMakeFiles/diva_hierarchy.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/diva_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/anon/CMakeFiles/diva_anon.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraint/CMakeFiles/diva_constraint.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/diva_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/diva_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

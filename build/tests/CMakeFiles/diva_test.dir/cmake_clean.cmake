@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diva_test.dir/diva_test.cc.o"
+  "CMakeFiles/diva_test.dir/diva_test.cc.o.d"
+  "diva_test"
+  "diva_test.pdb"
+  "diva_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diva_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for diva_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integrate_test.dir/integrate_test.cc.o"
+  "CMakeFiles/integrate_test.dir/integrate_test.cc.o.d"
+  "integrate_test"
+  "integrate_test.pdb"
+  "integrate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integrate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recoding_test.dir/recoding_test.cc.o"
+  "CMakeFiles/recoding_test.dir/recoding_test.cc.o.d"
+  "recoding_test"
+  "recoding_test.pdb"
+  "recoding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recoding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suppress_test.dir/suppress_test.cc.o"
+  "CMakeFiles/suppress_test.dir/suppress_test.cc.o.d"
+  "suppress_test"
+  "suppress_test.pdb"
+  "suppress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suppress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
