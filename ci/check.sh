@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# ci/check.sh — the full correctness gauntlet (see docs/development.md).
+#
+#   1. release build + full ctest (includes the lint_status test)
+#   2. asan-ubsan build + full ctest
+#   3. tools/lint_status.py over src/
+#   4. clang-tidy over src/ (skipped with a notice when not installed)
+#
+# Usage: ci/check.sh [--skip-sanitizers]
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SKIP_SANITIZERS=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-sanitizers) SKIP_SANITIZERS=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "release: configure + build"
+cmake --preset release
+cmake --build --preset release -j "$JOBS"
+
+step "release: ctest"
+ctest --preset release -j "$JOBS"
+
+if [[ "$SKIP_SANITIZERS" -eq 0 ]]; then
+  step "asan-ubsan: configure + build"
+  cmake --preset asan-ubsan
+  cmake --build --preset asan-ubsan -j "$JOBS"
+
+  step "asan-ubsan: ctest"
+  ctest --preset asan-ubsan -j "$JOBS"
+else
+  step "asan-ubsan: SKIPPED (--skip-sanitizers)"
+fi
+
+step "lint: tools/lint_status.py src"
+python3 tools/lint_status.py src
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  step "clang-tidy over src/ (compile db: build/release)"
+  # shellcheck disable=SC2046
+  clang-tidy -p build/release --quiet $(find src -name '*.cc' | sort)
+else
+  step "clang-tidy: SKIPPED (not installed; config is .clang-tidy)"
+fi
+
+step "all checks passed"

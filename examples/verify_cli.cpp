@@ -4,9 +4,14 @@
 // exits non-zero when any requested property fails — the receiving
 // party's side of the (k, Sigma)-anonymization contract.
 //
+// With --original the full output auditor (verify/auditor.h) also
+// re-checks the suppression-only containment R ⊑ R* and the ★
+// bookkeeping against the pre-anonymization relation.
+//
 // Usage:
 //   verify_cli --input anonymized.csv --schema schema.txt --k 10
 //       [--l 3] [--t 0.4] [--constraints sigma.txt]
+//       [--original raw.csv] [--expected-stars N]
 
 #include <cstdio>
 #include <fstream>
@@ -20,6 +25,7 @@
 #include "relation/csv.h"
 #include "relation/qi_groups.h"
 #include "relation/schema.h"
+#include "verify/auditor.h"
 
 namespace {
 
@@ -80,9 +86,11 @@ int main(int argc, char** argv) {
     all_ok &= close;
   }
 
+  ConstraintSet sigma;
   if (args.count("constraints")) {
     auto constraints = LoadConstraintSet(**schema, args["constraints"]);
     if (!constraints.ok()) return Fail(constraints.status().ToString());
+    sigma = *constraints;
     auto violated = ViolatedConstraints(*relation, *constraints);
     std::printf("%-28s %s (%zu/%zu satisfied)\n", "diversity constraints",
                 violated.empty() ? "PASS" : "FAIL",
@@ -93,6 +101,27 @@ int main(int argc, char** argv) {
                   (*constraints)[index].CountOccurrences(*relation));
     }
     all_ok &= violated.empty();
+  }
+
+  if (args.count("original")) {
+    auto original = ReadCsvFile(args["original"], *schema);
+    if (!original.ok()) return Fail(original.status().ToString());
+    AuditOptions audit_options;
+    if (args.count("expected-stars")) {
+      auto expected = ParseInt64(args["expected-stars"]);
+      if (!expected.ok() || *expected < 0) {
+        return Fail("--expected-stars must be a non-negative integer");
+      }
+      audit_options.expected_added_stars = static_cast<size_t>(*expected);
+    }
+    auto audit = AuditAnonymization(*original, *relation,
+                                    static_cast<size_t>(*k), sigma,
+                                    audit_options);
+    if (!audit.ok()) return Fail(audit.status().ToString());
+    std::printf("%-28s %s\n", "output audit",
+                audit->ok() ? "PASS" : "FAIL");
+    std::printf("%s\n", audit->ToString().c_str());
+    all_ok &= audit->ok();
   }
 
   std::printf("%-28s %.1f%% of QI cells suppressed, disc. accuracy %.3f\n",

@@ -36,14 +36,14 @@ class Anonymizer {
   /// Partitions `rows` (row ids into `relation`) into clusters, each of
   /// size >= k, covering every row exactly once. Fails with Infeasible if
   /// 0 < |rows| < k.
-  virtual Result<Clustering> BuildClusters(const Relation& relation,
+  [[nodiscard]] virtual Result<Clustering> BuildClusters(const Relation& relation,
                                            std::span<const RowId> rows,
                                            size_t k) = 0;
 };
 
 /// Runs `anonymizer` over all rows of `relation` and applies suppression,
 /// returning the k-anonymous relation R* (row ids preserved).
-Result<Relation> Anonymize(Anonymizer* anonymizer, const Relation& relation,
+[[nodiscard]] Result<Relation> Anonymize(Anonymizer* anonymizer, const Relation& relation,
                            size_t k);
 
 /// Factory helpers.

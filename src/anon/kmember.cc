@@ -21,7 +21,9 @@ class RowPool {
   RowId at(size_t i) const { return rows_[i]; }
 
   RowId TakeAt(size_t i) {
-    DIVA_DCHECK(i < rows_.size());
+    // Always-on: an out-of-range take would read and swap stale memory in
+    // release builds.
+    DIVA_CHECK_MSG(i < rows_.size(), "RowPool::TakeAt index out of range");
     RowId row = rows_[i];
     rows_[i] = rows_.back();
     rows_.pop_back();

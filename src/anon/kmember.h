@@ -21,7 +21,7 @@ class KMemberAnonymizer final : public Anonymizer {
 
   std::string name() const override { return "k-member"; }
 
-  Result<Clustering> BuildClusters(const Relation& relation,
+  [[nodiscard]] Result<Clustering> BuildClusters(const Relation& relation,
                                    std::span<const RowId> rows,
                                    size_t k) override;
 

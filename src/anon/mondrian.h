@@ -18,7 +18,7 @@ class MondrianAnonymizer final : public Anonymizer {
 
   std::string name() const override { return "Mondrian"; }
 
-  Result<Clustering> BuildClusters(const Relation& relation,
+  [[nodiscard]] Result<Clustering> BuildClusters(const Relation& relation,
                                    std::span<const RowId> rows,
                                    size_t k) override;
 

@@ -39,7 +39,9 @@ class Centroid {
   }
 
   void Remove(RowId row) {
-    DIVA_DCHECK(size_ > 0);
+    // Always-on: removing from an empty centroid would wrap size_ and
+    // poison every later Distance() call in release builds.
+    DIVA_CHECK_MSG(size_ > 0, "Centroid::Remove on empty centroid");
     const auto& qi = relation_->schema().qi_indices();
     for (size_t i = 0; i < qi.size(); ++i) {
       ValueCode code = relation_->At(row, qi[i]);
@@ -47,7 +49,10 @@ class Centroid {
         sums_[i] -= NumericValue(qi[i], code);
       } else {
         auto it = histograms_[i].find(code);
-        DIVA_DCHECK(it != histograms_[i].end() && it->second > 0);
+        // Always-on: dereferencing end() here is immediate UB in release
+        // builds, so the DCHECK was load-bearing.
+        DIVA_CHECK_MSG(it != histograms_[i].end() && it->second > 0,
+                       "Centroid::Remove of a row that was never added");
         if (--it->second == 0) histograms_[i].erase(it);
       }
     }
@@ -112,7 +117,7 @@ Result<Clustering> OkaAnonymizer::BuildClusters(const Relation& relation,
   DistanceMetric metric(relation);
   Rng rng(options_.seed);
   size_t num_clusters = rows.size() / k;
-  DIVA_DCHECK(num_clusters >= 1);
+  DIVA_CHECK_MSG(num_clusters >= 1, "OKA: zero clusters for |rows| >= k");
 
   std::vector<RowId> shuffled(rows.begin(), rows.end());
   rng.Shuffle(&shuffled);

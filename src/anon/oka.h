@@ -21,7 +21,7 @@ class OkaAnonymizer final : public Anonymizer {
 
   std::string name() const override { return "OKA"; }
 
-  Result<Clustering> BuildClusters(const Relation& relation,
+  [[nodiscard]] Result<Clustering> BuildClusters(const Relation& relation,
                                    std::span<const RowId> rows,
                                    size_t k) override;
 

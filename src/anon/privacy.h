@@ -32,7 +32,7 @@ size_t CountDistinctSensitiveProjections(const Relation& relation);
 /// Merging only adds suppression, so k-anonymity is preserved and
 /// diversity-constraint upper bounds cannot be violated; lower bounds
 /// may lose occurrences (callers should re-verify).
-Result<Clustering> EnforceLDiversity(Relation* relation, Clustering clusters,
+[[nodiscard]] Result<Clustering> EnforceLDiversity(Relation* relation, Clustering clusters,
                                      size_t l);
 
 /// t-closeness (Li, Li, Venkatasubramanian — ICDE 2007): the distribution
@@ -55,7 +55,7 @@ bool IsTClose(const Relation& relation, double t);
 /// cheapest partner until every cluster is within t. Fails with
 /// Infeasible if `t` cannot be met even by a single all-row cluster
 /// (never happens for t >= 0: one cluster has distance 0).
-Result<Clustering> EnforceTCloseness(Relation* relation, Clustering clusters,
+[[nodiscard]] Result<Clustering> EnforceTCloseness(Relation* relation, Clustering clusters,
                                      double t);
 
 /// (X,Y)-anonymity (Wang & Fung — the third extension the paper lists):
@@ -65,7 +65,7 @@ Result<Clustering> EnforceTCloseness(Relation* relation, Clustering clusters,
 /// Y = a tuple identifier. Suppressed cells count as one distinct value.
 /// Fails with InvalidArgument when X or Y is empty or references an
 /// out-of-range attribute.
-Result<bool> IsXYAnonymous(const Relation& relation,
+[[nodiscard]] Result<bool> IsXYAnonymous(const Relation& relation,
                            const std::vector<size_t>& x_attributes,
                            const std::vector<size_t>& y_attributes, size_t k);
 

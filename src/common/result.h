@@ -12,8 +12,11 @@ namespace diva {
 /// Holds either a value of type T or a non-OK Status explaining why the
 /// value could not be produced. Accessing the value of a failed Result is
 /// a programming error (checked).
+///
+/// [[nodiscard]] for the same reason as Status: an ignored Result is an
+/// ignored failure.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value: `return MakeRelation(...);`.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -56,6 +59,15 @@ class Result {
   std::optional<T> value_;
 };
 
+namespace internal {
+
+/// Result<T> overload for DIVA_RETURN_IF_ERROR (see common/status.h).
+template <typename T>
+Status ToStatus(const Result<T>& result) {
+  return result.ok() ? Status::OK() : result.status();
+}
+
+}  // namespace internal
 }  // namespace diva
 
 /// Assigns the value of a Result expression to `lhs`, or propagates its

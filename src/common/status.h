@@ -33,7 +33,12 @@ const char* StatusCodeToString(StatusCode code);
 ///
 /// This mirrors the Status idiom used across database engines (Arrow,
 /// RocksDB, LevelDB): no exceptions cross the public API.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status hides failures, so every
+/// function returning one by value warns unless the caller consumes it
+/// (the build promotes that warning to an error). Deliberate discards —
+/// rare — must be spelled `(void)expr; // lint: allow-discard`.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -77,13 +82,29 @@ class Status {
   std::string message_;
 };
 
+namespace internal {
+
+/// Extracts the Status of any "status-like" expression so that
+/// DIVA_RETURN_IF_ERROR accepts both Status and Result<T> operands.
+/// The Result<T> overload lives in common/result.h.
+inline Status ToStatus(Status status) { return status; }
+
+}  // namespace internal
 }  // namespace diva
 
-/// Propagates a non-OK Status to the caller.
-#define DIVA_RETURN_NOT_OK(expr)          \
-  do {                                    \
-    ::diva::Status _st = (expr);          \
-    if (!_st.ok()) return _st;            \
+/// Propagates the error of a Status (or Result<T>) expression to the
+/// caller; evaluates `expr` exactly once. The canonical early-return
+/// macro for this codebase:
+///
+///   DIVA_RETURN_IF_ERROR(WriteCsvFile(relation, path));
+#define DIVA_RETURN_IF_ERROR(expr)                           \
+  do {                                                       \
+    ::diva::Status _diva_st =                                \
+        ::diva::internal::ToStatus((expr));                  \
+    if (!_diva_st.ok()) return _diva_st;                     \
   } while (false)
+
+/// Back-compat alias; prefer DIVA_RETURN_IF_ERROR in new code.
+#define DIVA_RETURN_NOT_OK(expr) DIVA_RETURN_IF_ERROR(expr)
 
 #endif  // DIVA_COMMON_STATUS_H_

@@ -21,10 +21,10 @@ std::string Join(const std::vector<std::string>& parts,
                  std::string_view separator);
 
 /// Parses a base-10 signed integer; the whole string must be consumed.
-Result<int64_t> ParseInt64(std::string_view input);
+[[nodiscard]] Result<int64_t> ParseInt64(std::string_view input);
 
 /// Parses a floating point number; the whole string must be consumed.
-Result<double> ParseDouble(std::string_view input);
+[[nodiscard]] Result<double> ParseDouble(std::string_view input);
 
 /// True if `text` starts with `prefix`.
 bool StartsWith(std::string_view text, std::string_view prefix);

@@ -24,7 +24,7 @@ class DiversityConstraint {
   /// Validates attribute names against `schema` and bounds
   /// (lower <= upper). Attribute list and value list must be the same
   /// length, non-empty, with no duplicate attributes.
-  static Result<DiversityConstraint> Make(const Schema& schema,
+  [[nodiscard]] static Result<DiversityConstraint> Make(const Schema& schema,
                                           std::vector<std::string> attributes,
                                           std::vector<std::string> values,
                                           uint32_t lower, uint32_t upper);

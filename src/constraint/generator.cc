@@ -292,9 +292,10 @@ Result<ConstraintSet> GenerateConstraints(
   ConstraintSet constraints;
   constraints.reserve(selected.size());
   for (size_t idx : selected) {
-    auto constraint = ToConstraint(relation, pool[idx], options, mean_support);
-    if (!constraint.ok()) return constraint.status();
-    constraints.push_back(std::move(constraint).value());
+    DIVA_ASSIGN_OR_RETURN(
+        DiversityConstraint constraint,
+        ToConstraint(relation, pool[idx], options, mean_support));
+    constraints.push_back(std::move(constraint));
   }
   return constraints;
 }

@@ -59,7 +59,7 @@ struct ConstraintGenOptions {
 /// The generated set is always satisfied by `relation` itself for the
 /// kProportional and kMinimumFrequency classes (the anchor frequency lies
 /// inside the range).
-Result<ConstraintSet> GenerateConstraints(const Relation& relation,
+[[nodiscard]] Result<ConstraintSet> GenerateConstraints(const Relation& relation,
                                           const ConstraintGenOptions& options);
 
 }  // namespace diva

@@ -15,16 +15,16 @@ namespace diva {
 ///
 /// Whitespace around tokens is ignored; the "in" keyword is
 /// case-insensitive.
-Result<DiversityConstraint> ParseConstraint(const Schema& schema,
+[[nodiscard]] Result<DiversityConstraint> ParseConstraint(const Schema& schema,
                                             std::string_view text);
 
 /// Parses a newline-separated constraint set. Blank lines and lines
 /// starting with '#' are skipped.
-Result<ConstraintSet> ParseConstraintSet(const Schema& schema,
+[[nodiscard]] Result<ConstraintSet> ParseConstraintSet(const Schema& schema,
                                          std::string_view text);
 
 /// Loads a constraint set from a file at `path`.
-Result<ConstraintSet> LoadConstraintSet(const Schema& schema,
+[[nodiscard]] Result<ConstraintSet> LoadConstraintSet(const Schema& schema,
                                         const std::string& path);
 
 }  // namespace diva

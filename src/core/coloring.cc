@@ -301,7 +301,10 @@ class ColoringEngine {
     }
     for (std::vector<RowId>& rows : reused) {
       auto it = registry_.find(rows);
-      DIVA_DCHECK(it != registry_.end());
+      // Always-on: ++end()->refcount is UB in release builds; the hash
+      // lookup above dominates the cost of this branch.
+      DIVA_CHECK_MSG(it != registry_.end(),
+                     "coloring: reused cluster missing from registry");
       ++it->second.refcount;
       activated->push_back(std::move(rows));
     }
@@ -313,7 +316,10 @@ class ColoringEngine {
     --colored_count_;
     for (const std::vector<RowId>& rows : activated) {
       auto it = registry_.find(rows);
-      DIVA_DCHECK(it != registry_.end() && it->second.refcount > 0);
+      // Always-on for the same reason as Assign: end() deref is UB and a
+      // zero refcount would wrap and leak the cluster forever.
+      DIVA_CHECK_MSG(it != registry_.end() && it->second.refcount > 0,
+                     "coloring: unassigned cluster missing from registry");
       if (--it->second.refcount == 0) {
         for (RowId row : rows) {
           row_map_.erase(row);

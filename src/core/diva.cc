@@ -7,6 +7,7 @@
 #include "common/timer.h"
 #include "core/constraint_graph.h"
 #include "core/integrate.h"
+#include "verify/auditor.h"
 
 namespace diva {
 
@@ -186,7 +187,7 @@ Result<DivaResult> RunDiva(const Relation& relation,
         "generalization context arity mismatch with the relation");
   }
   Relation out = relation;
-  DIVA_RETURN_NOT_OK(Recode(options, &out, sigma_clusters));
+  DIVA_RETURN_IF_ERROR(Recode(options, &out, sigma_clusters));
 
   // Phase 3: Anonymize the remaining tuples with the baseline.
   phase_watch.Restart();
@@ -203,11 +204,9 @@ Result<DivaResult> RunDiva(const Relation& relation,
   Clustering rk_clusters;
   if (remaining.size() >= options.k) {
     std::unique_ptr<Anonymizer> baseline = MakeBaselineAnonymizer(options);
-    auto clusters =
-        baseline->BuildClusters(relation, remaining, options.k);
-    if (!clusters.ok()) return clusters.status();
-    rk_clusters = std::move(clusters).value();
-    DIVA_RETURN_NOT_OK(Recode(options, &out, rk_clusters));
+    DIVA_ASSIGN_OR_RETURN(
+        rk_clusters, baseline->BuildClusters(relation, remaining, options.k));
+    DIVA_RETURN_IF_ERROR(Recode(options, &out, rk_clusters));
   } else if (!remaining.empty()) {
     // Fewer than k stragglers: fold them into the cheapest existing
     // cluster (there must be one, or the relation itself had < k rows,
@@ -235,15 +234,13 @@ Result<DivaResult> RunDiva(const Relation& relation,
     all_clusters.insert(all_clusters.end(), rk_clusters.begin(),
                         rk_clusters.end());
     if (options.l_diversity > 1) {
-      auto merged = EnforceLDiversity(&out, std::move(all_clusters),
-                                      options.l_diversity);
-      if (!merged.ok()) return merged.status();
-      all_clusters = std::move(merged).value();
+      DIVA_ASSIGN_OR_RETURN(
+          all_clusters, EnforceLDiversity(&out, std::move(all_clusters),
+                                          options.l_diversity));
     }
     if (options.t_closeness < 1.0) {
-      auto merged = EnforceTCloseness(&out, std::move(all_clusters),
-                                      options.t_closeness);
-      if (!merged.ok()) return merged.status();
+      DIVA_RETURN_IF_ERROR(EnforceTCloseness(&out, std::move(all_clusters),
+                                             options.t_closeness));
     }
   }
 
@@ -253,6 +250,21 @@ Result<DivaResult> RunDiva(const Relation& relation,
     return Status::Infeasible(
         "output violates " + std::to_string(report.unsatisfied.size()) +
         " constraint(s) after integration");
+  }
+
+  if (options.audit) {
+    AuditOptions audit_options;
+    audit_options.waived_constraints = report.unsatisfied;
+    audit_options.generalization = options.generalization;
+    DIVA_ASSIGN_OR_RETURN(
+        AuditReport audit,
+        AuditAnonymization(relation, out, options.k, constraints,
+                           audit_options));
+    if (!audit.ok()) {
+      return Status::Internal("output failed its self-audit:\n" +
+                              audit.ToString());
+    }
+    report.audited = true;
   }
 
   report.total_seconds = total_watch.ElapsedSeconds();

@@ -79,6 +79,14 @@ struct DivaOptions {
   /// When < 1, output QI-groups are merged until each sensitive
   /// distribution is within this distance of the global one.
   double t_closeness = 1.0;
+
+  /// Self-audit: after publishing, independently re-verify the output
+  /// contract (QI-group sizes >= k, constraint bounds, suppression-only
+  /// containment, star accounting) with verify/auditor.h. Constraints the
+  /// report already lists as unsatisfied are waived; any other breach is
+  /// an internal error (the pipeline produced a relation that violates
+  /// its own guarantees) and RunDiva fails with kInternal.
+  bool audit = false;
 };
 
 /// Everything DIVA measured about one run.
@@ -98,6 +106,10 @@ struct DivaReport {
   /// Constraints violated by the final output (empty on full success).
   std::vector<size_t> unsatisfied;
 
+  /// True when DivaOptions::audit ran and passed (a failed audit turns
+  /// the whole run into a kInternal error instead).
+  bool audited = false;
+
   double clustering_seconds = 0.0;
   double anonymize_seconds = 0.0;
   double integrate_seconds = 0.0;
@@ -113,7 +125,7 @@ struct DivaResult {
 /// suppression, baseline anonymization of the remainder, and integration.
 /// The output relation is k-anonymous and — whenever the search succeeds —
 /// satisfies every constraint; row ids match the input.
-Result<DivaResult> RunDiva(const Relation& relation,
+[[nodiscard]] Result<DivaResult> RunDiva(const Relation& relation,
                            const ConstraintSet& constraints,
                            const DivaOptions& options);
 

@@ -46,13 +46,13 @@ SyntheticSpec ProfileSpec(DatasetProfile profile,
                           const ProfileOptions& options = {});
 
 /// Generates the profile's relation.
-Result<Relation> GenerateProfile(DatasetProfile profile,
+[[nodiscard]] Result<Relation> GenerateProfile(DatasetProfile profile,
                                  const ProfileOptions& options = {});
 
 /// Generates the profile's default constraint set (proportional class,
 /// Table 4 sizes) against `relation`, which must come from the same
 /// profile.
-Result<ConstraintSet> DefaultConstraints(DatasetProfile profile,
+[[nodiscard]] Result<ConstraintSet> DefaultConstraints(DatasetProfile profile,
                                          const Relation& relation,
                                          uint64_t seed = 42);
 

@@ -77,7 +77,7 @@ class DomainSampler {
 /// Generates a relation per `spec`. Categorical attribute values are
 /// "<name>_v<i>"; numeric attribute values are decimal integers.
 /// Deterministic in spec.seed.
-Result<Relation> GenerateSynthetic(const SyntheticSpec& spec);
+[[nodiscard]] Result<Relation> GenerateSynthetic(const SyntheticSpec& spec);
 
 }  // namespace diva
 

@@ -47,7 +47,7 @@ class GeneralizationContext {
 ///
 /// Fails with NotFound if a cluster value is missing from the attribute's
 /// taxonomy (leaves the relation partially recoded — treat as fatal).
-Status GeneralizeClustersInPlace(Relation* relation,
+[[nodiscard]] Status GeneralizeClustersInPlace(Relation* relation,
                                  const Clustering& clustering,
                                  const GeneralizationContext& context);
 

@@ -150,14 +150,13 @@ Result<GlobalRecoder::SearchResult> GlobalRecoder::FindMinimalRecoding(
     SearchResult best{BottomVector(), relation_->EmptyLike(), 0.0};
     bool found = false;
     for (const RecodingVector& vector : at_height) {
-      auto recoded = Apply(vector);
-      if (!recoded.ok()) return recoded.status();
-      if (!IsKAnonymous(*recoded, k)) continue;
-      double ncp = NcpLoss(*recoded, context_);
+      DIVA_ASSIGN_OR_RETURN(Relation recoded, Apply(vector));
+      if (!IsKAnonymous(recoded, k)) continue;
+      double ncp = NcpLoss(recoded, context_);
       if (!found || ncp < best.ncp) {
         found = true;
         best.vector = vector;
-        best.relation = std::move(recoded).value();
+        best.relation = std::move(recoded);
         best.ncp = ncp;
       }
     }

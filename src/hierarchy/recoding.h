@@ -47,7 +47,7 @@ class GlobalRecoder {
 
   /// Applies `vector` to a copy of the relation. Fails on invalid levels
   /// or on values missing from their taxonomy.
-  Result<Relation> Apply(const RecodingVector& vector) const;
+  [[nodiscard]] Result<Relation> Apply(const RecodingVector& vector) const;
 
   /// Searches the generalization lattice bottom-up (breadth-first by
   /// height, with the standard monotonicity pruning: any vector above a
@@ -60,7 +60,7 @@ class GlobalRecoder {
     Relation relation;
     double ncp = 0.0;
   };
-  Result<SearchResult> FindMinimalRecoding(size_t k) const;
+  [[nodiscard]] Result<SearchResult> FindMinimalRecoding(size_t k) const;
 
  private:
   const Relation* relation_;

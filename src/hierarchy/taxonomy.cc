@@ -45,7 +45,7 @@ Result<Taxonomy> Taxonomy::FromParentPairs(
     }
     taxonomy.parents_[child_id] = parent_id;
   }
-  DIVA_RETURN_NOT_OK(taxonomy.FinishConstruction());
+  DIVA_RETURN_IF_ERROR(taxonomy.FinishConstruction());
   return taxonomy;
 }
 

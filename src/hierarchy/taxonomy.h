@@ -27,12 +27,12 @@ class Taxonomy {
 
   /// Builds from (child, parent) label pairs. Exactly one label must end
   /// up parentless (the root); labels are unique; cycles are rejected.
-  static Result<Taxonomy> FromParentPairs(
+  [[nodiscard]] static Result<Taxonomy> FromParentPairs(
       const std::vector<std::pair<std::string, std::string>>& pairs);
 
   /// Parses the textual form: one "child,parent" pair per line; blank
   /// lines and '#' comments ignored.
-  static Result<Taxonomy> FromText(std::string_view text);
+  [[nodiscard]] static Result<Taxonomy> FromText(std::string_view text);
 
   /// Flat two-level taxonomy: every value under a single root label.
   /// Generalizing with it is exactly suppression.
@@ -42,7 +42,7 @@ class Taxonomy {
   /// Interval hierarchy over the integers [lo, hi]: leaves are single
   /// values, parents are ranges of `fanout` children ("[20-29]"), up to a
   /// root spanning everything. fanout >= 2.
-  static Result<Taxonomy> Intervals(int64_t lo, int64_t hi, size_t fanout);
+  [[nodiscard]] static Result<Taxonomy> Intervals(int64_t lo, int64_t hi, size_t fanout);
 
   NodeId root() const { return root_; }
   size_t NumNodes() const { return labels_.size(); }
@@ -63,11 +63,11 @@ class Taxonomy {
   NodeId Lca(NodeId a, NodeId b) const;
 
   /// LCA of a set of labels; fails if any label is unknown.
-  Result<NodeId> LcaOfLabels(const std::vector<std::string>& labels) const;
+  [[nodiscard]] Result<NodeId> LcaOfLabels(const std::vector<std::string>& labels) const;
 
  private:
   Taxonomy() = default;
-  Status FinishConstruction();
+  [[nodiscard]] Status FinishConstruction();
 
   std::vector<std::string> labels_;
   std::vector<NodeId> parents_;        // kInvalidNode for the root

@@ -27,7 +27,7 @@ struct CountBounds {
 
 /// Bounds for "how many rows carry `value` in attribute `attr`".
 /// Fails with NotFound for an unknown attribute name.
-Result<CountBounds> CountValue(const Relation& relation,
+[[nodiscard]] Result<CountBounds> CountValue(const Relation& relation,
                                std::string_view attribute,
                                std::string_view value);
 
@@ -40,7 +40,7 @@ CountBounds CountTarget(const Relation& relation,
 /// Per-value histogram of `attribute` with bounds. Every value's
 /// `possible` includes the attribute's suppressed cells (any of them
 /// could hide any value). Fails with NotFound for an unknown attribute.
-Result<std::map<std::string, CountBounds>> Histogram(
+[[nodiscard]] Result<std::map<std::string, CountBounds>> Histogram(
     const Relation& relation, std::string_view attribute);
 
 /// Relative width of the uncertainty interval of a counting query,

@@ -97,7 +97,7 @@ Result<Relation> ReadCsv(std::istream& input,
 
   if (options.has_header) {
     if (!ReadRecord(input, options.delimiter, &fields, &error)) {
-      if (!error.ok()) return error;
+      DIVA_RETURN_IF_ERROR(error);
       return Status::InvalidArgument("CSV input is empty (expected header)");
     }
     ++line;
@@ -124,7 +124,7 @@ Result<Relation> ReadCsv(std::istream& input,
                                      row.status().message());
     }
   }
-  if (!error.ok()) return error;
+  DIVA_RETURN_IF_ERROR(error);
   return relation;
 }
 

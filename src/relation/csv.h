@@ -22,22 +22,22 @@ struct CsvOptions {
 /// quoting ("" escapes a quote inside a quoted field) and both "*" and
 /// "★" as suppressed-cell markers. Every record must have exactly
 /// schema->NumAttributes() fields.
-Result<Relation> ReadCsv(std::istream& input,
+[[nodiscard]] Result<Relation> ReadCsv(std::istream& input,
                          std::shared_ptr<const Schema> schema,
                          const CsvOptions& options = {});
 
 /// Reads a CSV file from `path`.
-Result<Relation> ReadCsvFile(const std::string& path,
+[[nodiscard]] Result<Relation> ReadCsvFile(const std::string& path,
                              std::shared_ptr<const Schema> schema,
                              const CsvOptions& options = {});
 
 /// Writes `relation` as CSV (suppressed cells as "*"). Fields containing
 /// the delimiter, quotes, or newlines are quoted.
-Status WriteCsv(const Relation& relation, std::ostream& output,
+[[nodiscard]] Status WriteCsv(const Relation& relation, std::ostream& output,
                 const CsvOptions& options = {});
 
 /// Writes to a file at `path`, replacing any existing content.
-Status WriteCsvFile(const Relation& relation, const std::string& path,
+[[nodiscard]] Status WriteCsvFile(const Relation& relation, const std::string& path,
                     const CsvOptions& options = {});
 
 }  // namespace diva

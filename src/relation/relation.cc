@@ -53,7 +53,10 @@ Relation Relation::SelectRows(std::span<const RowId> rows) const {
   Relation out = EmptyLike();
   out.data_.reserve(rows.size() * stride_);
   for (RowId r : rows) {
-    DIVA_DCHECK(static_cast<size_t>(r) < num_rows_);
+    // Load-bearing bounds check: a stale RowId would read out of bounds
+    // in release builds, so this must not compile away.
+    DIVA_CHECK_MSG(static_cast<size_t>(r) < num_rows_,
+                   "SelectRows: row id out of range");
     out.AppendRow(Row(r));
   }
   return out;
@@ -64,8 +67,7 @@ Result<Relation> RelationFromRows(
     const std::vector<std::vector<std::string>>& rows) {
   Relation relation(std::move(schema));
   for (const auto& row : rows) {
-    auto result = relation.AppendRowStrings(row);
-    if (!result.ok()) return result.status();
+    DIVA_RETURN_IF_ERROR(relation.AppendRowStrings(row));
   }
   return relation;
 }

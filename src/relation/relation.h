@@ -56,7 +56,7 @@ class Relation {
 
   /// Encodes `fields` through the dictionaries and appends; "*"/"★" map to
   /// kSuppressed. Must have NumAttributes entries.
-  Result<RowId> AppendRowStrings(const std::vector<std::string>& fields);
+  [[nodiscard]] Result<RowId> AppendRowStrings(const std::vector<std::string>& fields);
 
   /// Textual value of a cell ("*" when suppressed).
   std::string ValueString(RowId row, size_t col) const;
@@ -94,7 +94,7 @@ class Relation {
 };
 
 /// Convenience test/demo builder: encodes `rows` of strings over `schema`.
-Result<Relation> RelationFromRows(
+[[nodiscard]] Result<Relation> RelationFromRows(
     std::shared_ptr<const Schema> schema,
     const std::vector<std::vector<std::string>>& rows);
 

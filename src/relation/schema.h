@@ -44,7 +44,7 @@ struct Attribute {
 class Schema {
  public:
   /// Builds a schema; attribute names must be non-empty and unique.
-  static Result<std::shared_ptr<const Schema>> Make(
+  [[nodiscard]] static Result<std::shared_ptr<const Schema>> Make(
       std::vector<Attribute> attributes);
 
   size_t NumAttributes() const { return attributes_.size(); }

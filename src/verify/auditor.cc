@@ -1,0 +1,294 @@
+#include "verify/auditor.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace diva {
+
+const char* AuditCheckToString(AuditCheck check) {
+  switch (check) {
+    case AuditCheck::kGroupSize:
+      return "group-size";
+    case AuditCheck::kConstraintBounds:
+      return "constraint-bounds";
+    case AuditCheck::kContainment:
+      return "containment";
+    case AuditCheck::kStarAccounting:
+      return "star-accounting";
+  }
+  return "unknown";
+}
+
+bool AuditReport::Flagged(AuditCheck check) const {
+  for (const AuditViolation& violation : violations) {
+    if (violation.check == check) return true;
+  }
+  return false;
+}
+
+std::string AuditReport::ToString() const {
+  std::ostringstream out;
+  if (ok()) {
+    out << "audit OK";
+  } else {
+    out << "audit FAILED (" << violations.size() << " violation"
+        << (violations.size() == 1 ? "" : "s") << ")";
+    for (const AuditViolation& violation : violations) {
+      out << "\n  [" << AuditCheckToString(violation.check) << "] "
+          << violation.detail;
+    }
+  }
+  out << "\nstats: rows=" << stats.rows << " qi_groups=" << stats.num_groups
+      << " min_group=" << stats.min_group_size
+      << " added_stars=" << stats.added_stars
+      << " removed_stars=" << stats.removed_stars
+      << " generalized_cells=" << stats.generalized_cells
+      << " edited_cells=" << stats.edited_cells;
+  return out.str();
+}
+
+namespace {
+
+/// Collects violations with a per-check cap on retained details; the
+/// exact totals stay in AuditStats.
+class ViolationRecorder {
+ public:
+  ViolationRecorder(AuditReport* report, size_t max_per_check)
+      : report_(report), max_per_check_(max_per_check) {}
+
+  void Record(AuditCheck check, std::string detail) {
+    size_t& count = counts_[static_cast<size_t>(check)];
+    ++count;
+    if (count <= max_per_check_) {
+      report_->violations.push_back({check, std::move(detail)});
+    } else if (count == max_per_check_ + 1) {
+      report_->violations.push_back(
+          {check, "further violations of this check omitted"});
+    }
+  }
+
+ private:
+  AuditReport* report_;
+  size_t max_per_check_;
+  size_t counts_[4] = {0, 0, 0, 0};
+};
+
+bool IsWaived(const AuditOptions& options, size_t constraint_index) {
+  return std::binary_search(options.waived_constraints.begin(),
+                            options.waived_constraints.end(),
+                            constraint_index);
+}
+
+/// True when `descendant` lies strictly below `ancestor` in `taxonomy`.
+bool IsProperAncestor(const Taxonomy& taxonomy, Taxonomy::NodeId ancestor,
+                      Taxonomy::NodeId descendant) {
+  if (ancestor == descendant) return false;
+  for (Taxonomy::NodeId node = taxonomy.Parent(descendant);
+       node != Taxonomy::kInvalidNode; node = taxonomy.Parent(node)) {
+    if (node == ancestor) return true;
+  }
+  return false;
+}
+
+/// Re-derives the QI-groups of `relation` from scratch (independent of
+/// relation/qi_groups.cc) and records undersized groups.
+void CheckGroupSizes(const Relation& relation, size_t k,
+                     ViolationRecorder* recorder, AuditStats* stats) {
+  const std::vector<size_t>& qi = relation.schema().qi_indices();
+  // Ordered map keyed by the full QI projection: a suppressed cell only
+  // matches another suppressed cell, which code equality gives us for
+  // free (kSuppressed is a reserved code).
+  std::map<std::vector<ValueCode>, size_t> group_sizes;
+  std::vector<ValueCode> key(qi.size());
+  for (RowId row = 0; row < relation.NumRows(); ++row) {
+    for (size_t i = 0; i < qi.size(); ++i) key[i] = relation.At(row, qi[i]);
+    ++group_sizes[key];
+  }
+  stats->num_groups = group_sizes.size();
+  stats->min_group_size = 0;
+  bool first = true;
+  for (const auto& [pattern, size] : group_sizes) {
+    if (first || size < stats->min_group_size) stats->min_group_size = size;
+    first = false;
+    if (size < k) {
+      std::ostringstream detail;
+      detail << "QI-group of size " << size << " < k = " << k
+             << " (pattern";
+      for (size_t i = 0; i < qi.size(); ++i) {
+        detail << ' ' << relation.schema().attribute(qi[i]).name << '='
+               << (pattern[i] == kSuppressed
+                       ? std::string("*")
+                       : relation.dictionary(qi[i]).ValueOf(pattern[i]));
+      }
+      detail << ')';
+      recorder->Record(AuditCheck::kGroupSize, detail.str());
+    }
+  }
+}
+
+/// Counts each constraint's occurrences with a plain row scan (no shared
+/// code with DiversityConstraint::CountOccurrences) and records bound
+/// breaches.
+void CheckConstraintBounds(const Relation& relation,
+                           const ConstraintSet& constraints,
+                           const AuditOptions& options,
+                           ViolationRecorder* recorder, AuditStats* stats) {
+  stats->constraint_counts.assign(constraints.size(), 0);
+  for (size_t ci = 0; ci < constraints.size(); ++ci) {
+    const DiversityConstraint& constraint = constraints[ci];
+    const std::vector<size_t>& attrs = constraint.attribute_indices();
+    // Resolve the target values against the output dictionaries; a value
+    // absent from a dictionary can never match (count stays 0).
+    std::vector<ValueCode> targets(attrs.size());
+    bool resolvable = true;
+    for (size_t i = 0; i < attrs.size() && resolvable; ++i) {
+      auto code = relation.FindCode(attrs[i], constraint.values()[i]);
+      if (code.has_value()) {
+        targets[i] = *code;
+      } else {
+        resolvable = false;
+      }
+    }
+    size_t count = 0;
+    if (resolvable) {
+      for (RowId row = 0; row < relation.NumRows(); ++row) {
+        bool match = true;
+        for (size_t i = 0; i < attrs.size(); ++i) {
+          if (relation.At(row, attrs[i]) != targets[i]) {
+            match = false;
+            break;
+          }
+        }
+        count += match ? 1 : 0;
+      }
+    }
+    stats->constraint_counts[ci] = count;
+    bool in_bounds =
+        count >= constraint.lower() && count <= constraint.upper();
+    if (!in_bounds && !IsWaived(options, ci)) {
+      std::ostringstream detail;
+      detail << "constraint #" << ci << " " << constraint.ToString()
+             << " has " << count << " occurrences";
+      recorder->Record(AuditCheck::kConstraintBounds, detail.str());
+    }
+  }
+}
+
+/// Sentinel for an input value with no equal value in the output
+/// dictionary; distinct from every valid code and from kSuppressed.
+constexpr ValueCode kUnmatched = -2;
+
+/// Cell-by-cell pass shared by the containment and star-accounting
+/// checks: classifies every output cell as unchanged, newly suppressed,
+/// generalized, un-suppressed, or edited. Cells are compared by *value*,
+/// not by raw code: when the two relations were read independently (as
+/// in verify_cli --original) equal strings carry different codes, so
+/// each column gets an input-code -> output-code translation table
+/// unless the dictionaries are the same object.
+void CheckCellsAndStars(const Relation& input, const Relation& output,
+                        const AuditOptions& options,
+                        ViolationRecorder* recorder, AuditStats* stats) {
+  const GeneralizationContext* context = options.generalization.get();
+  std::vector<std::vector<ValueCode>> translate(output.NumAttributes());
+  for (size_t col = 0; col < output.NumAttributes(); ++col) {
+    if (&input.dictionary(col) == &output.dictionary(col)) continue;
+    const Dictionary& in_dict = input.dictionary(col);
+    translate[col].resize(in_dict.size());
+    for (size_t code = 0; code < in_dict.size(); ++code) {
+      translate[col][code] =
+          output.FindCode(col, in_dict.ValueOf(static_cast<ValueCode>(code)))
+              .value_or(kUnmatched);
+    }
+  }
+  for (RowId row = 0; row < output.NumRows(); ++row) {
+    for (size_t col = 0; col < output.NumAttributes(); ++col) {
+      ValueCode in = input.At(row, col);
+      ValueCode out = output.At(row, col);
+      if (!translate[col].empty() && in != kSuppressed) {
+        in = translate[col][in];
+      }
+      if (in == out) continue;
+      if (out == kSuppressed) {
+        ++stats->added_stars;
+        continue;
+      }
+      if (in == kSuppressed) {
+        ++stats->removed_stars;
+        recorder->Record(
+            AuditCheck::kStarAccounting,
+            "row " + std::to_string(row) + " col " + std::to_string(col) +
+                ": suppressed input cell re-published as '" +
+                output.ValueString(row, col) + "'");
+        continue;
+      }
+      // Differing, non-star cell: only legal as a taxonomy ancestor.
+      if (context != nullptr && col < context->num_attributes() &&
+          context->HasTaxonomy(col)) {
+        const Taxonomy& taxonomy = context->taxonomy(col);
+        auto in_node = taxonomy.Find(input.ValueString(row, col));
+        auto out_node = taxonomy.Find(output.ValueString(row, col));
+        if (in_node.has_value() && out_node.has_value() &&
+            IsProperAncestor(taxonomy, *out_node, *in_node)) {
+          ++stats->generalized_cells;
+          continue;
+        }
+      }
+      ++stats->edited_cells;
+      recorder->Record(
+          AuditCheck::kContainment,
+          "row " + std::to_string(row) + " col " + std::to_string(col) +
+              ": '" + input.ValueString(row, col) + "' became '" +
+              output.ValueString(row, col) +
+              "' (neither suppression nor a taxonomy ancestor)");
+    }
+  }
+  if (options.expected_added_stars.has_value() &&
+      stats->added_stars != *options.expected_added_stars) {
+    recorder->Record(
+        AuditCheck::kStarAccounting,
+        "expected " + std::to_string(*options.expected_added_stars) +
+            " added stars, counted " + std::to_string(stats->added_stars));
+  }
+}
+
+}  // namespace
+
+Result<AuditReport> AuditAnonymization(const Relation& input,
+                                       const Relation& output, size_t k,
+                                       const ConstraintSet& constraints,
+                                       const AuditOptions& options) {
+  if (k == 0) {
+    return Status::InvalidArgument("audit: k must be >= 1");
+  }
+  if (input.NumAttributes() != output.NumAttributes()) {
+    return Status::InvalidArgument(
+        "audit: input has " + std::to_string(input.NumAttributes()) +
+        " attributes, output has " +
+        std::to_string(output.NumAttributes()));
+  }
+  if (input.NumRows() != output.NumRows()) {
+    return Status::InvalidArgument(
+        "audit: input has " + std::to_string(input.NumRows()) +
+        " rows, output has " + std::to_string(output.NumRows()) +
+        " (suppression-only publishing keeps row ids stable)");
+  }
+  if (!std::is_sorted(options.waived_constraints.begin(),
+                      options.waived_constraints.end())) {
+    return Status::InvalidArgument(
+        "audit: waived_constraints must be sorted ascending");
+  }
+
+  AuditReport report;
+  report.stats.rows = output.NumRows();
+  ViolationRecorder recorder(&report, options.max_details_per_check);
+
+  CheckGroupSizes(output, k, &recorder, &report.stats);
+  CheckConstraintBounds(output, constraints, options, &recorder,
+                        &report.stats);
+  CheckCellsAndStars(input, output, options, &recorder, &report.stats);
+
+  return report;
+}
+
+}  // namespace diva

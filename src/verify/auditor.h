@@ -1,0 +1,115 @@
+#ifndef DIVA_VERIFY_AUDITOR_H_
+#define DIVA_VERIFY_AUDITOR_H_
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "constraint/diversity_constraint.h"
+#include "hierarchy/generalize.h"
+#include "relation/relation.h"
+
+namespace diva {
+
+/// The four invariants of DIVA's output contract (Definition 2.4 plus the
+/// suppression-only publishing model): R* must be k-anonymous, satisfy
+/// every sigma in Sigma, be derivable from R by suppression (or
+/// hierarchy-consistent generalization) alone, and account for every ★ it
+/// introduces.
+///
+/// Verifying a solution is cheap even when finding one is NP-hard
+/// (Chakaravarthy et al. for k-anonymization, Xiao et al. for
+/// l-diversity), so the auditor re-checks all four independently of the
+/// search that produced R* — it shares no code with the anonymizers, the
+/// coloring, or the Integrate repair.
+enum class AuditCheck {
+  /// Every QI-group of R* holds at least k tuples.
+  kGroupSize,
+  /// Every constraint sigma = (X[t], lambda_l, lambda_r) has its
+  /// occurrence count in [lambda_l, lambda_r].
+  kConstraintBounds,
+  /// R ⊑ R*: each cell of R* equals the input cell, is suppressed, or —
+  /// when a taxonomy is supplied — is a proper ancestor of it.
+  kContainment,
+  /// ★ bookkeeping: no input ★ was un-suppressed, and (when an expected
+  /// count is supplied) exactly that many ★s were added.
+  kStarAccounting,
+};
+
+const char* AuditCheckToString(AuditCheck check);
+
+/// One concrete breach of one check, human-readable.
+struct AuditViolation {
+  AuditCheck check = AuditCheck::kGroupSize;
+  std::string detail;
+};
+
+/// Raw measurements the auditor took while checking (also useful as a
+/// cheap summary of how much the anonymization changed).
+struct AuditStats {
+  size_t rows = 0;
+  size_t num_groups = 0;
+  /// Smallest QI-group of R* (0 when R* has no rows).
+  size_t min_group_size = 0;
+  /// Cells suppressed in R* but not in R.
+  size_t added_stars = 0;
+  /// Cells suppressed in R but not in R* (always a violation).
+  size_t removed_stars = 0;
+  /// Cells recoded to a taxonomy ancestor (generalization mode only).
+  size_t generalized_cells = 0;
+  /// Cells that differ from R without being a ★ or a valid ancestor.
+  size_t edited_cells = 0;
+  /// Per-constraint occurrence counts in R*, parallel to Sigma.
+  std::vector<size_t> constraint_counts;
+};
+
+struct AuditOptions {
+  /// Constraint indices the producer already declared unsatisfied
+  /// (best-effort mode): bound breaches on these are recorded in
+  /// `constraint_counts` but not flagged. Must be sorted ascending.
+  std::vector<size_t> waived_constraints;
+
+  /// When set, a changed cell may also be a proper taxonomy ancestor of
+  /// the input value (LCA recoding); without it only ★ is allowed.
+  std::shared_ptr<const GeneralizationContext> generalization;
+
+  /// When set, kStarAccounting additionally requires added_stars to equal
+  /// this value (e.g. a producer's claimed suppression count).
+  std::optional<size_t> expected_added_stars;
+
+  /// Cap on per-check violation details kept in the report (the counts in
+  /// AuditStats stay exact).
+  size_t max_details_per_check = 8;
+};
+
+/// Outcome of an audit: empty `violations` means the output honors the
+/// full contract.
+struct AuditReport {
+  bool ok() const { return violations.empty(); }
+
+  /// True when at least one violation of `check` was recorded.
+  bool Flagged(AuditCheck check) const;
+
+  std::vector<AuditViolation> violations;
+  AuditStats stats;
+
+  /// Multi-line human-readable summary ("audit OK ..." or one line per
+  /// violation).
+  std::string ToString() const;
+};
+
+/// Independently re-checks the anonymization contract for output `output`
+/// produced from `input` under (k, Sigma). Fails with InvalidArgument
+/// when the pair is not auditable at all (schema arity or row-count
+/// mismatch, k = 0) — a failed *audit* is a populated AuditReport, not an
+/// error Status.
+[[nodiscard]] Result<AuditReport> AuditAnonymization(
+    const Relation& input, const Relation& output, size_t k,
+    const ConstraintSet& constraints, const AuditOptions& options = {});
+
+}  // namespace diva
+
+#endif  // DIVA_VERIFY_AUDITOR_H_

@@ -1,0 +1,279 @@
+#include "verify/auditor.h"
+
+#include <gtest/gtest.h>
+
+#include "anon/suppress.h"
+#include "constraint/parser.h"
+#include "core/diva.h"
+#include "hierarchy/taxonomy.h"
+#include "relation/qi_groups.h"
+#include "tests/test_util.h"
+
+namespace diva {
+namespace {
+
+using testing::MedicalConstraints;
+using testing::MedicalRelation;
+using testing::MedicalSchema;
+
+AuditReport MustAudit(const Relation& input, const Relation& output, size_t k,
+                      const ConstraintSet& constraints,
+                      const AuditOptions& options = {}) {
+  auto report = AuditAnonymization(input, output, k, constraints, options);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return std::move(report).value();
+}
+
+/// A DIVA run's real output passes every check (the end-to-end positive
+/// case for all four invariants at once).
+TEST(AuditorTest, DivaOutputPassesFullAudit) {
+  Relation input = MedicalRelation();
+  ConstraintSet constraints = MedicalConstraints(*MedicalSchema());
+  DivaOptions options;
+  options.k = 2;
+  auto result = RunDiva(input, constraints, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  AuditOptions audit_options;
+  audit_options.waived_constraints = result->report.unsatisfied;
+  AuditReport report =
+      MustAudit(input, result->relation, 2, constraints, audit_options);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_EQ(report.stats.rows, input.NumRows());
+  EXPECT_GE(report.stats.min_group_size, 2u);
+  EXPECT_EQ(report.stats.removed_stars, 0u);
+  EXPECT_EQ(report.stats.edited_cells, 0u);
+}
+
+/// Group-size invariant, isolated positive + negative: an identity
+/// "anonymization" is perfectly contained and star-consistent, but its
+/// singleton QI-groups violate k = 2.
+TEST(AuditorTest, FlagsKViolation) {
+  Relation input = MedicalRelation();
+  Relation output = input;  // singleton QI-groups, nothing suppressed
+
+  AuditReport report = MustAudit(input, output, 2, /*constraints=*/{});
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.Flagged(AuditCheck::kGroupSize));
+  EXPECT_FALSE(report.Flagged(AuditCheck::kContainment));
+  EXPECT_FALSE(report.Flagged(AuditCheck::kStarAccounting));
+  EXPECT_EQ(report.stats.min_group_size, 1u);
+
+  // The same pair is fine for k = 1.
+  EXPECT_TRUE(MustAudit(input, output, 1, {}).ok());
+}
+
+/// Constraint-bounds invariant: fully suppressing the QI keeps the
+/// relation k-anonymous and contained, but the sensitive column still
+/// carries 2 Hypertension + 1 more occurrences — breaching lambda_r = 2.
+TEST(AuditorTest, FlagsUpperBoundBreach) {
+  Relation input = MedicalRelation();
+  Relation output = input;
+  Clustering everything(1);
+  for (RowId row = 0; row < input.NumRows(); ++row) {
+    everything[0].push_back(row);
+  }
+  SuppressClustersInPlace(&output, everything);
+  ASSERT_TRUE(IsKAnonymous(output, 2));
+
+  auto sigma = ParseConstraintSet(*MedicalSchema(), "DIAG[Hypertension] in [0,2]");
+  ASSERT_TRUE(sigma.ok());
+  ASSERT_EQ((*sigma)[0].CountOccurrences(input), 3u);
+
+  AuditReport report = MustAudit(input, output, 2, *sigma);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.Flagged(AuditCheck::kConstraintBounds));
+  EXPECT_FALSE(report.Flagged(AuditCheck::kGroupSize));
+  EXPECT_FALSE(report.Flagged(AuditCheck::kContainment));
+  ASSERT_EQ(report.stats.constraint_counts.size(), 1u);
+  EXPECT_EQ(report.stats.constraint_counts[0], 3u);
+
+  // Waiving the constraint (best-effort mode) silences the flag but the
+  // measured count is still reported.
+  AuditOptions waive;
+  waive.waived_constraints = {0};
+  AuditReport waived = MustAudit(input, output, 2, *sigma, waive);
+  EXPECT_TRUE(waived.ok()) << waived.ToString();
+  EXPECT_EQ(waived.stats.constraint_counts[0], 3u);
+
+  // A lower-bound breach is flagged the same way: suppression erased all
+  // occurrences required by lambda_l >= 1.
+  auto lower = ParseConstraintSet(*MedicalSchema(), "ETH[Asian] in [2,5]");
+  ASSERT_TRUE(lower.ok());
+  AuditReport lower_report = MustAudit(input, output, 2, *lower);
+  EXPECT_FALSE(lower_report.ok());
+  EXPECT_TRUE(lower_report.Flagged(AuditCheck::kConstraintBounds));
+  EXPECT_EQ(lower_report.stats.constraint_counts[0], 0u);
+}
+
+/// Containment invariant: editing a cell to a *different value* is not a
+/// legal anonymization step, even though every privacy property holds.
+TEST(AuditorTest, FlagsNonSuppressionEdit) {
+  Relation input = MedicalRelation();
+  Relation output = input;
+  Clustering everything(1);
+  for (RowId row = 0; row < input.NumRows(); ++row) {
+    everything[0].push_back(row);
+  }
+  SuppressClustersInPlace(&output, everything);
+
+  // Swap one sensitive value (sensitive cells are outside the QI-groups,
+  // so group sizes stay valid and the violation is isolated).
+  size_t diag = *MedicalSchema()->IndexOf("DIAG");
+  output.Set(0, diag, output.Encode(diag, "Gout"));
+
+  AuditReport report = MustAudit(input, output, 2, {});
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.Flagged(AuditCheck::kContainment));
+  EXPECT_FALSE(report.Flagged(AuditCheck::kGroupSize));
+  EXPECT_FALSE(report.Flagged(AuditCheck::kStarAccounting));
+  EXPECT_EQ(report.stats.edited_cells, 1u);
+}
+
+/// verify_cli reads R and R* from separate CSV files, so their
+/// dictionaries assign different codes to equal strings. The audit must
+/// compare values, not raw codes, in both directions: no false
+/// containment violations on a clean pair, and a genuine edit still
+/// caught.
+TEST(AuditorTest, AuditsAcrossIndependentDictionaries) {
+  Relation input = MedicalRelation();
+  Relation output = input;
+  Clustering everything(1);
+  for (RowId row = 0; row < input.NumRows(); ++row) {
+    everything[0].push_back(row);
+  }
+  SuppressClustersInPlace(&output, everything);
+
+  // Round-trip each relation through strings into fresh dictionaries,
+  // pre-skewed with a decoy value so equal strings get unequal codes.
+  auto reencode = [](const Relation& source) {
+    Relation copy(source.schema_ptr());
+    std::vector<std::string> fields(source.NumAttributes());
+    for (size_t col = 0; col < source.NumAttributes(); ++col) {
+      copy.Encode(col, "decoy-" + std::to_string(col));
+    }
+    for (RowId row = 0; row < source.NumRows(); ++row) {
+      for (size_t col = 0; col < source.NumAttributes(); ++col) {
+        fields[col] = source.ValueString(row, col);
+      }
+      EXPECT_TRUE(copy.AppendRowStrings(fields).ok());
+    }
+    return copy;
+  };
+  Relation fresh_input = reencode(input);
+  Relation fresh_output = reencode(output);
+  size_t diag = *MedicalSchema()->IndexOf("DIAG");
+  ASSERT_NE(fresh_input.At(0, diag), input.At(0, diag));  // codes do differ
+
+  AuditReport report = MustAudit(fresh_input, fresh_output, 2, {});
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_EQ(report.stats.edited_cells, 0u);
+  EXPECT_EQ(report.stats.removed_stars, 0u);
+
+  fresh_output.Set(0, diag, fresh_output.Encode(diag, "Gout"));
+  AuditReport corrupted = MustAudit(fresh_input, fresh_output, 2, {});
+  EXPECT_FALSE(corrupted.ok());
+  EXPECT_TRUE(corrupted.Flagged(AuditCheck::kContainment));
+  EXPECT_EQ(corrupted.stats.edited_cells, 1u);
+}
+
+/// Star-accounting invariant, both directions: un-suppressing an input ★
+/// and claiming the wrong number of added ★s.
+TEST(AuditorTest, FlagsStarAccountingErrors) {
+  auto schema = MedicalSchema();
+  auto input = RelationFromRows(
+      schema, {{"Female", "*", "80", "AB", "Calgary", "Flu"},
+               {"Female", "*", "80", "AB", "Calgary", "Flu"}});
+  ASSERT_TRUE(input.ok());
+
+  // Un-suppression: the published relation "recovers" the hidden ETH.
+  Relation output = *input;
+  size_t eth = *schema->IndexOf("ETH");
+  output.Set(0, eth, output.Encode(eth, "Asian"));
+  output.Set(1, eth, output.Encode(eth, "Asian"));
+  AuditReport report = MustAudit(*input, output, 2, {});
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.Flagged(AuditCheck::kStarAccounting));
+  EXPECT_EQ(report.stats.removed_stars, 2u);
+
+  // Wrong claimed count: output adds 2 stars (AGE column) but the
+  // producer claims 3.
+  Relation counted = *input;
+  size_t age = *schema->IndexOf("AGE");
+  counted.Set(0, age, kSuppressed);
+  counted.Set(1, age, kSuppressed);
+  AuditOptions audit_options;
+  audit_options.expected_added_stars = 3;
+  AuditReport miscounted = MustAudit(*input, counted, 2, {}, audit_options);
+  EXPECT_FALSE(miscounted.ok());
+  EXPECT_TRUE(miscounted.Flagged(AuditCheck::kStarAccounting));
+  EXPECT_EQ(miscounted.stats.added_stars, 2u);
+
+  // The correct claim passes.
+  audit_options.expected_added_stars = 2;
+  EXPECT_TRUE(MustAudit(*input, counted, 2, {}, audit_options).ok());
+}
+
+/// Generalized cells are legal exactly when a taxonomy justifies them as
+/// proper ancestors of the input values.
+TEST(AuditorTest, GeneralizationRequiresTaxonomy) {
+  auto schema = MedicalSchema();
+  auto input = RelationFromRows(
+      schema, {{"Female", "Asian", "32", "AB", "Calgary", "Flu"},
+               {"Female", "Asian", "38", "AB", "Calgary", "Flu"}});
+  ASSERT_TRUE(input.ok());
+
+  size_t age = *schema->IndexOf("AGE");
+  Relation output = *input;
+  ValueCode decade = output.Encode(age, "[30-39]");
+  output.Set(0, age, decade);
+  output.Set(1, age, decade);
+
+  // Without a taxonomy the recode is an illegal edit.
+  AuditReport no_context = MustAudit(*input, output, 2, {});
+  EXPECT_TRUE(no_context.Flagged(AuditCheck::kContainment));
+
+  // With the interval hierarchy it is a proper generalization.
+  auto taxonomy = Taxonomy::Intervals(30, 39, 10);
+  ASSERT_TRUE(taxonomy.ok());
+  auto context =
+      std::make_shared<GeneralizationContext>(schema->NumAttributes());
+  context->SetTaxonomy(age, std::move(taxonomy).value());
+  AuditOptions audit_options;
+  audit_options.generalization = context;
+  AuditReport with_context = MustAudit(*input, output, 2, {}, audit_options);
+  EXPECT_TRUE(with_context.ok()) << with_context.ToString();
+  EXPECT_EQ(with_context.stats.generalized_cells, 2u);
+}
+
+/// Unauditable pairs are Status errors, not failed audits.
+TEST(AuditorTest, RejectsUnauditablePairs) {
+  Relation input = MedicalRelation();
+
+  EXPECT_FALSE(AuditAnonymization(input, input, 0, {}).ok());
+
+  Relation fewer_rows = input.SelectRows(std::vector<RowId>{0, 1, 2});
+  EXPECT_EQ(AuditAnonymization(input, fewer_rows, 2, {}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+/// RunDiva's self-audit flag: a clean run reports audited = true; the
+/// flag defaults to off.
+TEST(AuditorTest, DivaSelfAuditFlag) {
+  Relation input = MedicalRelation();
+  ConstraintSet constraints = MedicalConstraints(*MedicalSchema());
+  DivaOptions options;
+  options.k = 2;
+  options.audit = true;
+  auto result = RunDiva(input, constraints, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->report.audited);
+
+  options.audit = false;
+  auto unaudited = RunDiva(input, constraints, options);
+  ASSERT_TRUE(unaudited.ok());
+  EXPECT_FALSE(unaudited->report.audited);
+}
+
+}  // namespace
+}  // namespace diva

@@ -34,9 +34,11 @@ TEST(PipelineTest, CsvToDivaToCsvRoundTrip) {
   ASSERT_TRUE(constraints.ok());
 
   DivaOptions options;
+  options.audit = true;  // every pipeline test audits its output
   options.k = 2;
   auto result = RunDiva(*relation, *constraints, options);
   ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->report.audited);
 
   std::ostringstream out_csv;
   ASSERT_TRUE(WriteCsv(result->relation, out_csv).ok());
@@ -62,6 +64,7 @@ TEST(PipelineTest, ProfileWorkloadEndToEnd) {
   ASSERT_TRUE(constraints.ok());
 
   DivaOptions options;
+  options.audit = true;  // every pipeline test audits its output
   options.k = 5;
   options.coloring_budget = 50000;
   auto result = RunDiva(*cohort, *constraints, options);
@@ -99,6 +102,7 @@ TEST(PipelineTest, FailureInjection) {
   // k larger than the relation (strict and non-strict agree here).
   Relation r = testing::MedicalRelation();
   DivaOptions options;
+  options.audit = true;  // every pipeline test audits its output
   options.k = 100;
   EXPECT_EQ(RunDiva(r, {}, options).status().code(),
             StatusCode::kInfeasible);
@@ -133,6 +137,7 @@ TEST(PipelineTest, DeterministicAcrossWholePipeline) {
   ASSERT_TRUE(ca.ok() && cb.ok());
 
   DivaOptions options;
+  options.audit = true;  // every pipeline test audits its output
   options.k = 4;
   options.seed = 99;
   options.coloring_budget = 30000;
@@ -158,6 +163,7 @@ TEST(PipelineTest, CombinedPrivacyModels) {
   ASSERT_TRUE(constraints.ok());
 
   DivaOptions options;
+  options.audit = true;  // every pipeline test audits its output
   options.k = 6;
   options.l_diversity = 3;
   options.coloring_budget = 50000;

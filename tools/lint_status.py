@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Tree-grep lint: no Status-returning call may be a bare statement.
+
+The compiler already rejects discarded [[nodiscard]] Status/Result values,
+but only for translation units it compiles; this lint is a belt-and-braces
+pass that works on a plain checkout (no compile_commands.json needed) and
+also catches calls hidden from the compiler (e.g. behind disabled #ifdef
+branches or templates that are never instantiated).
+
+Pass 1 scans headers under the given roots for Status-returning function
+names. Pass 2 scans sources for any of those names called in statement
+position — i.e. the call is the whole expression statement — which drops
+the Status on the floor. Sanctioned patterns:
+
+    DIVA_RETURN_IF_ERROR(DoThing());
+    Status s = DoThing();            // consumed
+    return DoThing();                // propagated
+    (void)DoThing();  // lint: allow-discard
+
+Exit code 0 = clean, 1 = violations found, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Status factory names are never flagged: `Status::Internal("x");` as a
+# statement is dead code, not a dropped result, and flagging them would
+# produce noise on the factory definitions themselves.
+FACTORY_NAMES = {
+    "OK",
+    "InvalidArgument",
+    "NotFound",
+    "Infeasible",
+    "BudgetExhausted",
+    "Internal",
+    "IoError",
+}
+
+ALLOW_COMMENT = "lint: allow-discard"
+
+DECL_RE = re.compile(
+    r"(?:\[\[nodiscard\]\]\s*)?(?:static\s+|virtual\s+)*Status\s+(\w+)\s*\("
+)
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literals, preserving offsets.
+
+    Newlines inside block comments survive so line numbers stay correct.
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            chunk = text[i : j + 2]
+            out.append("".join(ch if ch == "\n" else " " for ch in chunk))
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            out.append(quote + " " * (j - i - 1) + quote)
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def collect_status_functions(roots: list[Path]) -> set[str]:
+    names: set[str] = set()
+    for root in roots:
+        for header in sorted(root.rglob("*.h")):
+            text = strip_comments_and_strings(header.read_text())
+            for match in DECL_RE.finditer(text):
+                name = match.group(1)
+                if name not in FACTORY_NAMES:
+                    names.add(name)
+    return names
+
+
+# Statement prefix allowed before a flagged call: an object chain like
+# `taxonomy.` / `relation->` / `Taxonomy::` (method/static calls in
+# statement position are still drops and stay flagged — the prefix match
+# only tells us the call *is* the whole statement).
+OBJECT_CHAIN_RE = re.compile(r"^[A-Za-z_]\w*(?:(?:\.|->|::)[A-Za-z_]\w*)*(?:\.|->|::)$")
+
+
+def find_violations(path: Path, names: set[str]) -> list[tuple[int, str]]:
+    raw = path.read_text()
+    text = strip_comments_and_strings(raw)
+    raw_lines = raw.splitlines()
+    violations = []
+    name_re = re.compile(
+        r"(?<![\w.])(" + "|".join(re.escape(n) for n in sorted(names)) + r")\s*\("
+    )
+    for match in name_re.finditer(text):
+        start = match.start()
+        # Walk back to the start of the statement.
+        boundary = max(text.rfind(ch, 0, start) for ch in ";{}")
+        prefix = text[boundary + 1 : start].strip()
+        # `foo(...)` or `obj.foo(...)` / `ns::foo(...)` as the entire
+        # statement prefix => the value cannot be consumed.
+        if prefix and not OBJECT_CHAIN_RE.fullmatch(prefix):
+            continue
+        line_no = text.count("\n", 0, start) + 1
+        line = raw_lines[line_no - 1] if line_no <= len(raw_lines) else ""
+        if ALLOW_COMMENT in line:
+            continue
+        violations.append((line_no, line.strip()))
+    return violations
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(f"usage: {argv[0]} <source-root>...", file=sys.stderr)
+        return 2
+    roots = [Path(arg) for arg in argv[1:]]
+    for root in roots:
+        if not root.is_dir():
+            print(f"error: {root} is not a directory", file=sys.stderr)
+            return 2
+
+    names = collect_status_functions(roots)
+    if not names:
+        print("lint_status: no Status-returning functions found", file=sys.stderr)
+        return 2
+
+    failures = 0
+    for root in roots:
+        for source in sorted(list(root.rglob("*.cc")) + list(root.rglob("*.cpp"))):
+            for line_no, line in find_violations(source, names):
+                print(
+                    f"{source}:{line_no}: dropped Status: `{line}` "
+                    f"(wrap in DIVA_RETURN_IF_ERROR or consume the value; "
+                    f"`(void)... // {ALLOW_COMMENT}` if intentional)"
+                )
+                failures += 1
+
+    if failures:
+        print(f"lint_status: {failures} dropped Status call(s)", file=sys.stderr)
+        return 1
+    print(f"lint_status: OK ({len(names)} Status-returning functions checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
