@@ -48,6 +48,32 @@ inline uint64_t ColoringBudget() {
   return 150000;
 }
 
+/// Thread-count sweep from DIVA_BENCH_THREADS (comma-separated widths,
+/// e.g. "1,2,4,8"; 0 = hardware). Default: 1 and, when the machine has
+/// more than one core, the full hardware width. Results are identical at
+/// every width — the sweep only measures speed.
+inline std::vector<size_t> BenchThreads() {
+  std::vector<size_t> sweep;
+  if (const char* env = std::getenv("DIVA_BENCH_THREADS")) {
+    std::string spec(env);
+    size_t pos = 0;
+    while (pos < spec.size()) {
+      size_t comma = spec.find(',', pos);
+      if (comma == std::string::npos) comma = spec.size();
+      long width = std::atol(spec.substr(pos, comma - pos).c_str());
+      if (width >= 0) {
+        sweep.push_back(ResolveThreadCount(static_cast<size_t>(width)));
+      }
+      pos = comma + 1;
+    }
+  }
+  if (sweep.empty()) {
+    sweep.push_back(1);
+    if (HardwareConcurrency() > 1) sweep.push_back(HardwareConcurrency());
+  }
+  return sweep;
+}
+
 struct RunResult {
   double accuracy = 0.0;
   double seconds = 0.0;
@@ -55,14 +81,17 @@ struct RunResult {
 };
 
 /// One DIVA run; accuracy per DESIGN.md §3 (discernibility x satisfied).
+/// `threads` follows the knob semantics of common/parallel.h; the default
+/// defers to DIVA_THREADS so existing single-width benches are unchanged.
 inline RunResult RunDivaOnce(const Relation& relation,
                              const ConstraintSet& constraints,
                              SelectionStrategy strategy, size_t k,
-                             uint64_t seed) {
+                             uint64_t seed, size_t threads = EnvThreads()) {
   DivaOptions options;
   options.k = k;
   options.strategy = strategy;
   options.seed = seed;
+  options.threads = threads;
   options.coloring_budget = ColoringBudget();
   options.anonymizer.seed = seed;
   options.anonymizer.sample_size = 64;  // sampled k-member (DESIGN.md §3)

@@ -1,0 +1,180 @@
+// bench_smoke — small fixed-seed DIVA run timed at each width of the
+// thread sweep, emitting BENCH_smoke.json for CI baselines. Two promises
+// are checked on every run:
+//
+//   1. Determinism: the published CSV hashes identically at every thread
+//      count (the process exits 1 otherwise — CI fails on the spot).
+//   2. Speed: per-phase wall times are recorded per width, so the stored
+//      baseline documents the clustering-phase scaling on CI hardware.
+//
+// Usage: bench_smoke [output.json]   (default BENCH_smoke.json)
+// Knobs: DIVA_BENCH_THREADS="1,2,4,8" overrides the sweep;
+//        DIVA_BENCH_SMOKE_ROWS overrides the row count (default 4000).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "constraint/generator.h"
+#include "relation/csv.h"
+
+namespace {
+
+using namespace diva;  // NOLINT: bench brevity
+
+struct SmokeRun {
+  size_t threads = 0;
+  double clustering_seconds = 0.0;
+  double anonymize_seconds = 0.0;
+  double integrate_seconds = 0.0;
+  double total_seconds = 0.0;
+  uint64_t output_hash = 0;
+};
+
+uint64_t Fnv1a(const std::string& bytes) {
+  uint64_t hash = 1469598103934665603ULL;
+  for (unsigned char byte : bytes) {
+    hash ^= byte;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+size_t SmokeRows() {
+  if (const char* env = std::getenv("DIVA_BENCH_SMOKE_ROWS")) {
+    long rows = std::atol(env);
+    if (rows > 0) return static_cast<size_t>(rows);
+  }
+  return 4000;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string output_path = argc > 1 ? argv[1] : "BENCH_smoke.json";
+  constexpr size_t kK = 8;
+  constexpr uint64_t kSeed = 1000;  // fixed: the smoke run never varies
+  const size_t rows = SmokeRows();
+
+  ProfileOptions profile_options;
+  profile_options.num_rows = rows;
+  profile_options.seed = kSeed;
+  auto relation = GenerateProfile(DatasetProfile::kPopSyn, profile_options);
+  if (!relation.ok()) {
+    std::fprintf(stderr, "datagen failed: %s\n",
+                 relation.status().ToString().c_str());
+    return 2;
+  }
+  ConstraintGenOptions constraint_options;
+  constraint_options.count = 12;
+  constraint_options.seed = kSeed;
+  auto constraints = GenerateConstraints(*relation, constraint_options);
+  if (!constraints.ok()) {
+    std::fprintf(stderr, "constraint generation failed: %s\n",
+                 constraints.status().ToString().c_str());
+    return 2;
+  }
+
+  bench::PrintPreamble("smoke", "fixed-seed thread-sweep phase timings");
+  std::printf("rows=%zu k=%zu constraints=%zu hardware_concurrency=%zu\n",
+              rows, kK, constraints->size(), HardwareConcurrency());
+
+  std::vector<SmokeRun> runs;
+  for (size_t threads : bench::BenchThreads()) {
+    DivaOptions options;
+    options.k = kK;
+    options.seed = kSeed;
+    options.threads = threads;
+    options.coloring_budget = bench::ColoringBudget();
+    options.anonymizer.seed = kSeed;
+    options.anonymizer.sample_size = 64;
+    auto result = RunDiva(*relation, *constraints, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "RunDiva failed at threads=%zu: %s\n", threads,
+                   result.status().ToString().c_str());
+      return 2;
+    }
+    std::ostringstream csv;
+    if (!WriteCsv(result->relation, csv).ok()) {
+      std::fprintf(stderr, "WriteCsv failed at threads=%zu\n", threads);
+      return 2;
+    }
+    SmokeRun run;
+    run.threads = threads;
+    run.clustering_seconds = result->report.clustering_seconds;
+    run.anonymize_seconds = result->report.anonymize_seconds;
+    run.integrate_seconds = result->report.integrate_seconds;
+    run.total_seconds = result->report.total_seconds;
+    run.output_hash = Fnv1a(csv.str());
+    runs.push_back(run);
+    std::printf(
+        "threads=%zu  clustering=%.3fs  anonymize=%.3fs  integrate=%.3fs  "
+        "total=%.3fs  output=fnv1a:%016llx\n",
+        run.threads, run.clustering_seconds, run.anonymize_seconds,
+        run.integrate_seconds, run.total_seconds,
+        static_cast<unsigned long long>(run.output_hash));
+  }
+
+  bool deterministic = true;
+  for (const SmokeRun& run : runs) {
+    deterministic &= run.output_hash == runs.front().output_hash;
+  }
+  if (!deterministic) {
+    std::fprintf(stderr,
+                 "DETERMINISM FAILURE: outputs differ across thread "
+                 "counts\n");
+  }
+
+  const SmokeRun& first = runs.front();
+  const SmokeRun& last = runs.back();
+  double clustering_speedup =
+      last.clustering_seconds > 0.0
+          ? first.clustering_seconds / last.clustering_seconds
+          : 1.0;
+  double total_speedup =
+      last.total_seconds > 0.0 ? first.total_seconds / last.total_seconds
+                               : 1.0;
+  std::printf("speedup (threads=%zu vs %zu): clustering %.2fx, total %.2fx\n",
+              last.threads, first.threads, clustering_speedup, total_speedup);
+
+  std::ofstream json(output_path);
+  if (!json) {
+    std::fprintf(stderr, "cannot write %s\n", output_path.c_str());
+    return 2;
+  }
+  json << "{\n"
+       << "  \"bench\": \"smoke\",\n"
+       << "  \"rows\": " << rows << ",\n"
+       << "  \"k\": " << kK << ",\n"
+       << "  \"constraints\": " << constraints->size() << ",\n"
+       << "  \"seed\": " << kSeed << ",\n"
+       << "  \"hardware_concurrency\": " << HardwareConcurrency() << ",\n"
+       << "  \"deterministic_across_threads\": "
+       << (deterministic ? "true" : "false") << ",\n"
+       << "  \"runs\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const SmokeRun& run = runs[i];
+    char hash[32];
+    std::snprintf(hash, sizeof(hash), "%016llx",
+                  static_cast<unsigned long long>(run.output_hash));
+    json << "    {\"threads\": " << run.threads
+         << ", \"clustering_seconds\": " << run.clustering_seconds
+         << ", \"anonymize_seconds\": " << run.anonymize_seconds
+         << ", \"integrate_seconds\": " << run.integrate_seconds
+         << ", \"total_seconds\": " << run.total_seconds
+         << ", \"output_fnv1a\": \"" << hash << "\"}"
+         << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"clustering_speedup\": " << clustering_speedup << ",\n"
+       << "  \"total_speedup\": " << total_speedup << "\n"
+       << "}\n";
+  std::printf("wrote %s\n", output_path.c_str());
+
+  return deterministic ? 0 : 1;
+}

@@ -3,22 +3,42 @@
 #
 #   1. release build + full ctest (includes the lint_status test)
 #   2. asan-ubsan build + full ctest
-#   3. tools/lint_status.py over src/
-#   4. clang-tidy over src/ (skipped with a notice when not installed)
+#   3. tsan build + full ctest with DIVA_THREADS>=8 (gates the thread
+#      pool: the parallel layer must be race-free at real width)
+#   4. tools/lint_status.py over src/ (dropped Status + raw-thread lints)
+#   5. clang-tidy over src/ (skipped with a notice when not installed)
 #
-# Usage: ci/check.sh [--skip-sanitizers]
+# Usage: ci/check.sh [--skip-sanitizers] [--threads N]
+#
+# --threads N runs every ctest leg with DIVA_THREADS=N (the tsan leg
+# still forces at least 8 so the pool is genuinely concurrent there).
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SKIP_SANITIZERS=0
-for arg in "$@"; do
-  case "$arg" in
-    --skip-sanitizers) SKIP_SANITIZERS=1 ;;
-    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+THREADS=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --skip-sanitizers) SKIP_SANITIZERS=1; shift ;;
+    --threads)
+      [[ $# -ge 2 ]] || { echo "--threads needs a value" >&2; exit 2; }
+      THREADS="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done
+
+if [[ -n "$THREADS" ]]; then
+  export DIVA_THREADS="$THREADS"
+fi
+
+# The tsan leg always runs wide: a width-1 pool spawns no workers and
+# would make the race check vacuous.
+TSAN_THREADS="${THREADS:-8}"
+if [[ "$TSAN_THREADS" -lt 8 ]]; then
+  TSAN_THREADS=8
+fi
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
@@ -28,7 +48,7 @@ step "release: configure + build"
 cmake --preset release
 cmake --build --preset release -j "$JOBS"
 
-step "release: ctest"
+step "release: ctest${THREADS:+ (DIVA_THREADS=$THREADS)}"
 ctest --preset release -j "$JOBS"
 
 if [[ "$SKIP_SANITIZERS" -eq 0 ]]; then
@@ -36,14 +56,22 @@ if [[ "$SKIP_SANITIZERS" -eq 0 ]]; then
   cmake --preset asan-ubsan
   cmake --build --preset asan-ubsan -j "$JOBS"
 
-  step "asan-ubsan: ctest"
+  step "asan-ubsan: ctest${THREADS:+ (DIVA_THREADS=$THREADS)}"
   ctest --preset asan-ubsan -j "$JOBS"
+
+  step "tsan: configure + build"
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$JOBS"
+
+  step "tsan: ctest (DIVA_THREADS=$TSAN_THREADS)"
+  DIVA_THREADS="$TSAN_THREADS" ctest --preset tsan -j "$JOBS"
 else
   step "asan-ubsan: SKIPPED (--skip-sanitizers)"
+  step "tsan: SKIPPED (--skip-sanitizers)"
 fi
 
-step "lint: tools/lint_status.py src"
-python3 tools/lint_status.py src
+step "lint: tools/lint_status.py src examples bench tests"
+python3 tools/lint_status.py src examples bench tests
 
 if command -v clang-tidy >/dev/null 2>&1; then
   step "clang-tidy over src/ (compile db: build/release)"

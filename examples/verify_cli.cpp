@@ -11,7 +11,11 @@
 // Usage:
 //   verify_cli --input anonymized.csv --schema schema.txt --k 10
 //       [--l 3] [--t 0.4] [--constraints sigma.txt]
-//       [--original raw.csv] [--expected-stars N]
+//       [--original raw.csv] [--expected-stars N] [--threads N]
+//
+// --threads N sets the verification pool width (0 = one per hardware
+// core); it overrides DIVA_THREADS and never changes any verdict, only
+// how fast the scans run.
 
 #include <cstdio>
 #include <fstream>
@@ -19,6 +23,7 @@
 #include <string>
 
 #include "anon/privacy.h"
+#include "common/parallel.h"
 #include "common/string_util.h"
 #include "constraint/parser.h"
 #include "metrics/metrics.h"
@@ -58,6 +63,16 @@ int main(int argc, char** argv) {
   if (!relation.ok()) return Fail(relation.status().ToString());
   auto k = ParseInt64(args["k"]);
   if (!k.ok() || *k < 1) return Fail("--k must be a positive integer");
+
+  if (args.count("threads")) {
+    auto threads = ParseInt64(args["threads"]);
+    if (!threads.ok() || *threads < 0) {
+      return Fail("--threads must be a non-negative integer");
+    }
+    SetParallelThreads(static_cast<size_t>(*threads));
+  } else {
+    SetParallelThreads(EnvThreads());
+  }
 
   bool all_ok = true;
 

@@ -4,11 +4,18 @@
 
 #include "anon/distance.h"
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 
 namespace diva {
 
 namespace {
+
+/// Below this many candidates a greedy scan runs sequentially: the
+/// fork-join handshake would cost more than the distance evaluations.
+/// Purely a scheduling choice — both paths compute the identical argmin /
+/// argmax, so results do not depend on which one runs.
+constexpr size_t kMinParallelScan = 512;
 
 /// Pool of not-yet-clustered rows with O(1) removal (swap with back).
 class RowPool {
@@ -72,14 +79,41 @@ Result<Clustering> KMemberAnonymizer::BuildClusters(
   while (pool.size() >= k) {
     // Furthest record from the previous anchor.
     size_t scan = ScanCount(pool, options_.sample_size);
-    double best_distance = -1.0;
-    size_t best_index = 0;
-    for (size_t s = 0; s < scan; ++s) {
-      size_t i = PickIndex(pool, scan, s, &rng);
-      double d = metric.Distance(anchor, pool.at(i));
-      if (d > best_distance) {
-        best_distance = d;
-        best_index = i;
+    size_t best_index;
+    if (scan == pool.size() && scan >= kMinParallelScan) {
+      // Exact mode scans indices 0..scan-1 with no RNG draws, so the
+      // argmax parallelizes: chunk maxima found with the same strict >
+      // and merged in ascending chunk order reproduce the sequential
+      // first-maximum exactly, ties included.
+      struct Furthest {
+        double distance = -1.0;
+        size_t index = 0;
+      };
+      Furthest best = ParallelReduce<Furthest>(
+          scan, /*grain=*/0, Furthest{},
+          [&](size_t begin, size_t end) {
+            Furthest local;
+            for (size_t i = begin; i < end; ++i) {
+              double d = metric.Distance(anchor, pool.at(i));
+              if (d > local.distance) {
+                local.distance = d;
+                local.index = i;
+              }
+            }
+            return local;
+          },
+          [](Furthest a, Furthest b) { return b.distance > a.distance ? b : a; });
+      best_index = best.index;
+    } else {
+      double best_distance = -1.0;
+      best_index = 0;
+      for (size_t s = 0; s < scan; ++s) {
+        size_t i = PickIndex(pool, scan, s, &rng);
+        double d = metric.Distance(anchor, pool.at(i));
+        if (d > best_distance) {
+          best_distance = d;
+          best_index = i;
+        }
       }
     }
     RowId seed = pool.TakeAt(best_index);
@@ -91,14 +125,38 @@ Result<Clustering> KMemberAnonymizer::BuildClusters(
 
     while (cluster.size() < k) {
       size_t grow_scan = ScanCount(pool, options_.sample_size);
-      size_t cheapest = std::numeric_limits<size_t>::max();
-      size_t cheapest_index = 0;
-      for (size_t s = 0; s < grow_scan; ++s) {
-        size_t i = PickIndex(pool, grow_scan, s, &rng);
-        size_t cost = tracker.CostIncrease(pool.at(i));
-        if (cost < cheapest) {
-          cheapest = cost;
-          cheapest_index = i;
+      size_t cheapest_index;
+      if (grow_scan == pool.size() && grow_scan >= kMinParallelScan) {
+        // Same deterministic chunked argmin as the seed scan above.
+        struct Cheapest {
+          size_t cost = std::numeric_limits<size_t>::max();
+          size_t index = 0;
+        };
+        Cheapest best = ParallelReduce<Cheapest>(
+            grow_scan, /*grain=*/0, Cheapest{},
+            [&](size_t begin, size_t end) {
+              Cheapest local;
+              for (size_t i = begin; i < end; ++i) {
+                size_t cost = tracker.CostIncrease(pool.at(i));
+                if (cost < local.cost) {
+                  local.cost = cost;
+                  local.index = i;
+                }
+              }
+              return local;
+            },
+            [](Cheapest a, Cheapest b) { return b.cost < a.cost ? b : a; });
+        cheapest_index = best.index;
+      } else {
+        size_t cheapest = std::numeric_limits<size_t>::max();
+        cheapest_index = 0;
+        for (size_t s = 0; s < grow_scan; ++s) {
+          size_t i = PickIndex(pool, grow_scan, s, &rng);
+          size_t cost = tracker.CostIncrease(pool.at(i));
+          if (cost < cheapest) {
+            cheapest = cost;
+            cheapest_index = i;
+          }
         }
       }
       RowId added = pool.TakeAt(cheapest_index);

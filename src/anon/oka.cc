@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <unordered_map>
 
 #include "anon/distance.h"
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 
 namespace diva {
@@ -82,6 +84,9 @@ class Centroid {
 
   size_t size() const { return size_; }
 
+  /// Distance() only reads; concurrent evaluations against the same
+  /// centroid set are safe as long as no Add/Remove interleaves.
+
  private:
   double NumericValue(size_t col, ValueCode code) const {
     if (code == kSuppressed) return 0.0;
@@ -131,57 +136,87 @@ Result<Clustering> OkaAnonymizer::BuildClusters(const Relation& relation,
     clusters[c].push_back(shuffled[c]);
   }
 
+  // Nearest centroid to `row` under an optional deficit filter. The scan
+  // only reads centroids, so it chunks over the centroid index: chunk
+  // minima found with the same strict < and merged in ascending chunk
+  // order give the sequential first-minimum for every thread count.
+  // Below the threshold the single-chunk form of the identical
+  // computation runs in place.
+  constexpr size_t kMinParallelCentroidScan = 128;
+  struct NearestHit {
+    double distance = std::numeric_limits<double>::max();
+    std::optional<size_t> target;
+  };
+  auto nearest = [&](RowId row, bool deficit_only) -> std::optional<size_t> {
+    auto scan_chunk = [&](size_t begin, size_t end) {
+      NearestHit local;
+      for (size_t c = begin; c < end; ++c) {
+        if (deficit_only && clusters[c].size() >= k) continue;
+        double d = centroids[c].Distance(row);
+        if (d < local.distance) {
+          local.distance = d;
+          local.target = c;
+        }
+      }
+      return local;
+    };
+    NearestHit best;
+    if (num_clusters < kMinParallelCentroidScan) {
+      best = scan_chunk(0, num_clusters);
+    } else {
+      best = ParallelReduce<NearestHit>(
+          num_clusters, /*grain=*/0, NearestHit{}, scan_chunk,
+          [](NearestHit a, NearestHit b) {
+            if (!b.target.has_value()) return a;
+            if (!a.target.has_value() || b.distance < a.distance) return b;
+            return a;
+          });
+    }
+    return best.target;
+  };
+
   // Phase 1: one pass, assign to nearest centroid, update immediately.
+  // Rows stay sequential (each assignment moves a centroid); the centroid
+  // scan inside `nearest` carries the parallelism.
   for (size_t i = num_clusters; i < shuffled.size(); ++i) {
     RowId row = shuffled[i];
-    double best = std::numeric_limits<double>::max();
-    size_t target = 0;
-    for (size_t c = 0; c < num_clusters; ++c) {
-      double d = centroids[c].Distance(row);
-      if (d < best) {
-        best = d;
-        target = c;
-      }
-    }
-    centroids[target].Add(row);
-    clusters[target].push_back(row);
+    auto target = nearest(row, /*deficit_only=*/false);
+    DIVA_CHECK(target.has_value());
+    centroids[*target].Add(row);
+    clusters[*target].push_back(row);
   }
 
   // Phase 2a: trim oversized clusters, farthest-from-centroid first.
-  std::vector<RowId> overflow;
-  for (size_t c = 0; c < num_clusters; ++c) {
-    while (clusters[c].size() > k) {
-      size_t worst = 0;
-      double worst_distance = -1.0;
-      for (size_t i = 0; i < clusters[c].size(); ++i) {
-        double d = centroids[c].Distance(clusters[c][i]);
-        if (d > worst_distance) {
-          worst_distance = d;
-          worst = i;
+  // Each cluster's trim touches only its own rows and centroid, so the
+  // clusters trim concurrently; per-cluster overflow lists concatenated
+  // in cluster order equal the sequential overflow order.
+  std::vector<std::vector<RowId>> trimmed =
+      ParallelMap<std::vector<RowId>>(num_clusters, /*grain=*/1, [&](size_t c) {
+        std::vector<RowId> evicted;
+        while (clusters[c].size() > k) {
+          size_t worst = 0;
+          double worst_distance = -1.0;
+          for (size_t i = 0; i < clusters[c].size(); ++i) {
+            double d = centroids[c].Distance(clusters[c][i]);
+            if (d > worst_distance) {
+              worst_distance = d;
+              worst = i;
+            }
+          }
+          RowId row = clusters[c][worst];
+          clusters[c][worst] = clusters[c].back();
+          clusters[c].pop_back();
+          centroids[c].Remove(row);
+          evicted.push_back(row);
         }
-      }
-      RowId row = clusters[c][worst];
-      clusters[c][worst] = clusters[c].back();
-      clusters[c].pop_back();
-      centroids[c].Remove(row);
-      overflow.push_back(row);
-    }
+        return evicted;
+      });
+  std::vector<RowId> overflow;
+  for (const std::vector<RowId>& evicted : trimmed) {
+    overflow.insert(overflow.end(), evicted.begin(), evicted.end());
   }
 
   // Phase 2b: refill deficit clusters first, then spread the surplus.
-  auto nearest = [&](RowId row, bool deficit_only) -> std::optional<size_t> {
-    double best = std::numeric_limits<double>::max();
-    std::optional<size_t> target;
-    for (size_t c = 0; c < num_clusters; ++c) {
-      if (deficit_only && clusters[c].size() >= k) continue;
-      double d = centroids[c].Distance(row);
-      if (d < best) {
-        best = d;
-        target = c;
-      }
-    }
-    return target;
-  };
 
   for (RowId row : overflow) {
     auto target = nearest(row, /*deficit_only=*/true);

@@ -1,5 +1,7 @@
 #include "anon/suppress.h"
 
+#include "common/parallel.h"
+
 namespace diva {
 
 namespace {
@@ -16,17 +18,53 @@ bool Unanimous(const Relation& relation, std::span<const RowId> cluster,
   return true;
 }
 
+/// True when no row appears in two clusters. Clusterings produced by the
+/// pipeline are partitions, but callers may hand in anything; only a
+/// verified-disjoint clustering is safe to suppress concurrently.
+bool ClustersAreDisjoint(const Relation& relation,
+                         const Clustering& clustering) {
+  std::vector<bool> seen(relation.NumRows(), false);
+  for (const Cluster& cluster : clustering) {
+    for (RowId row : cluster) {
+      if (row >= relation.NumRows() || seen[row]) return false;
+      seen[row] = true;
+    }
+  }
+  return true;
+}
+
+/// The per-cluster body of SuppressClustersInPlace: reads and writes only
+/// `cluster`'s rows.
+void SuppressOneCluster(Relation* relation, const Cluster& cluster,
+                        const std::vector<size_t>& qi) {
+  for (size_t col : qi) {
+    if (!Unanimous(*relation, cluster, col)) {
+      for (RowId row : cluster) relation->Set(row, col, kSuppressed);
+    }
+  }
+}
+
 }  // namespace
 
 void SuppressClustersInPlace(Relation* relation,
                              const Clustering& clustering) {
   const auto& qi = relation->schema().qi_indices();
-  for (const Cluster& cluster : clustering) {
-    for (size_t col : qi) {
-      if (!Unanimous(*relation, cluster, col)) {
-        for (RowId row : cluster) relation->Set(row, col, kSuppressed);
+  // Disjoint clusters touch disjoint rows, so suppressing them
+  // concurrently is literally the sequential computation re-ordered over
+  // independent cells: same reads, same writes, same final relation.
+  // Overlapping clusters (possible through the public API) would make a
+  // later cluster's Unanimous check observe an earlier cluster's writes,
+  // so they keep the ordered sequential path.
+  if (ClustersAreDisjoint(*relation, clustering)) {
+    ParallelFor(clustering.size(), /*grain=*/0, [&](size_t begin, size_t end) {
+      for (size_t c = begin; c < end; ++c) {
+        SuppressOneCluster(relation, clustering[c], qi);
       }
-    }
+    });
+    return;
+  }
+  for (const Cluster& cluster : clustering) {
+    SuppressOneCluster(relation, cluster, qi);
   }
 }
 

@@ -1,0 +1,274 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace diva {
+
+namespace {
+
+/// Set while this thread executes a ParallelFor body (worker or
+/// submitter side); a ParallelFor entered under it is nested use.
+thread_local bool tl_in_parallel_body = false;
+
+class BodyScope {
+ public:
+  BodyScope() { tl_in_parallel_body = true; }
+  ~BodyScope() { tl_in_parallel_body = false; }
+};
+
+size_t AutoGrain(size_t count, size_t threads) {
+  // ~4 chunks per thread: enough slack to absorb uneven chunk costs
+  // without shrinking chunks into scheduling noise. Depends only on the
+  // pool's fixed width — never on how many threads happen to be idle —
+  // so the partition (and every gather-by-index result built on it) is
+  // stable for a given pool configuration. A width-1 pool takes the same
+  // route with threads = 1.
+  size_t target = threads * 4;
+  return count / target + 1;
+}
+
+/// One fork-join invocation. Heap-allocated and shared_ptr-held by every
+/// participating thread, so a worker that straggles past the join can
+/// only ever touch the (kept-alive, exhausted) job it signed up for,
+/// never the state of a subsequent job.
+struct Job {
+  const std::function<void(size_t, size_t)>* body = nullptr;
+  size_t count = 0;
+  size_t grain = 0;
+  size_t chunks = 0;
+  std::atomic<size_t> next_chunk{0};
+
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  size_t completed_chunks = 0;        // guarded by mutex
+  std::exception_ptr first_error;     // guarded by mutex
+
+  /// Claims and runs chunks until none remain. Any thread may call this;
+  /// chunk -> index-range mapping is fixed by (count, grain) alone.
+  void RunChunks() {
+    while (true) {
+      size_t chunk = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= chunks) return;
+      size_t begin = chunk * grain;
+      size_t end = begin + grain < count ? begin + grain : count;
+      std::exception_ptr error;
+      try {
+        BodyScope scope;
+        (*body)(begin, end);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(mutex);
+      if (error != nullptr) {
+        if (first_error == nullptr) first_error = error;
+        // Cancel chunks nobody claimed yet; account for them as completed
+        // since no thread will ever run (and count) them. In-flight
+        // chunks drain normally and count themselves.
+        size_t raw = next_chunk.exchange(chunks, std::memory_order_relaxed);
+        size_t claimed = raw < chunks ? raw : chunks;
+        completed_chunks += chunks - claimed;
+      }
+      if (++completed_chunks == chunks) done_cv.notify_all();
+    }
+  }
+
+  /// Blocks until every chunk completed (or was cancelled).
+  void Join() {
+    std::unique_lock<std::mutex> lock(mutex);
+    done_cv.wait(lock, [&] { return completed_chunks == chunks; });
+  }
+};
+
+void RunInline(size_t count, size_t grain,
+               const std::function<void(size_t, size_t)>& body) {
+  for (size_t begin = 0; begin < count; begin += grain) {
+    size_t end = begin + grain < count ? begin + grain : count;
+    BodyScope scope;
+    body(begin, end);
+  }
+}
+
+}  // namespace
+
+size_t HardwareConcurrency() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+size_t ResolveThreadCount(size_t threads) {
+  return threads == 0 ? HardwareConcurrency() : threads;
+}
+
+size_t EnvThreads() {
+  const char* env = std::getenv("DIVA_THREADS");
+  if (env == nullptr || *env == '\0') return 1;
+  char* end = nullptr;
+  long value = std::strtol(env, &end, 10);
+  if (end == env || value < 0) return 1;
+  return static_cast<size_t>(value);
+}
+
+struct ThreadPool::Impl {
+  size_t threads = 1;
+
+  std::mutex mutex;
+  std::condition_variable work_cv;       // workers: new job or shutdown
+  uint64_t generation = 0;               // bumped per submitted job
+  std::shared_ptr<Job> current_job;      // null between jobs
+  bool shutdown = false;
+
+  std::mutex submit_mutex;               // one fork-join loop at a time
+  std::vector<std::thread> workers;
+
+  void WorkerLoop() {
+    uint64_t seen = 0;
+    while (true) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_cv.wait(lock,
+                     [&] { return shutdown || generation != seen; });
+        if (shutdown) return;
+        seen = generation;
+        job = current_job;  // may be null if the job already retired
+      }
+      if (job != nullptr) job->RunChunks();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(size_t threads) : impl_(new Impl) {
+  impl_->threads = ResolveThreadCount(threads);
+  impl_->workers.reserve(impl_->threads - 1);
+  for (size_t i = 0; i + 1 < impl_->threads; ++i) {
+    impl_->workers.emplace_back([impl = impl_] { impl->WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->shutdown = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& worker : impl_->workers) worker.join();
+  delete impl_;
+}
+
+size_t ThreadPool::threads() const { return impl_->threads; }
+
+void ThreadPool::ParallelFor(
+    size_t count, size_t grain,
+    const std::function<void(size_t, size_t)>& body) {
+  if (count == 0) return;
+  if (tl_in_parallel_body) {
+    throw std::logic_error(
+        "nested ParallelFor: a parallel body may not start another "
+        "parallel loop (the inner loop would block a worker the outer "
+        "loop owns)");
+  }
+  if (grain == 0) grain = AutoGrain(count, impl_->threads);
+  size_t chunks = (count + grain - 1) / grain;
+  if (impl_->threads == 1 || chunks == 1) {
+    RunInline(count, grain, body);
+    return;
+  }
+  std::unique_lock<std::mutex> submit(impl_->submit_mutex,
+                                      std::try_to_lock);
+  if (!submit.owns_lock()) {
+    // Another thread is mid-loop on this pool (e.g. two portfolio
+    // searches enumerating concurrently): degrade to inline execution of
+    // the identical chunks rather than queueing behind it.
+    RunInline(count, grain, body);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->body = &body;
+  job->count = count;
+  job->grain = grain;
+  job->chunks = chunks;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->current_job = job;
+    ++impl_->generation;
+  }
+  impl_->work_cv.notify_all();
+  job->RunChunks();  // the submitter is a full participant
+  job->Join();
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->current_job = nullptr;
+  }
+  if (job->first_error != nullptr) {
+    std::rethrow_exception(job->first_error);
+  }
+}
+
+namespace {
+
+std::mutex g_pool_mutex;
+std::shared_ptr<ThreadPool> g_pool;  // created lazily
+
+std::shared_ptr<ThreadPool> GlobalPool() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (g_pool == nullptr) {
+    g_pool = std::make_shared<ThreadPool>(EnvThreads());
+  }
+  return g_pool;
+}
+
+}  // namespace
+
+size_t ParallelThreads() { return GlobalPool()->threads(); }
+
+void SetParallelThreads(size_t threads) {
+  size_t resolved = ResolveThreadCount(threads);
+  std::shared_ptr<ThreadPool> retired;  // joined after the lock drops
+  {
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    if (g_pool != nullptr && g_pool->threads() == resolved) return;
+    retired = std::move(g_pool);
+    g_pool = std::make_shared<ThreadPool>(resolved);
+  }
+}
+
+void ParallelFor(size_t count, size_t grain,
+                 const std::function<void(size_t, size_t)>& body) {
+  GlobalPool()->ParallelFor(count, grain, body);
+}
+
+void RunTasks(size_t count, const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  if (count == 1) {
+    fn(0);
+    return;
+  }
+  std::mutex mutex;
+  std::exception_ptr first_error;
+  auto run_task = [&](size_t task) {
+    try {
+      fn(task);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (first_error == nullptr) first_error = std::current_exception();
+    }
+  };
+  std::vector<std::thread> workers;
+  workers.reserve(count - 1);
+  for (size_t task = 1; task < count; ++task) {
+    workers.emplace_back([&run_task, task] { run_task(task); });
+  }
+  run_task(0);
+  for (std::thread& worker : workers) worker.join();
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+}  // namespace diva

@@ -1,0 +1,136 @@
+#ifndef DIVA_COMMON_PARALLEL_H_
+#define DIVA_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace diva {
+
+/// The one audited concurrency abstraction of the codebase (enforced by
+/// tools/lint_status.py: raw std::thread / std::async may appear only in
+/// common/parallel.*). Work is partitioned into index chunks whose
+/// boundaries depend solely on (count, grain) — never on the thread count
+/// or on completion order — and chunk results are always gathered by
+/// index, so every parallel algorithm built on this layer is bit-identical
+/// across thread counts by construction (see docs/development.md,
+/// "Threading model").
+
+/// Thread-count knob semantics, shared by DIVA_THREADS and
+/// DivaOptions::threads: 0 = one thread per hardware core, 1 = exact
+/// sequential execution (same code path, no workers), N = N threads.
+/// Resolves 0 to the detected hardware concurrency (at least 1).
+size_t ResolveThreadCount(size_t threads);
+
+/// Detected hardware concurrency (>= 1). Call this instead of
+/// std::thread::hardware_concurrency() — raw thread APIs are linted out
+/// of every file but common/parallel.*.
+size_t HardwareConcurrency();
+
+/// The DIVA_THREADS environment knob, parsed per call: unset or
+/// unparsable => 1 (sequential), otherwise the raw (unresolved) value.
+size_t EnvThreads();
+
+/// A fixed-size pool of worker threads executing blocking fork-join
+/// loops. One loop runs at a time per pool; the submitting thread works
+/// too, so a pool of width N keeps N-1 workers. Construction with an
+/// (effective) width of 1 spawns no workers and every loop runs inline
+/// through the identical chunking code.
+class ThreadPool {
+ public:
+  /// `threads` follows the knob semantics above (0 = hardware cores).
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution width (workers + the submitting thread).
+  size_t threads() const;
+
+  /// Runs body(begin, end) over consecutive chunks partitioning
+  /// [0, count), each at most `grain` indices (grain 0 = auto). Blocks
+  /// until every chunk finished. The first exception thrown by `body` is
+  /// rethrown here once all in-flight chunks drain; chunks not yet
+  /// claimed at that point are cancelled. Calling ParallelFor from
+  /// inside a running body — on this or any pool — throws
+  /// std::logic_error: nested use is rejected, because the inner loop
+  /// would block a worker the outer loop needs. If another thread is
+  /// already running a loop on this pool, the call degrades to inline
+  /// sequential execution of the same chunks.
+  void ParallelFor(size_t count, size_t grain,
+                   const std::function<void(size_t, size_t)>& body);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// ---------------------------------------------------------------------
+/// Process-global pool. All library call sites go through these free
+/// functions; the pool is created lazily from DIVA_THREADS and resized by
+/// SetParallelThreads (which RunDiva calls with DivaOptions::threads).
+
+/// Current resolved width of the global pool.
+size_t ParallelThreads();
+
+/// Reconfigures the global pool (knob semantics above). Safe to call
+/// while other threads hold loops on the previous pool: they finish on
+/// the old pool, which is reclaimed when its last user releases it.
+void SetParallelThreads(size_t threads);
+
+/// ParallelFor on the global pool.
+void ParallelFor(size_t count, size_t grain,
+                 const std::function<void(size_t, size_t)>& body);
+
+/// Task parallelism for a handful of coarse, independent computations
+/// (e.g. the portfolio coloring's speculative searches): runs fn(0) ..
+/// fn(count-1) concurrently on dedicated threads (task 0 on the caller)
+/// and blocks until all finish. Unlike ParallelFor bodies, tasks ARE
+/// allowed to use ParallelFor internally — they are top-level work; when
+/// several tasks hit the global pool at once, one wins it and the rest
+/// degrade to inline execution. The first task exception is rethrown
+/// after every task has finished.
+void RunTasks(size_t count, const std::function<void(size_t)>& fn);
+
+/// Applies fn(i) to every i in [0, count), gathering results by index —
+/// the output vector is identical for every thread count.
+template <typename T, typename Fn>
+std::vector<T> ParallelMap(size_t count, size_t grain, Fn&& fn) {
+  std::vector<T> out(count);
+  ParallelFor(count, grain, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) out[i] = fn(i);
+  });
+  return out;
+}
+
+/// Deterministic chunked reduction: map_chunk(begin, end) produces one
+/// partial per chunk; partials are combined left-to-right in ascending
+/// chunk order (never completion order), so even non-associative folds
+/// (floating point) give one bit-stable answer for every thread count.
+/// grain 0 picks a chunk size that is a pure function of `count`.
+template <typename T, typename MapFn, typename CombineFn>
+T ParallelReduce(size_t count, size_t grain, T init, MapFn&& map_chunk,
+                 CombineFn&& combine) {
+  if (count == 0) return init;
+  if (grain == 0) grain = count / 64 + 1;
+  size_t chunks = (count + grain - 1) / grain;
+  std::vector<T> partials(chunks, init);
+  ParallelFor(chunks, 1, [&](size_t chunk_begin, size_t chunk_end) {
+    for (size_t c = chunk_begin; c < chunk_end; ++c) {
+      size_t begin = c * grain;
+      size_t end = begin + grain < count ? begin + grain : count;
+      partials[c] = map_chunk(begin, end);
+    }
+  });
+  T total = std::move(partials[0]);
+  for (size_t c = 1; c < chunks; ++c) {
+    total = combine(std::move(total), std::move(partials[c]));
+  }
+  return total;
+}
+
+}  // namespace diva
+
+#endif  // DIVA_COMMON_PARALLEL_H_

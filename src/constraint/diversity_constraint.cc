@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "common/parallel.h"
 #include "common/string_util.h"
 
 namespace diva {
@@ -79,18 +80,26 @@ bool DiversityConstraint::MatchesRow(const Relation& relation,
 size_t DiversityConstraint::CountOccurrences(const Relation& relation) const {
   std::vector<ValueCode> codes;
   if (!ResolveCodes(*this, relation, &codes)) return 0;
-  size_t count = 0;
-  for (RowId row = 0; row < relation.NumRows(); ++row) {
-    bool match = true;
-    for (size_t i = 0; i < attribute_indices_.size(); ++i) {
-      if (relation.At(row, attribute_indices_[i]) != codes[i]) {
-        match = false;
-        break;
-      }
-    }
-    if (match) ++count;
-  }
-  return count;
+  // Exact integer sum of chunk partials: the parallel total equals the
+  // sequential scan for every thread count.
+  return ParallelReduce<size_t>(
+      relation.NumRows(), /*grain=*/0, size_t{0},
+      [&](size_t begin, size_t end) {
+        size_t count = 0;
+        for (size_t row = begin; row < end; ++row) {
+          bool match = true;
+          for (size_t i = 0; i < attribute_indices_.size(); ++i) {
+            if (relation.At(static_cast<RowId>(row), attribute_indices_[i]) !=
+                codes[i]) {
+              match = false;
+              break;
+            }
+          }
+          if (match) ++count;
+        }
+        return count;
+      },
+      [](size_t a, size_t b) { return a + b; });
 }
 
 bool DiversityConstraint::IsSatisfiedBy(const Relation& relation) const {
@@ -100,20 +109,31 @@ bool DiversityConstraint::IsSatisfiedBy(const Relation& relation) const {
 
 std::vector<RowId> DiversityConstraint::TargetTuples(
     const Relation& relation) const {
-  std::vector<RowId> target;
   std::vector<ValueCode> codes;
-  if (!ResolveCodes(*this, relation, &codes)) return target;
-  for (RowId row = 0; row < relation.NumRows(); ++row) {
-    bool match = true;
-    for (size_t i = 0; i < attribute_indices_.size(); ++i) {
-      if (relation.At(row, attribute_indices_[i]) != codes[i]) {
-        match = false;
-        break;
-      }
-    }
-    if (match) target.push_back(row);
-  }
-  return target;
+  if (!ResolveCodes(*this, relation, &codes)) return {};
+  // Chunk-local hit lists concatenated in ascending chunk order rebuild
+  // the exact row order of the sequential scan.
+  return ParallelReduce<std::vector<RowId>>(
+      relation.NumRows(), /*grain=*/0, {},
+      [&](size_t begin, size_t end) {
+        std::vector<RowId> local;
+        for (size_t row = begin; row < end; ++row) {
+          bool match = true;
+          for (size_t i = 0; i < attribute_indices_.size(); ++i) {
+            if (relation.At(static_cast<RowId>(row), attribute_indices_[i]) !=
+                codes[i]) {
+              match = false;
+              break;
+            }
+          }
+          if (match) local.push_back(static_cast<RowId>(row));
+        }
+        return local;
+      },
+      [](std::vector<RowId> acc, std::vector<RowId> chunk) {
+        acc.insert(acc.end(), chunk.begin(), chunk.end());
+        return acc;
+      });
 }
 
 std::string DiversityConstraint::ToString() const {

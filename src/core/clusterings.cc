@@ -1,7 +1,9 @@
 #include "core/clusterings.h"
 
 #include <algorithm>
+#include <optional>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 
 namespace diva {
@@ -104,6 +106,36 @@ void AddPartitions(const Relation& relation, const std::vector<RowId>& subset,
   }
 }
 
+/// One unit of enumeration work for the parallel phase: a row subset to
+/// partition (windows arrive pre-sorted by QI similarity; random subsets
+/// still need the sort) or a candidate that was already materialized
+/// inline (the interleaved escape-route clustering).
+struct EnumerationJob {
+  std::vector<RowId> subset;
+  bool needs_sort = false;
+  /// When set, `subset` is ignored and this candidate is emitted as-is.
+  std::optional<CandidateClustering> ready;
+};
+
+/// Runs the partitioning of one job into a fresh candidate list. Pure
+/// function of (relation, job, k, options) — safe to evaluate for every
+/// job concurrently; callers concatenate results in job order, which
+/// reproduces the sequential emission order exactly.
+std::vector<CandidateClustering> RunEnumerationJob(
+    const Relation& relation, EnumerationJob&& job, size_t k,
+    const ClusteringEnumOptions& options) {
+  std::vector<CandidateClustering> local;
+  if (job.ready.has_value()) {
+    local.push_back(std::move(*job.ready));
+    return local;
+  }
+  std::vector<RowId> subset =
+      job.needs_sort ? SortByQiSimilarity(relation, job.subset)
+                     : std::move(job.subset);
+  AddPartitions(relation, subset, k, options, &local);
+  return local;
+}
+
 }  // namespace
 
 std::vector<CandidateClustering> EnumerateClusterings(
@@ -165,18 +197,22 @@ std::vector<CandidateClustering> EnumerateClusteringsWithBounds(
   for (size_t m : preserved_values) {
     if (out.size() >= options.max_clusterings) break;
 
+    // Describe this m's work as independent jobs, sequentially and in
+    // the exact emission order; every RNG draw happens here, up front,
+    // so the stream is identical no matter how the jobs execute.
+    std::vector<EnumerationJob> jobs;
+
     // Deterministic sliding windows over the similarity order.
     size_t positions = sorted.size() - m + 1;
     size_t windows = std::min(options.max_window_candidates, positions);
     if (windows > 0) {
       size_t stride = std::max<size_t>(1, positions / windows);
-      for (size_t w = 0; w < windows && out.size() < options.max_clusterings;
-           ++w) {
+      for (size_t w = 0; w < windows; ++w) {
         size_t begin = w * stride;
         if (begin >= positions) break;
-        std::vector<RowId> subset(sorted.begin() + begin,
-                                  sorted.begin() + begin + m);
-        AddPartitions(relation, subset, k, options, &out);
+        EnumerationJob job;
+        job.subset.assign(sorted.begin() + begin, sorted.begin() + begin + m);
+        jobs.push_back(std::move(job));
       }
     }
 
@@ -185,7 +221,7 @@ std::vector<CandidateClustering> EnumerateClusteringsWithBounds(
     // tuples. Such clusters suppress more, but they contribute (almost)
     // nothing to OTHER constraints' preserved counts — the escape route
     // when similarity blocks keep tripping neighbors' upper bounds.
-    if (out.size() < options.max_clusterings && m < sorted.size()) {
+    if (m < sorted.size()) {
       size_t step = sorted.size() / m;
       std::vector<RowId> subset;
       subset.reserve(m);
@@ -198,23 +234,39 @@ std::vector<CandidateClustering> EnumerateClusteringsWithBounds(
         for (size_t i = 0; i < m; ++i) {
           interleaved.clusters[i % num_blocks].push_back(subset[i]);
         }
-        out.push_back(std::move(interleaved));
+        EnumerationJob job;
+        job.ready = std::move(interleaved);
+        jobs.push_back(std::move(job));
       }
     }
 
     // Seeded random subsets for diversity beyond the similarity order.
     std::vector<RowId> pool = sorted;
-    for (size_t r = 0;
-         r < options.random_subsets && out.size() < options.max_clusterings;
-         ++r) {
+    for (size_t r = 0; r < options.random_subsets; ++r) {
       // Partial Fisher-Yates: the first m entries become a random subset.
       for (size_t i = 0; i < m; ++i) {
         size_t j = i + static_cast<size_t>(rng.NextBounded(pool.size() - i));
         std::swap(pool[i], pool[j]);
       }
-      std::vector<RowId> subset =
-          SortByQiSimilarity(relation, {pool.begin(), pool.begin() + m});
-      AddPartitions(relation, subset, k, options, &out);
+      EnumerationJob job;
+      job.subset.assign(pool.begin(), pool.begin() + m);
+      job.needs_sort = true;
+      jobs.push_back(std::move(job));
+    }
+
+    // Partition every subset concurrently; gathering by job index keeps
+    // the candidate order byte-identical for every thread count.
+    std::vector<std::vector<CandidateClustering>> produced =
+        ParallelMap<std::vector<CandidateClustering>>(
+            jobs.size(), /*grain=*/1, [&](size_t i) {
+              return RunEnumerationJob(relation, std::move(jobs[i]), k,
+                                       options);
+            });
+    for (std::vector<CandidateClustering>& batch : produced) {
+      for (CandidateClustering& candidate : batch) {
+        if (out.size() >= options.max_clusterings) break;
+        out.push_back(std::move(candidate));
+      }
     }
   }
 

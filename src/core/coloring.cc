@@ -1,12 +1,13 @@
 #include "core/coloring.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <limits>
-#include <thread>
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 
 namespace diva {
@@ -540,21 +541,18 @@ ColoringOutcome ColorConstraintsPortfolio(const Relation& relation,
   }
   std::atomic<bool> cancel{false};
   std::vector<ColoringOutcome> outcomes(threads);
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  for (size_t t = 0; t < threads; ++t) {
-    workers.emplace_back([&, t] {
-      ColoringOptions worker_options = options;
-      worker_options.seed = options.seed + 0x51ed270b7a14ULL * t;
-      worker_options.cancel = &cancel;
-      outcomes[t] =
-          ColorConstraints(relation, constraints, graph, worker_options);
-      if (outcomes[t].complete) {
-        cancel.store(true, std::memory_order_relaxed);
-      }
-    });
-  }
-  for (std::thread& worker : workers) worker.join();
+  // Coarse task parallelism (not a fork-join loop): each speculative
+  // search is free to use the data-parallel layer internally.
+  RunTasks(threads, [&](size_t t) {
+    ColoringOptions worker_options = options;
+    worker_options.seed = options.seed + 0x51ed270b7a14ULL * t;
+    worker_options.cancel = &cancel;
+    outcomes[t] =
+        ColorConstraints(relation, constraints, graph, worker_options);
+    if (outcomes[t].complete) {
+      cancel.store(true, std::memory_order_relaxed);
+    }
+  });
 
   size_t best = 0;
   for (size_t t = 1; t < threads; ++t) {

@@ -127,6 +127,11 @@ Result<DivaResult> RunDiva(const Relation& relation,
   DivaReport report;
   report.total_constraints = constraints.size();
 
+  // Configure the process-global pool before the first hot loop runs.
+  // Every parallel algorithm downstream is bit-identical across widths,
+  // so this only decides speed, never output.
+  SetParallelThreads(options.threads);
+
   // Phase 1: DiverseClustering — graph construction and coloring (the
   // per-node candidate clusterings are enumerated dynamically inside the
   // search, over the target rows still unclaimed).

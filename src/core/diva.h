@@ -6,6 +6,7 @@
 
 #include "anon/anonymizer.h"
 #include "hierarchy/generalize.h"
+#include "common/parallel.h"
 #include "common/result.h"
 #include "constraint/diversity_constraint.h"
 #include "core/clusterings.h"
@@ -73,6 +74,15 @@ struct DivaOptions {
   /// on worker threads, first complete coloring wins. 0 or 1 = single
   /// search.
   size_t portfolio_threads = 0;
+
+  /// Data-parallel execution width for the pipeline's hot loops
+  /// (candidate enumeration, suppression, baseline clustering, metrics,
+  /// auditing). Defaults to the DIVA_THREADS environment knob; 0 = one
+  /// thread per hardware core, 1 = exact sequential execution through
+  /// the same code path. Results are bit-identical for every width (see
+  /// common/parallel.h). RunDiva applies this via SetParallelThreads,
+  /// so it configures the process-global pool.
+  size_t threads = EnvThreads();
 
   /// Optional t-closeness on top of k-anonymity (the paper's second
   /// listed privacy extension). 1.0 = off (every relation is 1-close).

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <optional>
 
+#include "common/parallel.h"
+
 namespace diva {
 
 namespace {
@@ -68,14 +70,26 @@ IntegrateStats IntegrateRepair(Relation* relation,
     // matching cluster removes |cluster| occurrences at |cluster| stars
     // and keeps the cluster a uniform QI-group of unchanged size.
     size_t repair_attr = QiTargetAttribute(*relation, constraint);
-    std::vector<size_t> matching;  // indices into rk_clusters
-    for (size_t c = 0; c < rk_clusters.size(); ++c) {
-      const Cluster& cluster = rk_clusters[c];
-      if (!cluster.empty() &&
-          constraint.MatchesRow(*relation, cluster.front())) {
-        matching.push_back(c);
-      }
-    }
+    // Indices into rk_clusters whose (uniform-QI) rows match the
+    // constraint. The scan only reads the relation; chunk hit lists
+    // concatenated in chunk order equal the sequential scan's order.
+    std::vector<size_t> matching = ParallelReduce<std::vector<size_t>>(
+        rk_clusters.size(), /*grain=*/0, {},
+        [&](size_t begin, size_t end) {
+          std::vector<size_t> local;
+          for (size_t c = begin; c < end; ++c) {
+            const Cluster& cluster = rk_clusters[c];
+            if (!cluster.empty() &&
+                constraint.MatchesRow(*relation, cluster.front())) {
+              local.push_back(c);
+            }
+          }
+          return local;
+        },
+        [](std::vector<size_t> acc, std::vector<size_t> chunk) {
+          acc.insert(acc.end(), chunk.begin(), chunk.end());
+          return acc;
+        });
     std::sort(matching.begin(), matching.end(), [&](size_t a, size_t b) {
       return rk_clusters[a].size() < rk_clusters[b].size();
     });

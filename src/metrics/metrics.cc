@@ -1,17 +1,26 @@
 #include "metrics/metrics.h"
 
+#include "common/parallel.h"
 #include "relation/qi_groups.h"
 
 namespace diva {
 
 size_t CountStars(const Relation& relation) {
-  size_t stars = 0;
-  for (RowId row = 0; row < relation.NumRows(); ++row) {
-    for (size_t col = 0; col < relation.NumAttributes(); ++col) {
-      if (relation.At(row, col) == kSuppressed) ++stars;
-    }
-  }
-  return stars;
+  // Exact integer sum of per-chunk star counts == the sequential scan.
+  return ParallelReduce<size_t>(
+      relation.NumRows(), /*grain=*/0, size_t{0},
+      [&](size_t begin, size_t end) {
+        size_t stars = 0;
+        for (size_t row = begin; row < end; ++row) {
+          for (size_t col = 0; col < relation.NumAttributes(); ++col) {
+            if (relation.At(static_cast<RowId>(row), col) == kSuppressed) {
+              ++stars;
+            }
+          }
+        }
+        return stars;
+      },
+      [](size_t a, size_t b) { return a + b; });
 }
 
 double SuppressionRatio(const Relation& relation) {
@@ -24,12 +33,18 @@ double SuppressionRatio(const Relation& relation) {
 uint64_t Discernibility(const Relation& relation, size_t k) {
   QiGroups groups = ComputeQiGroups(relation);
   uint64_t n = relation.NumRows();
-  uint64_t disc = 0;
-  for (const auto& group : groups.groups) {
-    uint64_t size = group.size();
-    disc += size >= k ? size * size : n * size;
-  }
-  return disc;
+  // Integer penalty sum over groups; chunk partials add up exactly.
+  return ParallelReduce<uint64_t>(
+      groups.groups.size(), /*grain=*/0, uint64_t{0},
+      [&](size_t begin, size_t end) {
+        uint64_t disc = 0;
+        for (size_t g = begin; g < end; ++g) {
+          uint64_t size = groups.groups[g].size();
+          disc += size >= k ? size * size : n * size;
+        }
+        return disc;
+      },
+      [](uint64_t a, uint64_t b) { return a + b; });
 }
 
 double DiscernibilityAccuracy(const Relation& relation, size_t k) {
@@ -49,6 +64,10 @@ double DiscernibilityAccuracy(const Relation& relation, size_t k) {
 double SatisfiedFraction(const Relation& relation,
                          const ConstraintSet& constraints) {
   if (constraints.empty()) return 1.0;
+  // Stays a plain loop on purpose: IsSatisfiedBy -> CountOccurrences is
+  // already a parallel row scan, and the layer rejects nested loops.
+  // Rows outnumber constraints by orders of magnitude, so the inner
+  // level is the right one to parallelize.
   size_t satisfied = 0;
   for (const auto& constraint : constraints) {
     if (constraint.IsSatisfiedBy(relation)) ++satisfied;

@@ -1,7 +1,10 @@
 #include "relation/qi_groups.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
+
+#include "common/parallel.h"
 
 namespace diva {
 
@@ -34,7 +37,8 @@ struct QiRowEquals {
   }
 };
 
-QiGroups GroupRows(const Relation& relation, std::span<const RowId> rows) {
+QiGroups GroupRowsSequential(const Relation& relation,
+                             std::span<const RowId> rows) {
   QiGroups out;
   std::unordered_map<RowId, size_t, QiRowHasher, QiRowEquals> group_index(
       16, QiRowHasher{&relation}, QiRowEquals{&relation});
@@ -44,6 +48,47 @@ QiGroups GroupRows(const Relation& relation, std::span<const RowId> rows) {
       out.groups.emplace_back();
     }
     out.groups[it->second].push_back(row);
+  }
+  return out;
+}
+
+QiGroups GroupRows(const Relation& relation, std::span<const RowId> rows) {
+  // Below this size the per-chunk hash maps cost more than they save.
+  // Both paths produce the identical grouping (proof below), so where
+  // the cutoff falls never affects results.
+  constexpr size_t kMinParallelRows = 4096;
+  if (rows.size() < kMinParallelRows) {
+    return GroupRowsSequential(relation, rows);
+  }
+
+  // Chunk boundaries are a pure function of rows.size(): identical
+  // partials for every thread count.
+  size_t chunk_size = rows.size() / 64 + 1;
+  size_t chunks = (rows.size() + chunk_size - 1) / chunk_size;
+  std::vector<QiGroups> partials =
+      ParallelMap<QiGroups>(chunks, /*grain=*/1, [&](size_t c) {
+        size_t begin = c * chunk_size;
+        size_t end = std::min(begin + chunk_size, rows.size());
+        return GroupRowsSequential(relation, rows.subspan(begin, end - begin));
+      });
+
+  // Merging partials in ascending chunk order rebuilds the sequential
+  // result exactly: a group's global index is set by its first occurrence
+  // (earlier chunks always merge first), and each group's rows land in
+  // original scan order (chunk order outer, within-chunk order inner).
+  QiGroups out;
+  std::unordered_map<RowId, size_t, QiRowHasher, QiRowEquals> group_index(
+      16, QiRowHasher{&relation}, QiRowEquals{&relation});
+  for (QiGroups& partial : partials) {
+    for (auto& group : partial.groups) {
+      auto [it, inserted] =
+          group_index.try_emplace(group.front(), out.groups.size());
+      if (inserted) {
+        out.groups.emplace_back();
+      }
+      auto& merged = out.groups[it->second];
+      merged.insert(merged.end(), group.begin(), group.end());
+    }
   }
   return out;
 }

@@ -4,6 +4,8 @@
 #include <map>
 #include <sstream>
 
+#include "common/parallel.h"
+
 namespace diva {
 
 const char* AuditCheckToString(AuditCheck check) {
@@ -68,6 +70,23 @@ class ViolationRecorder {
     }
   }
 
+  /// Accounts for `n` violations whose details a caller dropped (they
+  /// could only ever land past the cap). Equivalent to `n` Record calls
+  /// with discarded details: it bumps the count and emits the omission
+  /// marker if this batch is what crosses the cap.
+  void RecordOmitted(AuditCheck check, size_t n) {
+    if (n == 0) return;
+    size_t& count = counts_[static_cast<size_t>(check)];
+    bool was_within_cap = count <= max_per_check_;
+    count += n;
+    if (was_within_cap && count > max_per_check_) {
+      report_->violations.push_back(
+          {check, "further violations of this check omitted"});
+    }
+  }
+
+  size_t max_per_check() const { return max_per_check_; }
+
  private:
   AuditReport* report_;
   size_t max_per_check_;
@@ -98,12 +117,31 @@ void CheckGroupSizes(const Relation& relation, size_t k,
   const std::vector<size_t>& qi = relation.schema().qi_indices();
   // Ordered map keyed by the full QI projection: a suppressed cell only
   // matches another suppressed cell, which code equality gives us for
-  // free (kSuppressed is a reserved code).
-  std::map<std::vector<ValueCode>, size_t> group_sizes;
-  std::vector<ValueCode> key(qi.size());
-  for (RowId row = 0; row < relation.NumRows(); ++row) {
-    for (size_t i = 0; i < qi.size(); ++i) key[i] = relation.At(row, qi[i]);
-    ++group_sizes[key];
+  // free (kSuppressed is a reserved code). Rows are counted in
+  // row-range chunks whose per-key sums merge commutatively, so the
+  // merged map — and the ordered iteration below — is independent of
+  // the thread count. Chunk boundaries are a pure function of the row
+  // count.
+  using GroupMap = std::map<std::vector<ValueCode>, size_t>;
+  size_t chunk_size = relation.NumRows() / 64 + 1;
+  size_t chunks = (relation.NumRows() + chunk_size - 1) / chunk_size;
+  std::vector<GroupMap> partials =
+      ParallelMap<GroupMap>(chunks, /*grain=*/1, [&](size_t c) {
+        GroupMap local;
+        std::vector<ValueCode> key(qi.size());
+        size_t begin = c * chunk_size;
+        size_t end = std::min(begin + chunk_size, relation.NumRows());
+        for (size_t row = begin; row < end; ++row) {
+          for (size_t i = 0; i < qi.size(); ++i) {
+            key[i] = relation.At(static_cast<RowId>(row), qi[i]);
+          }
+          ++local[key];
+        }
+        return local;
+      });
+  GroupMap group_sizes;
+  for (GroupMap& partial : partials) {
+    for (auto& [pattern, size] : partial) group_sizes[pattern] += size;
   }
   stats->num_groups = group_sizes.size();
   stats->min_group_size = 0;
@@ -150,18 +188,29 @@ void CheckConstraintBounds(const Relation& relation,
         resolvable = false;
       }
     }
+    // The constraint loop itself stays sequential so the recorder sees
+    // violations in constraint order; the row scan underneath carries
+    // the parallelism as an exact chunked integer sum.
     size_t count = 0;
     if (resolvable) {
-      for (RowId row = 0; row < relation.NumRows(); ++row) {
-        bool match = true;
-        for (size_t i = 0; i < attrs.size(); ++i) {
-          if (relation.At(row, attrs[i]) != targets[i]) {
-            match = false;
-            break;
-          }
-        }
-        count += match ? 1 : 0;
-      }
+      count = ParallelReduce<size_t>(
+          relation.NumRows(), /*grain=*/0, size_t{0},
+          [&](size_t begin, size_t end) {
+            size_t local = 0;
+            for (size_t row = begin; row < end; ++row) {
+              bool match = true;
+              for (size_t i = 0; i < attrs.size(); ++i) {
+                if (relation.At(static_cast<RowId>(row), attrs[i]) !=
+                    targets[i]) {
+                  match = false;
+                  break;
+                }
+              }
+              local += match ? 1 : 0;
+            }
+            return local;
+          },
+          [](size_t a, size_t b) { return a + b; });
     }
     stats->constraint_counts[ci] = count;
     bool in_bounds =
@@ -201,47 +250,99 @@ void CheckCellsAndStars(const Relation& input, const Relation& output,
               .value_or(kUnmatched);
     }
   }
-  for (RowId row = 0; row < output.NumRows(); ++row) {
-    for (size_t col = 0; col < output.NumAttributes(); ++col) {
-      ValueCode in = input.At(row, col);
-      ValueCode out = output.At(row, col);
-      if (!translate[col].empty() && in != kSuppressed) {
-        in = translate[col][in];
-      }
-      if (in == out) continue;
-      if (out == kSuppressed) {
-        ++stats->added_stars;
-        continue;
-      }
-      if (in == kSuppressed) {
-        ++stats->removed_stars;
-        recorder->Record(
-            AuditCheck::kStarAccounting,
-            "row " + std::to_string(row) + " col " + std::to_string(col) +
-                ": suppressed input cell re-published as '" +
-                output.ValueString(row, col) + "'");
-        continue;
-      }
-      // Differing, non-star cell: only legal as a taxonomy ancestor.
-      if (context != nullptr && col < context->num_attributes() &&
-          context->HasTaxonomy(col)) {
-        const Taxonomy& taxonomy = context->taxonomy(col);
-        auto in_node = taxonomy.Find(input.ValueString(row, col));
-        auto out_node = taxonomy.Find(output.ValueString(row, col));
-        if (in_node.has_value() && out_node.has_value() &&
-            IsProperAncestor(taxonomy, *out_node, *in_node)) {
-          ++stats->generalized_cells;
-          continue;
+  // The cell pass chunks over row ranges. Each chunk tallies its own
+  // exact stat counters and keeps violation details interleaved in cell
+  // order — but at most cap+1 per check, because a detail past the
+  // recorder's cap can never be published; beyond that only the exact
+  // per-check overflow count is kept. Replaying chunks in ascending
+  // order then feeds the recorder the same Record sequence as the
+  // sequential pass (dropped details are accounted via RecordOmitted,
+  // which by then can no longer change what gets published), so stats
+  // and the violation list are bit-identical for every thread count.
+  struct CellChunk {
+    size_t added_stars = 0;
+    size_t removed_stars = 0;
+    size_t generalized_cells = 0;
+    size_t edited_cells = 0;
+    std::vector<std::pair<AuditCheck, std::string>> details;
+    size_t stored_star = 0, omitted_star = 0;
+    size_t stored_contain = 0, omitted_contain = 0;
+  };
+  size_t detail_cap = recorder->max_per_check() + 1;
+  size_t chunk_size = output.NumRows() / 64 + 1;
+  size_t chunks = (output.NumRows() + chunk_size - 1) / chunk_size;
+  std::vector<CellChunk> cell_chunks =
+      ParallelMap<CellChunk>(chunks, /*grain=*/1, [&](size_t c) {
+        CellChunk local;
+        size_t row_begin = c * chunk_size;
+        size_t row_end = std::min(row_begin + chunk_size, output.NumRows());
+        for (size_t r = row_begin; r < row_end; ++r) {
+          RowId row = static_cast<RowId>(r);
+          for (size_t col = 0; col < output.NumAttributes(); ++col) {
+            ValueCode in = input.At(row, col);
+            ValueCode out = output.At(row, col);
+            if (!translate[col].empty() && in != kSuppressed) {
+              in = translate[col][in];
+            }
+            if (in == out) continue;
+            if (out == kSuppressed) {
+              ++local.added_stars;
+              continue;
+            }
+            if (in == kSuppressed) {
+              ++local.removed_stars;
+              if (local.stored_star < detail_cap) {
+                ++local.stored_star;
+                local.details.emplace_back(
+                    AuditCheck::kStarAccounting,
+                    "row " + std::to_string(row) + " col " +
+                        std::to_string(col) +
+                        ": suppressed input cell re-published as '" +
+                        output.ValueString(row, col) + "'");
+              } else {
+                ++local.omitted_star;
+              }
+              continue;
+            }
+            // Differing, non-star cell: only legal as a taxonomy ancestor.
+            if (context != nullptr && col < context->num_attributes() &&
+                context->HasTaxonomy(col)) {
+              const Taxonomy& taxonomy = context->taxonomy(col);
+              auto in_node = taxonomy.Find(input.ValueString(row, col));
+              auto out_node = taxonomy.Find(output.ValueString(row, col));
+              if (in_node.has_value() && out_node.has_value() &&
+                  IsProperAncestor(taxonomy, *out_node, *in_node)) {
+                ++local.generalized_cells;
+                continue;
+              }
+            }
+            ++local.edited_cells;
+            if (local.stored_contain < detail_cap) {
+              ++local.stored_contain;
+              local.details.emplace_back(
+                  AuditCheck::kContainment,
+                  "row " + std::to_string(row) + " col " +
+                      std::to_string(col) + ": '" +
+                      input.ValueString(row, col) + "' became '" +
+                      output.ValueString(row, col) +
+                      "' (neither suppression nor a taxonomy ancestor)");
+            } else {
+              ++local.omitted_contain;
+            }
+          }
         }
-      }
-      ++stats->edited_cells;
-      recorder->Record(
-          AuditCheck::kContainment,
-          "row " + std::to_string(row) + " col " + std::to_string(col) +
-              ": '" + input.ValueString(row, col) + "' became '" +
-              output.ValueString(row, col) +
-              "' (neither suppression nor a taxonomy ancestor)");
+        return local;
+      });
+  for (CellChunk& chunk : cell_chunks) {
+    stats->added_stars += chunk.added_stars;
+    stats->removed_stars += chunk.removed_stars;
+    stats->generalized_cells += chunk.generalized_cells;
+    stats->edited_cells += chunk.edited_cells;
+    for (auto& [check, detail] : chunk.details) {
+      recorder->Record(check, std::move(detail));
     }
+    recorder->RecordOmitted(AuditCheck::kStarAccounting, chunk.omitted_star);
+    recorder->RecordOmitted(AuditCheck::kContainment, chunk.omitted_contain);
   }
   if (options.expected_added_stars.has_value() &&
       stats->added_stars != *options.expected_added_stars) {

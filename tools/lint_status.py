@@ -1,5 +1,12 @@
 #!/usr/bin/env python3
-"""Tree-grep lint: no Status-returning call may be a bare statement.
+"""Tree-grep lints: dropped Status values and raw threading primitives.
+
+Check 1 (Status): no Status-returning call may be a bare statement.
+Check 2 (threads): std::thread / std::async / std::jthread may appear
+only in src/common/parallel.{h,cc} — everything else must go through the
+audited parallel layer (ThreadPool / ParallelFor / RunTasks), which is
+what keeps DIVA's outputs bit-identical across thread counts and keeps
+the tsan surface in one file.
 
 The compiler already rejects discarded [[nodiscard]] Status/Result values,
 but only for translation units it compiles; this lint is a belt-and-braces
@@ -124,6 +131,28 @@ def find_violations(path: Path, names: set[str]) -> list[tuple[int, str]]:
     return violations
 
 
+# Raw threading primitives; <thread> is implied by the symbols. Matched
+# on comment/string-stripped text, so prose mentions never flag.
+THREAD_RE = re.compile(r"std\s*::\s*(?:thread|jthread|async)\b")
+
+# The one sanctioned home for raw threading (the audited parallel layer).
+THREAD_ALLOWED_SUFFIXES = ("common/parallel.h", "common/parallel.cc")
+
+
+def find_thread_violations(path: Path) -> list[tuple[int, str]]:
+    if str(path).replace("\\", "/").endswith(THREAD_ALLOWED_SUFFIXES):
+        return []
+    raw = path.read_text()
+    text = strip_comments_and_strings(raw)
+    raw_lines = raw.splitlines()
+    violations = []
+    for match in THREAD_RE.finditer(text):
+        line_no = text.count("\n", 0, match.start()) + 1
+        line = raw_lines[line_no - 1] if line_no <= len(raw_lines) else ""
+        violations.append((line_no, line.strip()))
+    return violations
+
+
 def main(argv: list[str]) -> int:
     if len(argv) < 2:
         print(f"usage: {argv[0]} <source-root>...", file=sys.stderr)
@@ -141,17 +170,31 @@ def main(argv: list[str]) -> int:
 
     failures = 0
     for root in roots:
-        for source in sorted(list(root.rglob("*.cc")) + list(root.rglob("*.cpp"))):
-            for line_no, line in find_violations(source, names):
+        sources = sorted(
+            list(root.rglob("*.cc"))
+            + list(root.rglob("*.cpp"))
+            + list(root.rglob("*.h"))
+            + list(root.rglob("*.hpp"))
+        )
+        for source in sources:
+            if source.suffix in (".cc", ".cpp"):
+                for line_no, line in find_violations(source, names):
+                    print(
+                        f"{source}:{line_no}: dropped Status: `{line}` "
+                        f"(wrap in DIVA_RETURN_IF_ERROR or consume the value; "
+                        f"`(void)... // {ALLOW_COMMENT}` if intentional)"
+                    )
+                    failures += 1
+            for line_no, line in find_thread_violations(source):
                 print(
-                    f"{source}:{line_no}: dropped Status: `{line}` "
-                    f"(wrap in DIVA_RETURN_IF_ERROR or consume the value; "
-                    f"`(void)... // {ALLOW_COMMENT}` if intentional)"
+                    f"{source}:{line_no}: raw threading primitive: `{line}` "
+                    f"(use common/parallel.h — ThreadPool, ParallelFor or "
+                    f"RunTasks — instead of std::thread/std::async)"
                 )
                 failures += 1
 
     if failures:
-        print(f"lint_status: {failures} dropped Status call(s)", file=sys.stderr)
+        print(f"lint_status: {failures} violation(s)", file=sys.stderr)
         return 1
     print(f"lint_status: OK ({len(names)} Status-returning functions checked)")
     return 0
