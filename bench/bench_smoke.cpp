@@ -6,6 +6,10 @@
 //      count (the process exits 1 otherwise — CI fails on the spot).
 //   2. Speed: per-phase wall times are recorded per width, so the stored
 //      baseline documents the clustering-phase scaling on CI hardware.
+//   3. Deadline-poll overhead: the widest run is repeated without a
+//      deadline and under a generous never-expiring one; the armed token
+//      costs one relaxed atomic load per poll, so the ratio must stay in
+//      the noise and the two outputs must hash identically.
 //
 // Usage: bench_smoke [output.json]   (default BENCH_smoke.json)
 // Knobs: DIVA_BENCH_THREADS="1,2,4,8" overrides the sweep;
@@ -130,6 +134,61 @@ int main(int argc, char** argv) {
                  "counts\n");
   }
 
+  // Deadline-poll overhead: the same run once without a deadline and once
+  // under a generous (never-expiring) one. The armed token costs one
+  // relaxed atomic load per poll, so the two totals must sit within run
+  // noise of each other, and — since the token never trips — the outputs
+  // must hash identically.
+  double no_deadline_total = 0.0;
+  double generous_deadline_total = 0.0;
+  uint64_t no_deadline_hash = 0;
+  uint64_t generous_deadline_hash = 0;
+  for (int64_t deadline_ms : {int64_t{0}, int64_t{600000}}) {
+    DivaOptions options;
+    options.k = kK;
+    options.seed = kSeed;
+    options.threads = runs.back().threads;
+    options.coloring_budget = bench::ColoringBudget();
+    options.anonymizer.seed = kSeed;
+    options.anonymizer.sample_size = 64;
+    options.deadline_ms = deadline_ms;
+    auto result = RunDiva(*relation, *constraints, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "RunDiva failed at deadline_ms=%lld: %s\n",
+                   static_cast<long long>(deadline_ms),
+                   result.status().ToString().c_str());
+      return 2;
+    }
+    std::ostringstream csv;
+    if (!WriteCsv(result->relation, csv).ok()) {
+      std::fprintf(stderr, "WriteCsv failed at deadline_ms=%lld\n",
+                   static_cast<long long>(deadline_ms));
+      return 2;
+    }
+    if (deadline_ms == 0) {
+      no_deadline_total = result->report.total_seconds;
+      no_deadline_hash = Fnv1a(csv.str());
+    } else {
+      generous_deadline_total = result->report.total_seconds;
+      generous_deadline_hash = Fnv1a(csv.str());
+    }
+  }
+  double deadline_overhead_ratio =
+      no_deadline_total > 0.0 ? generous_deadline_total / no_deadline_total
+                              : 1.0;
+  bool deadline_output_identical = no_deadline_hash == generous_deadline_hash;
+  if (!deadline_output_identical) {
+    deterministic = false;
+    std::fprintf(stderr,
+                 "DETERMINISM FAILURE: a never-expiring deadline changed "
+                 "the output\n");
+  }
+  std::printf(
+      "deadline overhead (threads=%zu): none=%.3fs generous=%.3fs "
+      "ratio=%.3f output_identical=%s\n",
+      runs.back().threads, no_deadline_total, generous_deadline_total,
+      deadline_overhead_ratio, deadline_output_identical ? "yes" : "no");
+
   const SmokeRun& first = runs.front();
   const SmokeRun& last = runs.back();
   double clustering_speedup =
@@ -172,7 +231,13 @@ int main(int argc, char** argv) {
   }
   json << "  ],\n"
        << "  \"clustering_speedup\": " << clustering_speedup << ",\n"
-       << "  \"total_speedup\": " << total_speedup << "\n"
+       << "  \"total_speedup\": " << total_speedup << ",\n"
+       << "  \"deadline_overhead\": {\"threads\": " << runs.back().threads
+       << ", \"no_deadline_total_seconds\": " << no_deadline_total
+       << ", \"generous_deadline_total_seconds\": " << generous_deadline_total
+       << ", \"overhead_ratio\": " << deadline_overhead_ratio
+       << ", \"output_identical\": "
+       << (deadline_output_identical ? "true" : "false") << "}\n"
        << "}\n";
   std::printf("wrote %s\n", output_path.c_str());
 

@@ -2,10 +2,12 @@
 # ci/check.sh — the full correctness gauntlet (see docs/development.md).
 #
 #   1. release build + full ctest (includes the lint_status test)
-#   2. asan-ubsan build + full ctest
+#   2. asan-ubsan build + full ctest, then the fault sweep: the
+#      failpoint + deadline suites re-run with DIVA_THREADS=8
 #   3. tsan build + full ctest with DIVA_THREADS>=8 (gates the thread
 #      pool: the parallel layer must be race-free at real width)
-#   4. tools/lint_status.py over src/ (dropped Status + raw-thread lints)
+#   4. tools/lint_status.py over src/ (dropped Status, raw-thread and
+#      raw-clock lints)
 #   5. clang-tidy over src/ (skipped with a notice when not installed)
 #
 # Usage: ci/check.sh [--skip-sanitizers] [--threads N]
@@ -58,6 +60,14 @@ if [[ "$SKIP_SANITIZERS" -eq 0 ]]; then
 
   step "asan-ubsan: ctest${THREADS:+ (DIVA_THREADS=$THREADS)}"
   ctest --preset asan-ubsan -j "$JOBS"
+
+  # The fault sweep re-runs the failpoint and deadline suites with the
+  # pool at real width: injected faults and tripped deadlines must
+  # surface as clean Status errors while worker threads are genuinely
+  # claiming chunks (mirrors the CI fault-sweep job).
+  step "fault sweep: asan-ubsan failpoint + deadline tests (DIVA_THREADS=8)"
+  DIVA_THREADS=8 ctest --preset asan-ubsan -j "$JOBS" \
+    -R "FaultInjectionTest|DeadlineTest|CancellationTokenTest|PoolCancellationTest|ColoringBudgetTest|DivaDeadlineTest|CsvTest"
 
   step "tsan: configure + build"
   cmake --preset tsan

@@ -9,7 +9,12 @@
 //       [--constraints sigma.txt] [--algorithm diva|kmember|oka|mondrian]
 //       [--strategy basic|minchoice|maxfanout] [--seed N]
 //       [--taxonomy ATTR=taxonomy.txt]... [--json]
-//       [--strict] [--output out.csv]
+//       [--strict] [--deadline-ms N] [--output out.csv]
+//
+// --deadline-ms N bounds the run's wall time: on expiry DIVA publishes
+// its best-effort (still k-anonymous) relation and flags the degraded
+// phases in the report; with --strict expiry is an error. Equivalent to
+// the DIVA_DEADLINE_MS environment knob, which it overrides.
 //
 // Schema file: one attribute per line, "NAME,role,kind" where role is
 // id|qi|sensitive and kind is cat|num. Example:
@@ -185,6 +190,13 @@ int main(int argc, char** argv) {
     options.seed = seed;
     options.strict = strict;
     options.generalization = generalization;
+    if (args.count("deadline-ms")) {
+      auto deadline_ms = ParseInt64(args["deadline-ms"]);
+      if (!deadline_ms.ok() || *deadline_ms < 0) {
+        return Fail("--deadline-ms must be a non-negative integer");
+      }
+      options.deadline_ms = *deadline_ms;
+    }
     std::string strategy =
         args.count("strategy") ? ToLowerAscii(args["strategy"]) : "maxfanout";
     if (strategy == "basic") {

@@ -56,6 +56,13 @@ inline void PrintReport(const DivaReport& report) {
       static_cast<unsigned long long>(report.coloring_steps),
       static_cast<unsigned long long>(report.backtracks), report.sigma_rows,
       report.repair_cells, report.total_seconds);
+  if (report.deadline_exceeded) {
+    std::printf(
+        "deadline exceeded: best-effort output%s%s%s\n",
+        report.baseline_degraded ? " | baseline fell back to Mondrian" : "",
+        report.integrate_skipped ? " | integrate repair skipped" : "",
+        report.privacy_truncated ? " | privacy merging truncated" : "");
+  }
 }
 
 /// Prints the standard quality metrics of an anonymized relation.

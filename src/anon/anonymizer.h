@@ -6,6 +6,7 @@
 #include <string>
 
 #include "anon/cluster.h"
+#include "common/deadline.h"
 #include "common/result.h"
 #include "relation/relation.h"
 
@@ -21,6 +22,14 @@ struct AnonymizerOptions {
   /// rows. 0 = exact (quadratic) search. Keeps large |R| sweeps tractable;
   /// see DESIGN.md §3.
   size_t sample_size = 0;
+
+  /// Cooperative cancellation. The iterative baselines (k-member, OKA)
+  /// poll it once per outer greedy step and fail with kDeadlineExceeded
+  /// when it trips — their half-built clusterings are useless, so RunDiva
+  /// falls back to the single-pass Mondrian instead. Mondrian itself
+  /// ignores the token (it is the fallback and near-linear). Default
+  /// token never trips.
+  CancellationToken cancel;
 };
 
 /// A clustering-based k-anonymization algorithm: partitions rows into

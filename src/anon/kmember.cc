@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "anon/distance.h"
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/rng.h"
@@ -57,6 +58,7 @@ size_t PickIndex(const RowPool& pool, size_t scan, size_t step, Rng* rng) {
 
 Result<Clustering> KMemberAnonymizer::BuildClusters(
     const Relation& relation, std::span<const RowId> rows, size_t k) {
+  DIVA_RETURN_IF_ERROR(DIVA_FAIL("kmember.build"));
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
   if (rows.empty()) return Clustering{};
   if (rows.size() < k) {
@@ -77,6 +79,12 @@ Result<Clustering> KMemberAnonymizer::BuildClusters(
   RowId anchor = pool.at(static_cast<size_t>(rng.NextBounded(pool.size())));
 
   while (pool.size() >= k) {
+    // One deadline poll per greedy cluster: a half-built clustering is
+    // useless, so the caller (RunDiva) discards it and falls back to the
+    // single-pass Mondrian baseline.
+    if (options_.cancel.Cancelled()) {
+      return DeadlineExceededStatus("k-member clustering");
+    }
     // Furthest record from the previous anchor.
     size_t scan = ScanCount(pool, options_.sample_size);
     size_t best_index;

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "anon/distance.h"
+#include "common/failpoint.h"
 #include "common/logging.h"
 
 namespace diva {
@@ -127,6 +128,9 @@ void Partition(const Relation& relation, const DistanceMetric& metric,
 
 Result<Clustering> MondrianAnonymizer::BuildClusters(
     const Relation& relation, std::span<const RowId> rows, size_t k) {
+  DIVA_RETURN_IF_ERROR(DIVA_FAIL("mondrian.build"));
+  // Mondrian deliberately ignores options_.cancel: it is the deadline
+  // fallback and near-linear, so it always runs to completion.
   (void)options_;
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
   if (rows.empty()) return Clustering{};

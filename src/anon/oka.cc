@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "anon/distance.h"
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/rng.h"
@@ -110,6 +111,7 @@ class Centroid {
 Result<Clustering> OkaAnonymizer::BuildClusters(const Relation& relation,
                                                 std::span<const RowId> rows,
                                                 size_t k) {
+  DIVA_RETURN_IF_ERROR(DIVA_FAIL("oka.build"));
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
   if (rows.empty()) return Clustering{};
   if (rows.size() < k) {
@@ -179,6 +181,11 @@ Result<Clustering> OkaAnonymizer::BuildClusters(const Relation& relation,
   // Rows stay sequential (each assignment moves a centroid); the centroid
   // scan inside `nearest` carries the parallelism.
   for (size_t i = num_clusters; i < shuffled.size(); ++i) {
+    // One deadline poll per assignment: an abandoned half-assignment is
+    // useless, so fail and let RunDiva fall back to Mondrian.
+    if (options_.cancel.Cancelled()) {
+      return DeadlineExceededStatus("OKA clustering");
+    }
     RowId row = shuffled[i];
     auto target = nearest(row, /*deficit_only=*/false);
     DIVA_CHECK(target.has_value());

@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "anon/suppress.h"
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "relation/qi_groups.h"
 
@@ -52,7 +53,8 @@ size_t CountDistinctSensitiveProjections(const Relation& relation) {
 }
 
 Result<Clustering> EnforceLDiversity(Relation* relation, Clustering clusters,
-                                     size_t l) {
+                                     size_t l, CancellationToken cancel) {
+  DIVA_RETURN_IF_ERROR(DIVA_FAIL("privacy.ldiversity"));
   if (l <= 1 || clusters.empty()) return clusters;
   if (CountDistinctSensitiveProjections(*relation) < l) {
     return Status::Infeasible(
@@ -62,9 +64,12 @@ Result<Clustering> EnforceLDiversity(Relation* relation, Clustering clusters,
 
   // Iterate until stable: merge each violating cluster into the other
   // cluster whose union costs the fewest additional stars. Each merge
-  // strictly reduces the cluster count, so this terminates.
+  // strictly reduces the cluster count, so this terminates. A tripped
+  // deadline token truncates the loop: merges done so far are kept
+  // (every intermediate state is a valid partition) and the caller
+  // re-verifies diversity.
   bool changed = true;
-  while (changed && clusters.size() > 1) {
+  while (changed && clusters.size() > 1 && !cancel.Cancelled()) {
     changed = false;
     for (size_t i = 0; i < clusters.size(); ++i) {
       if (DistinctSensitive(*relation, clusters[i]) >= l) continue;
@@ -190,7 +195,8 @@ bool IsTClose(const Relation& relation, double t) {
 }
 
 Result<Clustering> EnforceTCloseness(Relation* relation, Clustering clusters,
-                                     double t) {
+                                     double t, CancellationToken cancel) {
+  DIVA_RETURN_IF_ERROR(DIVA_FAIL("privacy.tcloseness"));
   if (t < 0.0) {
     return Status::InvalidArgument("t must be non-negative");
   }
@@ -199,7 +205,9 @@ Result<Clustering> EnforceTCloseness(Relation* relation, Clustering clusters,
     return clusters;
   }
 
-  while (clusters.size() > 1) {
+  // A tripped deadline token truncates the merge loop (see
+  // EnforceLDiversity); the caller re-verifies closeness.
+  while (clusters.size() > 1 && !cancel.Cancelled()) {
     // Find the worst cluster.
     size_t worst = clusters.size();
     double worst_distance = t;

@@ -2,6 +2,7 @@
 #define DIVA_ANON_PRIVACY_H_
 
 #include "anon/cluster.h"
+#include "common/deadline.h"
 #include "common/result.h"
 #include "relation/relation.h"
 
@@ -32,8 +33,15 @@ size_t CountDistinctSensitiveProjections(const Relation& relation);
 /// Merging only adds suppression, so k-anonymity is preserved and
 /// diversity-constraint upper bounds cannot be violated; lower bounds
 /// may lose occurrences (callers should re-verify).
+///
+/// `cancel` is polled once per merge: when it trips, the merges done so
+/// far are kept and the (possibly still non-l-diverse) clustering is
+/// returned — every intermediate state is a valid k-anonymous partition,
+/// so truncation degrades privacy enforcement, never correctness. Callers
+/// running under a deadline must re-check IsDistinctLDiverse.
 [[nodiscard]] Result<Clustering> EnforceLDiversity(Relation* relation, Clustering clusters,
-                                     size_t l);
+                                     size_t l,
+                                     CancellationToken cancel = {});
 
 /// t-closeness (Li, Li, Venkatasubramanian — ICDE 2007): the distribution
 /// of each sensitive attribute within every QI-group must be within
@@ -55,8 +63,11 @@ bool IsTClose(const Relation& relation, double t);
 /// cheapest partner until every cluster is within t. Fails with
 /// Infeasible if `t` cannot be met even by a single all-row cluster
 /// (never happens for t >= 0: one cluster has distance 0).
+/// `cancel` truncates the merge loop exactly as in EnforceLDiversity;
+/// callers under a deadline must re-check IsTClose.
 [[nodiscard]] Result<Clustering> EnforceTCloseness(Relation* relation, Clustering clusters,
-                                     double t);
+                                     double t,
+                                     CancellationToken cancel = {});
 
 /// (X,Y)-anonymity (Wang & Fung — the third extension the paper lists):
 /// every value combination of attributes X that occurs in the relation

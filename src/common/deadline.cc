@@ -1,0 +1,78 @@
+#include "common/deadline.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/timer.h"
+
+namespace diva {
+
+Deadline Deadline::AfterMillis(int64_t ms) {
+  return Deadline(MonotonicSeconds() + static_cast<double>(ms) * 1e-3);
+}
+
+Deadline Deadline::AfterSeconds(double seconds) {
+  return Deadline(MonotonicSeconds() + seconds);
+}
+
+bool Deadline::is_infinite() const { return expires_at_ >= kNever; }
+
+bool Deadline::Expired() const {
+  return !is_infinite() && MonotonicSeconds() >= expires_at_;
+}
+
+double Deadline::RemainingSeconds() const {
+  if (is_infinite()) return kNever;
+  return expires_at_ - MonotonicSeconds();
+}
+
+struct CancellationToken::State {
+  std::atomic<bool> cancelled{false};
+  Deadline deadline;
+};
+
+CancellationToken CancellationToken::WithDeadline(Deadline deadline) {
+  auto state = std::make_shared<State>();
+  state->deadline = deadline;
+  return CancellationToken(std::move(state));
+}
+
+CancellationToken CancellationToken::Manual() {
+  return CancellationToken(std::make_shared<State>());
+}
+
+void CancellationToken::RequestCancel() const {
+  if (state_ != nullptr) {
+    state_->cancelled.store(true, std::memory_order_relaxed);
+  }
+}
+
+bool CancellationToken::Cancelled() const {
+  if (state_ == nullptr) return false;
+  if (state_->cancelled.load(std::memory_order_relaxed)) return true;
+  if (state_->deadline.Expired()) {
+    // Latch: later polls skip the clock read entirely.
+    state_->cancelled.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+Deadline CancellationToken::deadline() const {
+  return state_ == nullptr ? Deadline::Infinite() : state_->deadline;
+}
+
+int64_t EnvDeadlineMillis() {
+  const char* env = std::getenv("DIVA_DEADLINE_MS");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  long long value = std::strtoll(env, &end, 10);
+  if (end == env || value < 0) return 0;
+  return static_cast<int64_t>(value);
+}
+
+Status DeadlineExceededStatus(const std::string& phase) {
+  return Status::DeadlineExceeded("deadline expired during " + phase);
+}
+
+}  // namespace diva

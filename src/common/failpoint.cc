@@ -1,0 +1,251 @@
+#include "common/failpoint.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+namespace diva {
+namespace failpoint {
+
+namespace {
+
+/// Every instrumented site, kept sorted. A DIVA_FAIL call whose name is
+/// missing here, or a stale entry with no matching call, fails
+/// tests/fault_injection_test.cc — the table and the code cannot drift.
+const char* const kKnownSites[] = {
+    "audit.run",            // verify/auditor.cc: contract re-check
+    "csv.open.read",        // relation/csv.cc: ReadCsvFile open
+    "csv.open.write",       // relation/csv.cc: WriteCsvFile open
+    "csv.read.record",      // relation/csv.cc: per parsed record
+    "csv.write.row",        // relation/csv.cc: per written row
+    "diva.coloring.begin",  // core/diva.cc: before the coloring search
+    "diva.graph.build",     // core/diva.cc: constraint-graph construction
+    "diva.integrate",       // core/diva.cc: upper-bound repair phase
+    "diva.publish",         // core/diva.cc: final result hand-off
+    "diva.suppress",        // core/diva.cc: S_Sigma suppression phase
+    "kmember.build",        // anon/kmember.cc: baseline clustering
+    "mondrian.build",       // anon/mondrian.cc: baseline clustering
+    "oka.build",            // anon/oka.cc: baseline clustering
+    "privacy.ldiversity",   // anon/privacy.cc: l-diversity merging
+    "privacy.tcloseness",   // anon/privacy.cc: t-closeness merging
+    "relation.append_row",  // relation/relation.cc: row ingestion
+};
+
+struct Site {
+  uint64_t hits = 0;
+  bool armed = false;
+  bool fired = false;
+  StatusCode code = StatusCode::kInternal;
+  uint64_t trigger_hit = 1;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::unordered_map<std::string, Site> sites;
+  bool counting = false;
+  bool env_parsed = false;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry;  // leaked: outlives every site
+  return *registry;
+}
+
+/// Number of armed sites plus the counting flag — the fast-path gate.
+/// While zero, Check() is a single relaxed load and an immediate return.
+std::atomic<uint32_t> g_active{0};
+
+/// Lowercases and strips '-'/'_' so "io-error", "IoError" and "io_error"
+/// compare equal.
+std::string NormalizeCode(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    if (c == '-' || c == '_') continue;
+    out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+bool ParseStatusCode(const std::string& text, StatusCode* code) {
+  static const std::pair<const char*, StatusCode> kCodes[] = {
+      {"invalidargument", StatusCode::kInvalidArgument},
+      {"invalid", StatusCode::kInvalidArgument},
+      {"notfound", StatusCode::kNotFound},
+      {"infeasible", StatusCode::kInfeasible},
+      {"budgetexhausted", StatusCode::kBudgetExhausted},
+      {"internal", StatusCode::kInternal},
+      {"ioerror", StatusCode::kIoError},
+      {"io", StatusCode::kIoError},
+      {"deadlineexceeded", StatusCode::kDeadlineExceeded},
+  };
+  std::string normalized = NormalizeCode(text);
+  for (const auto& [name, value] : kCodes) {
+    if (normalized == name) {
+      *code = value;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Arms every entry of `spec` into an already-locked registry.
+Status ArmFromSpecLocked(Registry& registry, const std::string& spec) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("failpoint spec entry '" + entry +
+                                     "' is not name=code[@hit:N]");
+    }
+    std::string name = entry.substr(0, eq);
+    std::string code_text = entry.substr(eq + 1);
+    uint64_t trigger_hit = 1;
+    size_t at = code_text.find('@');
+    if (at != std::string::npos) {
+      std::string trigger = code_text.substr(at + 1);
+      code_text = code_text.substr(0, at);
+      if (trigger.rfind("hit:", 0) != 0) {
+        return Status::InvalidArgument("failpoint trigger '" + trigger +
+                                       "' is not hit:N");
+      }
+      char* end = nullptr;
+      unsigned long long n = std::strtoull(trigger.c_str() + 4, &end, 10);
+      if (end == trigger.c_str() + 4 || *end != '\0' || n == 0) {
+        return Status::InvalidArgument("failpoint trigger '" + trigger +
+                                       "' needs a positive hit count");
+      }
+      trigger_hit = static_cast<uint64_t>(n);
+    }
+    StatusCode code;
+    if (!ParseStatusCode(code_text, &code)) {
+      return Status::InvalidArgument("unknown failpoint status code '" +
+                                     code_text + "'");
+    }
+    Site& site = registry.sites[name];
+    site.armed = true;
+    site.fired = false;
+    site.hits = 0;
+    site.code = code;
+    site.trigger_hit = trigger_hit;
+    g_active.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+/// Parses DIVA_FAILPOINTS once per Reset. A malformed spec aborts: a
+/// fault-injection run with a half-armed spec would silently test
+/// nothing.
+void MaybeArmFromEnvLocked(Registry& registry) {
+  if (registry.env_parsed) return;
+  registry.env_parsed = true;
+  const char* env = std::getenv("DIVA_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return;
+  Status armed = ArmFromSpecLocked(registry, env);
+  if (!armed.ok()) {
+    std::fprintf(stderr, "FATAL: DIVA_FAILPOINTS: %s\n",
+                 armed.ToString().c_str());
+    std::abort();
+  }
+}
+
+}  // namespace
+
+Status Check(const char* name) {
+  // One-time lazy DIVA_FAILPOINTS parse (thread-safe magic static).
+  static const bool env_initialized = [] {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    MaybeArmFromEnvLocked(registry);
+    return true;
+  }();
+  (void)env_initialized;
+  // Fast path: nothing armed, no counting — one relaxed load.
+  if (g_active.load(std::memory_order_relaxed) == 0) return Status::OK();
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  Site& site = registry.sites[name];
+  ++site.hits;
+  if (site.armed && !site.fired && site.hits == site.trigger_hit) {
+    site.fired = true;
+    return Status(site.code, std::string("failpoint '") + name +
+                                 "' fired (hit " +
+                                 std::to_string(site.hits) + ")");
+  }
+  return Status::OK();
+}
+
+void Arm(const std::string& name, StatusCode code, uint64_t trigger_hit) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  Site& site = registry.sites[name];
+  site.armed = true;
+  site.fired = false;
+  site.hits = 0;
+  site.code = code;
+  site.trigger_hit = trigger_hit == 0 ? 1 : trigger_hit;
+  g_active.fetch_add(1, std::memory_order_relaxed);
+}
+
+Status ArmFromSpec(const std::string& spec) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  return ArmFromSpecLocked(registry, spec);
+}
+
+void Reset() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.sites.clear();
+  registry.counting = false;
+  registry.env_parsed = true;  // an explicit Reset overrides the env
+  g_active.store(0, std::memory_order_relaxed);
+}
+
+uint64_t HitCount(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto it = registry.sites.find(name);
+  return it == registry.sites.end() ? 0 : it->second.hits;
+}
+
+void SetCounting(bool enabled) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  if (registry.counting == enabled) return;
+  registry.counting = enabled;
+  if (enabled) {
+    g_active.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    g_active.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+std::vector<std::string> HitSites() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::vector<std::string> names;
+  for (const auto& [name, site] : registry.sites) {
+    if (site.hits > 0) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::vector<std::string> KnownFailpoints() {
+  std::vector<std::string> names(std::begin(kKnownSites),
+                                 std::end(kKnownSites));
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace failpoint
+}  // namespace diva

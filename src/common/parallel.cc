@@ -44,17 +44,38 @@ struct Job {
   size_t count = 0;
   size_t grain = 0;
   size_t chunks = 0;
+  CancellationToken cancel;  // copied at submission; null = never trips
   std::atomic<size_t> next_chunk{0};
 
   std::mutex mutex;
   std::condition_variable done_cv;
   size_t completed_chunks = 0;        // guarded by mutex
+  size_t first_unrun_chunk = 0;       // guarded by mutex; chunks when none
   std::exception_ptr first_error;     // guarded by mutex
 
-  /// Claims and runs chunks until none remain. Any thread may call this;
-  /// chunk -> index-range mapping is fixed by (count, grain) alone.
+  /// Marks every not-yet-claimed chunk as cancelled: no thread will run
+  /// them, so account for them as completed and remember where the
+  /// executed prefix ends. Claims are monotonic (fetch_add), so the
+  /// chunks claimed before the exchange are exactly [0, raw) and all of
+  /// them drain to completion. Caller must hold `mutex`.
+  void CancelUnclaimedLocked() {
+    size_t raw = next_chunk.exchange(chunks, std::memory_order_relaxed);
+    size_t claimed = raw < chunks ? raw : chunks;
+    completed_chunks += chunks - claimed;
+    if (claimed < first_unrun_chunk) first_unrun_chunk = claimed;
+  }
+
+  /// Claims and runs chunks until none remain or the token trips. Any
+  /// thread may call this; chunk -> index-range mapping is fixed by
+  /// (count, grain) alone.
   void RunChunks() {
     while (true) {
+      if (cancel.Cancelled()) {
+        std::lock_guard<std::mutex> lock(mutex);
+        CancelUnclaimedLocked();
+        if (completed_chunks == chunks) done_cv.notify_all();
+        return;
+      }
       size_t chunk = next_chunk.fetch_add(1, std::memory_order_relaxed);
       if (chunk >= chunks) return;
       size_t begin = chunk * grain;
@@ -72,9 +93,7 @@ struct Job {
         // Cancel chunks nobody claimed yet; account for them as completed
         // since no thread will ever run (and count) them. In-flight
         // chunks drain normally and count themselves.
-        size_t raw = next_chunk.exchange(chunks, std::memory_order_relaxed);
-        size_t claimed = raw < chunks ? raw : chunks;
-        completed_chunks += chunks - claimed;
+        CancelUnclaimedLocked();
       }
       if (++completed_chunks == chunks) done_cv.notify_all();
     }
@@ -85,16 +104,30 @@ struct Job {
     std::unique_lock<std::mutex> lock(mutex);
     done_cv.wait(lock, [&] { return completed_chunks == chunks; });
   }
+
+  /// Index-space prefix [0, n) that fully executed. Call after Join.
+  size_t CompletedPrefix() {
+    std::lock_guard<std::mutex> lock(mutex);
+    size_t done = first_unrun_chunk * grain;
+    return done < count ? done : count;
+  }
 };
 
-void RunInline(size_t count, size_t grain,
-               const std::function<void(size_t, size_t)>& body) {
+size_t RunInline(size_t count, size_t grain,
+                 const std::function<void(size_t, size_t)>& body,
+                 const CancellationToken& cancel) {
   for (size_t begin = 0; begin < count; begin += grain) {
+    if (cancel.Cancelled()) return begin;
     size_t end = begin + grain < count ? begin + grain : count;
     BodyScope scope;
     body(begin, end);
   }
+  return count;
 }
+
+/// Process-global loop-cancellation token; read once per submitted loop.
+std::mutex g_cancel_mutex;
+CancellationToken g_loop_cancel;  // guarded by g_cancel_mutex
 
 }  // namespace
 
@@ -165,21 +198,25 @@ ThreadPool::~ThreadPool() {
 
 size_t ThreadPool::threads() const { return impl_->threads; }
 
-void ThreadPool::ParallelFor(
+size_t ThreadPool::ParallelFor(
     size_t count, size_t grain,
     const std::function<void(size_t, size_t)>& body) {
-  if (count == 0) return;
+  if (count == 0) return 0;
   if (tl_in_parallel_body) {
     throw std::logic_error(
         "nested ParallelFor: a parallel body may not start another "
         "parallel loop (the inner loop would block a worker the outer "
         "loop owns)");
   }
+  CancellationToken cancel;
+  {
+    std::lock_guard<std::mutex> lock(g_cancel_mutex);
+    cancel = g_loop_cancel;
+  }
   if (grain == 0) grain = AutoGrain(count, impl_->threads);
   size_t chunks = (count + grain - 1) / grain;
   if (impl_->threads == 1 || chunks == 1) {
-    RunInline(count, grain, body);
-    return;
+    return RunInline(count, grain, body, cancel);
   }
   std::unique_lock<std::mutex> submit(impl_->submit_mutex,
                                       std::try_to_lock);
@@ -187,14 +224,15 @@ void ThreadPool::ParallelFor(
     // Another thread is mid-loop on this pool (e.g. two portfolio
     // searches enumerating concurrently): degrade to inline execution of
     // the identical chunks rather than queueing behind it.
-    RunInline(count, grain, body);
-    return;
+    return RunInline(count, grain, body, cancel);
   }
   auto job = std::make_shared<Job>();
   job->body = &body;
   job->count = count;
   job->grain = grain;
   job->chunks = chunks;
+  job->first_unrun_chunk = chunks;
+  job->cancel = cancel;
   {
     std::lock_guard<std::mutex> lock(impl_->mutex);
     impl_->current_job = job;
@@ -210,6 +248,7 @@ void ThreadPool::ParallelFor(
   if (job->first_error != nullptr) {
     std::rethrow_exception(job->first_error);
   }
+  return job->CompletedPrefix();
 }
 
 namespace {
@@ -240,20 +279,22 @@ void SetParallelThreads(size_t threads) {
   }
 }
 
-void ParallelFor(size_t count, size_t grain,
-                 const std::function<void(size_t, size_t)>& body) {
-  GlobalPool()->ParallelFor(count, grain, body);
+size_t ParallelFor(size_t count, size_t grain,
+                   const std::function<void(size_t, size_t)>& body) {
+  return GlobalPool()->ParallelFor(count, grain, body);
 }
 
 void RunTasks(size_t count, const std::function<void(size_t)>& fn) {
   if (count == 0) return;
+  CancellationToken cancel = CurrentLoopCancellation();
   if (count == 1) {
-    fn(0);
+    if (!cancel.Cancelled()) fn(0);
     return;
   }
   std::mutex mutex;
   std::exception_ptr first_error;
   auto run_task = [&](size_t task) {
+    if (cancel.Cancelled()) return;  // skip tasks not yet started
     try {
       fn(task);
     } catch (...) {
@@ -269,6 +310,22 @@ void RunTasks(size_t count, const std::function<void(size_t)>& fn) {
   run_task(0);
   for (std::thread& worker : workers) worker.join();
   if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+ScopedLoopCancellation::ScopedLoopCancellation(CancellationToken token) {
+  std::lock_guard<std::mutex> lock(g_cancel_mutex);
+  previous_ = g_loop_cancel;
+  g_loop_cancel = std::move(token);
+}
+
+ScopedLoopCancellation::~ScopedLoopCancellation() {
+  std::lock_guard<std::mutex> lock(g_cancel_mutex);
+  g_loop_cancel = std::move(previous_);
+}
+
+CancellationToken CurrentLoopCancellation() {
+  std::lock_guard<std::mutex> lock(g_cancel_mutex);
+  return g_loop_cancel;
 }
 
 }  // namespace diva

@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/deadline.h"
+
 namespace diva {
 
 /// The one audited concurrency abstraction of the codebase (enforced by
@@ -59,8 +61,18 @@ class ThreadPool {
   /// would block a worker the outer loop needs. If another thread is
   /// already running a loop on this pool, the call degrades to inline
   /// sequential execution of the same chunks.
-  void ParallelFor(size_t count, size_t grain,
-                   const std::function<void(size_t, size_t)>& body);
+  ///
+  /// Cancellation (see ScopedLoopCancellation): when the installed token
+  /// trips mid-loop, threads stop CLAIMING chunks — chunks already
+  /// claimed drain normally. Chunks are claimed in ascending index
+  /// order, so the completed work is always the prefix [0, R) of the
+  /// index space, where R is the returned value; gathering the finished
+  /// prefix by index stays deterministic. Without a token (or when it
+  /// never trips) the return value is always `count`. Callers that
+  /// install a token MUST consult the return value (or re-poll the
+  /// token) before trusting gathered results past the prefix.
+  size_t ParallelFor(size_t count, size_t grain,
+                     const std::function<void(size_t, size_t)>& body);
 
  private:
   struct Impl;
@@ -80,9 +92,10 @@ size_t ParallelThreads();
 /// the old pool, which is reclaimed when its last user releases it.
 void SetParallelThreads(size_t threads);
 
-/// ParallelFor on the global pool.
-void ParallelFor(size_t count, size_t grain,
-                 const std::function<void(size_t, size_t)>& body);
+/// ParallelFor on the global pool. Returns the completed index prefix
+/// (always `count` unless an installed cancellation token tripped).
+size_t ParallelFor(size_t count, size_t grain,
+                   const std::function<void(size_t, size_t)>& body);
 
 /// Task parallelism for a handful of coarse, independent computations
 /// (e.g. the portfolio coloring's speculative searches): runs fn(0) ..
@@ -91,8 +104,33 @@ void ParallelFor(size_t count, size_t grain,
 /// allowed to use ParallelFor internally — they are top-level work; when
 /// several tasks hit the global pool at once, one wins it and the rest
 /// degrade to inline execution. The first task exception is rethrown
-/// after every task has finished.
+/// after every task has finished. When the installed cancellation token
+/// (ScopedLoopCancellation) is already tripped, tasks that have not yet
+/// started are skipped; running tasks are expected to poll the token
+/// themselves.
 void RunTasks(size_t count, const std::function<void(size_t)>& fn);
+
+/// Installs `token` as the cancellation signal every ParallelFor /
+/// RunTasks call observes until the scope exits (the previous token is
+/// restored — scopes nest). Process-global like SetParallelThreads:
+/// intended for the one pipeline driver (RunDiva) that owns the run.
+/// A tripped token makes loops stop claiming work; it never corrupts
+/// completed chunks — see ThreadPool::ParallelFor. Install it only
+/// around phases whose drivers tolerate a truncated prefix of results.
+class ScopedLoopCancellation {
+ public:
+  explicit ScopedLoopCancellation(CancellationToken token);
+  ~ScopedLoopCancellation();
+
+  ScopedLoopCancellation(const ScopedLoopCancellation&) = delete;
+  ScopedLoopCancellation& operator=(const ScopedLoopCancellation&) = delete;
+
+ private:
+  CancellationToken previous_;
+};
+
+/// The currently installed loop-cancellation token (null when none).
+CancellationToken CurrentLoopCancellation();
 
 /// Applies fn(i) to every i in [0, count), gathering results by index —
 /// the output vector is identical for every thread count.

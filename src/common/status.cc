@@ -18,6 +18,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

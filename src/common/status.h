@@ -23,6 +23,10 @@ enum class StatusCode {
   kInternal,
   /// I/O failure reading or writing a file.
   kIoError,
+  /// A wall-clock deadline (DivaOptions::deadline_ms, DIVA_DEADLINE_MS)
+  /// expired before the operation finished. In non-strict pipelines this
+  /// degrades to a best-effort result instead of surfacing as an error.
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name such as "InvalidArgument".
@@ -64,6 +68,9 @@ class [[nodiscard]] Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -98,6 +98,12 @@ class ColoringEngine {
     if (colored_count_ + sacrificed_count_ == constraints_.size()) {
       return true;
     }
+    // Poll the deadline before candidate enumeration too: CandidatesFor
+    // can be expensive, and an expired run should not start another one.
+    if (options_.deadline.Cancelled()) {
+      budget_exhausted_ = true;
+      return false;
+    }
     size_t node = SelectNode();
     std::vector<CandidateClustering> candidates = CandidatesFor(node);
     if (!forward_check_ && candidates.empty()) {
@@ -119,7 +125,8 @@ class ColoringEngine {
           (options_.stall_limit > 0 &&
            steps_ - last_improvement_ > options_.stall_limit) ||
           (options_.cancel != nullptr &&
-           options_.cancel->load(std::memory_order_relaxed))) {
+           options_.cancel->load(std::memory_order_relaxed)) ||
+          options_.deadline.Cancelled()) {
         budget_exhausted_ = true;
         return false;
       }
@@ -492,7 +499,9 @@ ColoringOutcome ColorConstraints(const Relation& relation,
   ColoringOutcome best;
   best.assignment.assign(constraints.size(), -1);
   best.preserved.assign(constraints.size(), 0);
-  for (int attempt = 0; spent < strict_budget && attempt < 8; ++attempt) {
+  for (int attempt = 0;
+       spent < strict_budget && attempt < 8 && !options.deadline.Cancelled();
+       ++attempt) {
     ColoringOptions pass = options;
     pass.seed = options.seed + 0x9e3779b97f4a7c15ULL * attempt;
     pass.step_budget = strict_budget - spent;
@@ -512,6 +521,14 @@ ColoringOutcome ColorConstraints(const Relation& relation,
       best.steps = steps_so_far;
     }
     if (best.complete) return best;
+  }
+
+  // An expired deadline skips the greedy pass: what we have is the
+  // anytime answer, flagged through the budget-exhaustion path.
+  if (options.deadline.Cancelled()) {
+    best.steps = spent;
+    best.budget_exhausted = true;
+    return best;
   }
 
   // Final greedy pass — no forward checking, so the search colors as many

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "anon/cluster.h"
+#include "common/deadline.h"
 #include "core/clusterings.h"
 #include "core/constraint_graph.h"
 
@@ -45,6 +46,13 @@ struct ColoringOptions {
   /// search stops at the next step and returns its best partial outcome.
   /// Used by the portfolio driver; null = never cancelled.
   const std::atomic<bool>* cancel = nullptr;
+
+  /// Deadline-driven cancellation (the anytime mode of RunDiva): when the
+  /// token trips, the search stops at the next step and the best partial
+  /// coloring found so far is returned with budget_exhausted set — the
+  /// same degradation path as step-budget exhaustion. Default token never
+  /// trips.
+  CancellationToken deadline;
 
   /// Probability that SelectNode ignores the strategy and picks a random
   /// uncolored node (exploration). 0 on the first search attempt; the

@@ -4,6 +4,8 @@
 
 #include "anon/privacy.h"
 #include "anon/suppress.h"
+#include "common/deadline.h"
+#include "common/failpoint.h"
 #include "common/timer.h"
 #include "core/constraint_graph.h"
 #include "core/integrate.h"
@@ -127,6 +129,14 @@ Result<DivaResult> RunDiva(const Relation& relation,
   DivaReport report;
   report.total_constraints = constraints.size();
 
+  // The run's wall budget: one token shared by every phase. A null token
+  // (no deadline) never trips and costs one pointer test per poll.
+  const CancellationToken token =
+      options.deadline_ms > 0
+          ? CancellationToken::WithDeadline(
+                Deadline::AfterMillis(options.deadline_ms))
+          : CancellationToken();
+
   // Configure the process-global pool before the first hot loop runs.
   // Every parallel algorithm downstream is bit-identical across widths,
   // so this only decides speed, never output.
@@ -135,47 +145,59 @@ Result<DivaResult> RunDiva(const Relation& relation,
   // Phase 1: DiverseClustering — graph construction and coloring (the
   // per-node candidate clusterings are enumerated dynamically inside the
   // search, over the target rows still unclaimed).
-  StopWatch phase_watch;
-  ConstraintGraph graph = BuildConstraintGraph(relation, constraints);
+  ColoringOutcome coloring;
+  {
+    PhaseTimer phase_timer(&report.clustering_seconds);
+    DIVA_RETURN_IF_ERROR(DIVA_FAIL("diva.graph.build"));
+    ConstraintGraph graph = BuildConstraintGraph(relation, constraints);
 
-  for (size_t i = 0; i < constraints.size(); ++i) {
-    // Static infeasibility: a lower bound can only be met by clusters of
-    // >= k target tuples, so it needs lambda_l <= |I_sigma| and
-    // max(k, lambda_l) <= lambda_r.
-    const DiversityConstraint& constraint = constraints[i];
-    bool feasible =
-        constraint.lower() == 0 ||
-        (constraint.lower() <= graph.targets[i].size() &&
-         std::max<size_t>(options.k, constraint.lower()) <=
-             constraint.upper());
-    if (!feasible && options.strict) {
-      return Status::Infeasible(
-          "no diverse k-anonymous relation exists: constraint '" +
-          constraint.ToString() + "' admits no clustering for k = " +
-          std::to_string(options.k));
+    for (size_t i = 0; i < constraints.size(); ++i) {
+      // Static infeasibility: a lower bound can only be met by clusters of
+      // >= k target tuples, so it needs lambda_l <= |I_sigma| and
+      // max(k, lambda_l) <= lambda_r.
+      const DiversityConstraint& constraint = constraints[i];
+      bool feasible =
+          constraint.lower() == 0 ||
+          (constraint.lower() <= graph.targets[i].size() &&
+           std::max<size_t>(options.k, constraint.lower()) <=
+               constraint.upper());
+      if (!feasible && options.strict) {
+        return Status::Infeasible(
+            "no diverse k-anonymous relation exists: constraint '" +
+            constraint.ToString() + "' admits no clustering for k = " +
+            std::to_string(options.k));
+      }
     }
-  }
 
-  ColoringOptions coloring_options;
-  coloring_options.k = options.k;
-  coloring_options.strategy = options.strategy;
-  coloring_options.seed = options.seed;
-  coloring_options.step_budget = options.coloring_budget;
-  coloring_options.enumeration = TuneEnumeration(options);
-  ColoringOutcome coloring =
-      options.portfolio_threads > 1
-          ? ColorConstraintsPortfolio(relation, constraints, graph,
-                                      coloring_options,
-                                      options.portfolio_threads)
-          : ColorConstraints(relation, constraints, graph, coloring_options);
+    DIVA_RETURN_IF_ERROR(DIVA_FAIL("diva.coloring.begin"));
+    ColoringOptions coloring_options;
+    coloring_options.k = options.k;
+    coloring_options.strategy = options.strategy;
+    coloring_options.seed = options.seed;
+    coloring_options.step_budget = options.coloring_budget;
+    coloring_options.enumeration = TuneEnumeration(options);
+    coloring_options.deadline = token;
+    // The search tolerates truncated candidate enumeration (it just sees
+    // fewer candidates), so the pool-level token is installed for this
+    // phase: when the deadline trips, enumeration loops stop claiming
+    // chunks instead of finishing a doomed sweep.
+    ScopedLoopCancellation loop_cancel(token);
+    coloring =
+        options.portfolio_threads > 1
+            ? ColorConstraintsPortfolio(relation, constraints, graph,
+                                        coloring_options,
+                                        options.portfolio_threads)
+            : ColorConstraints(relation, constraints, graph,
+                               coloring_options);
+  }
   report.clustering_complete = coloring.complete;
   report.budget_exhausted = coloring.budget_exhausted;
   report.colored_constraints = coloring.NumColored();
   report.coloring_steps = coloring.steps;
   report.backtracks = coloring.backtracks;
-  report.clustering_seconds = phase_watch.ElapsedSeconds();
 
   if (!coloring.complete && options.strict) {
+    if (token.Cancelled()) return DeadlineExceededStatus("clustering");
     return Status::Infeasible(
         "no diverse k-anonymous relation exists: coloring satisfied " +
         std::to_string(report.colored_constraints) + "/" +
@@ -186,54 +208,92 @@ Result<DivaResult> RunDiva(const Relation& relation,
   report.sigma_rows = TotalRows(sigma_clusters);
 
   // Phase 2: Suppress (or generalize) S_Sigma inside a working copy of R.
+  // Never run under the loop token: a truncated suppression would publish
+  // rows that are not unanimous with their QI-group.
   if (options.generalization != nullptr &&
       options.generalization->num_attributes() != relation.NumAttributes()) {
     return Status::InvalidArgument(
         "generalization context arity mismatch with the relation");
   }
+  DIVA_RETURN_IF_ERROR(DIVA_FAIL("diva.suppress"));
   Relation out = relation;
   DIVA_RETURN_IF_ERROR(Recode(options, &out, sigma_clusters));
 
   // Phase 3: Anonymize the remaining tuples with the baseline.
-  phase_watch.Restart();
-  std::vector<bool> covered(relation.NumRows(), false);
-  for (const Cluster& cluster : sigma_clusters) {
-    for (RowId row : cluster) covered[row] = true;
-  }
-  std::vector<RowId> remaining;
-  remaining.reserve(relation.NumRows() - report.sigma_rows);
-  for (RowId row = 0; row < relation.NumRows(); ++row) {
-    if (!covered[row]) remaining.push_back(row);
-  }
-
   Clustering rk_clusters;
-  if (remaining.size() >= options.k) {
-    std::unique_ptr<Anonymizer> baseline = MakeBaselineAnonymizer(options);
-    DIVA_ASSIGN_OR_RETURN(
-        rk_clusters, baseline->BuildClusters(relation, remaining, options.k));
-    DIVA_RETURN_IF_ERROR(Recode(options, &out, rk_clusters));
-  } else if (!remaining.empty()) {
-    // Fewer than k stragglers: fold them into the cheapest existing
-    // cluster (there must be one, or the relation itself had < k rows,
-    // rejected above — unless S_Sigma is empty too).
-    if (sigma_clusters.empty()) {
-      return Status::Infeasible(
-          "cannot k-anonymize " + std::to_string(remaining.size()) +
-          " tuples with k = " + std::to_string(options.k));
+  {
+    PhaseTimer phase_timer(&report.anonymize_seconds);
+    std::vector<bool> covered(relation.NumRows(), false);
+    for (const Cluster& cluster : sigma_clusters) {
+      for (RowId row : cluster) covered[row] = true;
     }
-    MergeLeftoverRows(&out, &sigma_clusters, remaining, constraints);
-  }
-  report.anonymize_seconds = phase_watch.ElapsedSeconds();
+    std::vector<RowId> remaining;
+    remaining.reserve(relation.NumRows() - report.sigma_rows);
+    for (RowId row = 0; row < relation.NumRows(); ++row) {
+      if (!covered[row]) remaining.push_back(row);
+    }
 
-  // Phase 4: Integrate — repair upper bounds breached by R_k.
-  phase_watch.Restart();
-  IntegrateStats repair = IntegrateRepair(&out, constraints, rk_clusters);
-  report.repair_cells = repair.suppressed_cells;
-  report.integrate_seconds = phase_watch.ElapsedSeconds();
+    if (remaining.size() >= options.k) {
+      DivaOptions baseline_options = options;
+      baseline_options.anonymizer.cancel = token;
+      std::unique_ptr<Anonymizer> baseline =
+          MakeBaselineAnonymizer(baseline_options);
+      // The iterative baselines discard their half-built state on expiry,
+      // so truncated inner scans cannot leak into the output; installing
+      // the loop token just makes them stop sooner.
+      Result<Clustering> built = [&]() -> Result<Clustering> {
+        ScopedLoopCancellation loop_cancel(token);
+        return baseline->BuildClusters(relation, remaining, options.k);
+      }();
+      if (!built.ok() &&
+          built.status().code() == StatusCode::kDeadlineExceeded) {
+        if (options.strict) return built.status();
+        // Anytime fallback: the single-pass Mondrian always finishes.
+        report.baseline_degraded = true;
+        std::unique_ptr<Anonymizer> mondrian =
+            MakeMondrian(options.anonymizer);
+        DIVA_ASSIGN_OR_RETURN(
+            rk_clusters,
+            mondrian->BuildClusters(relation, remaining, options.k));
+      } else {
+        if (!built.ok()) return built.status();
+        rk_clusters = std::move(built).value();
+      }
+      DIVA_RETURN_IF_ERROR(Recode(options, &out, rk_clusters));
+    } else if (!remaining.empty()) {
+      // Fewer than k stragglers: fold them into the cheapest existing
+      // cluster (there must be one, or the relation itself had < k rows,
+      // rejected above — unless S_Sigma is empty too).
+      if (sigma_clusters.empty()) {
+        return Status::Infeasible(
+            "cannot k-anonymize " + std::to_string(remaining.size()) +
+            " tuples with k = " + std::to_string(options.k));
+      }
+      MergeLeftoverRows(&out, &sigma_clusters, remaining, constraints);
+    }
+  }
+
+  // Phase 4: Integrate — repair upper bounds breached by R_k. Skipped
+  // once the deadline tripped: the unrepaired violations surface in
+  // report.unsatisfied below (and are waived for the audit), which is an
+  // honest degradation — a half-applied repair would not be.
+  {
+    PhaseTimer phase_timer(&report.integrate_seconds);
+    DIVA_RETURN_IF_ERROR(DIVA_FAIL("diva.integrate"));
+    if (token.Cancelled()) {
+      if (options.strict) return DeadlineExceededStatus("integrate");
+      report.integrate_skipped = true;
+    } else {
+      IntegrateStats repair = IntegrateRepair(&out, constraints, rk_clusters);
+      report.repair_cells = repair.suppressed_cells;
+    }
+  }
 
   // Optional l-diversity layer: merge output QI-groups until each holds
   // enough distinct sensitive projections (suppression-only; k-anonymity
   // and Sigma's upper bounds survive, lower bounds re-verified below).
+  // The deadline token truncates the merge loops; whether the target was
+  // actually missed is re-checked afterwards.
   if (options.l_diversity > 1 || options.t_closeness < 1.0) {
     Clustering all_clusters = sigma_clusters;
     all_clusters.insert(all_clusters.end(), rk_clusters.begin(),
@@ -241,11 +301,20 @@ Result<DivaResult> RunDiva(const Relation& relation,
     if (options.l_diversity > 1) {
       DIVA_ASSIGN_OR_RETURN(
           all_clusters, EnforceLDiversity(&out, std::move(all_clusters),
-                                          options.l_diversity));
+                                          options.l_diversity, token));
+      if (token.Cancelled() &&
+          !IsDistinctLDiverse(out, options.l_diversity)) {
+        if (options.strict) return DeadlineExceededStatus("l-diversity");
+        report.privacy_truncated = true;
+      }
     }
     if (options.t_closeness < 1.0) {
       DIVA_RETURN_IF_ERROR(EnforceTCloseness(&out, std::move(all_clusters),
-                                             options.t_closeness));
+                                             options.t_closeness, token));
+      if (token.Cancelled() && !IsTClose(out, options.t_closeness)) {
+        if (options.strict) return DeadlineExceededStatus("t-closeness");
+        report.privacy_truncated = true;
+      }
     }
   }
 
@@ -257,7 +326,12 @@ Result<DivaResult> RunDiva(const Relation& relation,
         " constraint(s) after integration");
   }
 
+  report.deadline_exceeded = token.Cancelled();
+
+  // The self-audit is NEVER skipped on deadline expiry: a degraded
+  // output must still prove it is k-anonymous and suppression-only.
   if (options.audit) {
+    PhaseTimer phase_timer(&report.audit_seconds);
     AuditOptions audit_options;
     audit_options.waived_constraints = report.unsatisfied;
     audit_options.generalization = options.generalization;
@@ -272,6 +346,7 @@ Result<DivaResult> RunDiva(const Relation& relation,
     report.audited = true;
   }
 
+  DIVA_RETURN_IF_ERROR(DIVA_FAIL("diva.publish"));
   report.total_seconds = total_watch.ElapsedSeconds();
   return DivaResult{std::move(out), std::move(report)};
 }

@@ -6,6 +6,7 @@
 
 #include "anon/anonymizer.h"
 #include "hierarchy/generalize.h"
+#include "common/deadline.h"
 #include "common/parallel.h"
 #include "common/result.h"
 #include "constraint/diversity_constraint.h"
@@ -97,6 +98,20 @@ struct DivaOptions {
   /// an internal error (the pipeline produced a relation that violates
   /// its own guarantees) and RunDiva fails with kInternal.
   bool audit = false;
+
+  /// Wall-clock budget for the whole run in milliseconds (0 = none).
+  /// Defaults to the DIVA_DEADLINE_MS environment knob. When the budget
+  /// expires mid-run, RunDiva degrades to *anytime* behaviour instead of
+  /// failing: the coloring keeps its best partial assignment (the
+  /// budget-exhaustion path), an interrupted k-member/OKA baseline falls
+  /// back to the single-pass Mondrian, the Integrate repair is skipped
+  /// (its violations surface in DivaReport::unsatisfied), and the
+  /// privacy merge loops stop where they are. The published relation is
+  /// still k-anonymous and suppression-only — the self-audit, which a
+  /// deadline never skips, re-proves that — and the report flags what
+  /// was cut short (deadline_exceeded and the per-phase degradation
+  /// flags). Under `strict`, expiry is an error (kDeadlineExceeded).
+  int64_t deadline_ms = EnvDeadlineMillis();
 };
 
 /// Everything DIVA measured about one run.
@@ -120,9 +135,26 @@ struct DivaReport {
   /// the whole run into a kInternal error instead).
   bool audited = false;
 
+  /// The wall budget (DivaOptions::deadline_ms) expired during the run
+  /// and the output is the anytime best effort. The degradation flags
+  /// below say which phases were cut short.
+  bool deadline_exceeded = false;
+  /// The configured baseline was interrupted by the deadline and the
+  /// remainder was anonymized with single-pass Mondrian instead.
+  bool baseline_degraded = false;
+  /// The Integrate repair did not run; its violations appear in
+  /// `unsatisfied` (and are waived for the audit).
+  bool integrate_skipped = false;
+  /// The l-diversity / t-closeness merge loop stopped before reaching
+  /// its target (the output may not meet the requested l or t).
+  bool privacy_truncated = false;
+
+  /// Per-phase wall seconds from one monotonic clock (common/timer.h);
+  /// filled even when a deadline cut the phase short.
   double clustering_seconds = 0.0;
   double anonymize_seconds = 0.0;
   double integrate_seconds = 0.0;
+  double audit_seconds = 0.0;
   double total_seconds = 0.0;
 };
 

@@ -32,12 +32,24 @@ std::string ReportToJson(const DivaReport& report) {
     if (i > 0) out += ",";
     out += std::to_string(report.unsatisfied[i]);
   }
-  out += "],\"timings\":{\"clustering_s\":";
+  out += "],\"audited\":";
+  out += report.audited ? "true" : "false";
+  out += ",\"deadline_exceeded\":";
+  out += report.deadline_exceeded ? "true" : "false";
+  out += ",\"baseline_degraded\":";
+  out += report.baseline_degraded ? "true" : "false";
+  out += ",\"integrate_skipped\":";
+  out += report.integrate_skipped ? "true" : "false";
+  out += ",\"privacy_truncated\":";
+  out += report.privacy_truncated ? "true" : "false";
+  out += ",\"timings\":{\"clustering_s\":";
   AppendDouble(&out, report.clustering_seconds);
   out += ",\"anonymize_s\":";
   AppendDouble(&out, report.anonymize_seconds);
   out += ",\"integrate_s\":";
   AppendDouble(&out, report.integrate_seconds);
+  out += ",\"audit_s\":";
+  AppendDouble(&out, report.audit_seconds);
   out += ",\"total_s\":";
   AppendDouble(&out, report.total_seconds);
   out += "}}";

@@ -6,14 +6,19 @@
 #include <sstream>
 #include <vector>
 
+#include "common/failpoint.h"
+
 namespace diva {
 
 namespace {
 
 /// Splits one logical CSV record starting at the current stream position.
 /// Handles quoted fields that may contain delimiters and newlines.
-/// Returns false at EOF with no data consumed.
-bool ReadRecord(std::istream& input, char delimiter,
+/// Returns false at EOF with no data consumed. Malformed input — an
+/// embedded NUL byte (CSV is a text format; a NUL means binary garbage
+/// that would silently truncate C-string handling downstream) or a field
+/// longer than `max_field_bytes` — sets *error and returns false.
+bool ReadRecord(std::istream& input, char delimiter, size_t max_field_bytes,
                 std::vector<std::string>* fields, Status* error) {
   fields->clear();
   int first = input.peek();
@@ -33,6 +38,17 @@ bool ReadRecord(std::istream& input, char delimiter,
     }
     saw_any = true;
     char c = static_cast<char>(ci);
+    if (c == '\0') {
+      *error = Status::InvalidArgument(
+          "CSV input contains an embedded NUL byte (binary data?)");
+      return false;
+    }
+    if (max_field_bytes > 0 && field.size() >= max_field_bytes) {
+      *error = Status::InvalidArgument(
+          "CSV field exceeds max_field_bytes = " +
+          std::to_string(max_field_bytes));
+      return false;
+    }
     if (in_quotes) {
       if (c == '"') {
         if (input.peek() == '"') {
@@ -96,7 +112,8 @@ Result<Relation> ReadCsv(std::istream& input,
   size_t line = 0;
 
   if (options.has_header) {
-    if (!ReadRecord(input, options.delimiter, &fields, &error)) {
+    if (!ReadRecord(input, options.delimiter, options.max_field_bytes,
+                    &fields, &error)) {
       DIVA_RETURN_IF_ERROR(error);
       return Status::InvalidArgument("CSV input is empty (expected header)");
     }
@@ -116,21 +133,27 @@ Result<Relation> ReadCsv(std::istream& input,
     }
   }
 
-  while (ReadRecord(input, options.delimiter, &fields, &error)) {
+  while (ReadRecord(input, options.delimiter, options.max_field_bytes,
+                    &fields, &error)) {
     ++line;
+    DIVA_RETURN_IF_ERROR(DIVA_FAIL("csv.read.record"));
     auto row = relation.AppendRowStrings(fields);
     if (!row.ok()) {
       return Status::InvalidArgument("line " + std::to_string(line) + ": " +
                                      row.status().message());
     }
   }
-  DIVA_RETURN_IF_ERROR(error);
+  if (!error.ok()) {
+    return Status(error.code(), "line " + std::to_string(line + 1) + ": " +
+                                    error.message());
+  }
   return relation;
 }
 
 Result<Relation> ReadCsvFile(const std::string& path,
                              std::shared_ptr<const Schema> schema,
                              const CsvOptions& options) {
+  DIVA_RETURN_IF_ERROR(DIVA_FAIL("csv.open.read"));
   std::ifstream input(path);
   if (!input) {
     return Status::IoError("cannot open for reading: " + path);
@@ -149,6 +172,7 @@ Status WriteCsv(const Relation& relation, std::ostream& output,
     output << '\n';
   }
   for (RowId row = 0; row < relation.NumRows(); ++row) {
+    DIVA_RETURN_IF_ERROR(DIVA_FAIL("csv.write.row"));
     for (size_t col = 0; col < relation.NumAttributes(); ++col) {
       if (col > 0) output << options.delimiter;
       WriteField(output, relation.ValueString(row, col), options.delimiter);
@@ -161,6 +185,7 @@ Status WriteCsv(const Relation& relation, std::ostream& output,
 
 Status WriteCsvFile(const Relation& relation, const std::string& path,
                     const CsvOptions& options) {
+  DIVA_RETURN_IF_ERROR(DIVA_FAIL("csv.open.write"));
   std::ofstream output(path, std::ios::trunc);
   if (!output) {
     return Status::IoError("cannot open for writing: " + path);

@@ -16,6 +16,11 @@ struct CsvOptions {
   /// Reader: first line holds attribute names which must match `schema`
   /// (in order). Writer: emit a header line.
   bool has_header = true;
+  /// Reader: a single field longer than this is rejected with
+  /// InvalidArgument instead of growing without bound — malformed input
+  /// (an unterminated quote swallowing the rest of the file, a binary
+  /// blob) must not take the process down with it. 0 disables the cap.
+  size_t max_field_bytes = 1 << 20;
 };
 
 /// Parses CSV text into a relation over `schema`. Supports RFC-4180

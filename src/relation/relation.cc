@@ -1,5 +1,6 @@
 #include "relation/relation.h"
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 
 namespace diva {
@@ -21,6 +22,7 @@ RowId Relation::AppendRow(std::span<const ValueCode> codes) {
 
 Result<RowId> Relation::AppendRowStrings(
     const std::vector<std::string>& fields) {
+  DIVA_RETURN_IF_ERROR(DIVA_FAIL("relation.append_row"));
   if (fields.size() != stride_) {
     return Status::InvalidArgument(
         "row has " + std::to_string(fields.size()) + " fields, schema has " +

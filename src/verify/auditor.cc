@@ -4,6 +4,7 @@
 #include <map>
 #include <sstream>
 
+#include "common/failpoint.h"
 #include "common/parallel.h"
 
 namespace diva {
@@ -359,6 +360,7 @@ Result<AuditReport> AuditAnonymization(const Relation& input,
                                        const Relation& output, size_t k,
                                        const ConstraintSet& constraints,
                                        const AuditOptions& options) {
+  DIVA_RETURN_IF_ERROR(DIVA_FAIL("audit.run"));
   if (k == 0) {
     return Status::InvalidArgument("audit: k must be >= 1");
   }

@@ -97,6 +97,72 @@ TEST(CsvTest, ArityMismatchReportsLine) {
   EXPECT_NE(read.status().message().find("line 3"), std::string::npos);
 }
 
+TEST(CsvTest, EmbeddedNulRejectedWithLineNumber) {
+  std::string data = "GEN,ETH,AGE,PRV,CTY,DIAG\nFemale,As";
+  data.push_back('\0');
+  data += "ian,30,BC,Vancouver,Flu\n";
+  std::istringstream in(data);
+  auto read = ReadCsv(in, MedicalSchema());
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(read.status().message().find("NUL"), std::string::npos);
+  EXPECT_NE(read.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(CsvTest, EmbeddedNulInQuotedFieldRejected) {
+  std::string data = "GEN,ETH,AGE,PRV,CTY,DIAG\nFemale,\"As";
+  data.push_back('\0');
+  data += "ian\",30,BC,Vancouver,Flu\n";
+  std::istringstream in(data);
+  auto read = ReadCsv(in, MedicalSchema());
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, OversizedFieldRejectedWithLineNumber) {
+  CsvOptions options;
+  options.max_field_bytes = 16;
+  std::string data = "GEN,ETH,AGE,PRV,CTY,DIAG\nFemale," +
+                     std::string(64, 'x') + ",30,BC,Vancouver,Flu\n";
+  std::istringstream in(data);
+  auto read = ReadCsv(in, MedicalSchema(), options);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(read.status().message().find("max_field_bytes"),
+            std::string::npos);
+  EXPECT_NE(read.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(CsvTest, FieldLimitZeroDisablesTheCheck) {
+  CsvOptions options;
+  options.max_field_bytes = 0;
+  std::string data = "GEN,ETH,AGE,PRV,CTY,DIAG\nFemale," +
+                     std::string(4096, 'x') + ",30,BC,Vancouver,Flu\n";
+  std::istringstream in(data);
+  auto read = ReadCsv(in, MedicalSchema(), options);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->ValueString(0, 1).size(), 4096u);
+}
+
+TEST(CsvTest, RaggedRowsNeverAbort) {
+  // Too-short and too-long rows are Status errors naming the line, for
+  // any header mode.
+  std::istringstream too_long(
+      "GEN,ETH,AGE,PRV,CTY,DIAG\n"
+      "Female,Asian,30,BC,Vancouver,Flu,extra\n");
+  auto read = ReadCsv(too_long, MedicalSchema());
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(read.status().message().find("line 2"), std::string::npos);
+
+  CsvOptions headerless;
+  headerless.has_header = false;
+  std::istringstream too_short("too,short\n");
+  auto read2 = ReadCsv(too_short, MedicalSchema(), headerless);
+  ASSERT_FALSE(read2.ok());
+  EXPECT_NE(read2.status().message().find("line 1"), std::string::npos);
+}
+
 TEST(CsvTest, CrLfLineEndings) {
   std::istringstream in(
       "GEN,ETH,AGE,PRV,CTY,DIAG\r\n"

@@ -1,0 +1,196 @@
+// Systematic fault injection: every registered failpoint is swept through
+// a full pipeline (CSV round trip + RunDiva with every optional layer on),
+// asserting a clean error Status — never an abort, a leak, or a silent
+// success. The sweep doubles as drift detection for the kKnownSites table:
+// a table entry no pipeline hits and an instrumented site missing from the
+// table both fail here.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "core/diva.h"
+#include "relation/csv.h"
+#include "relation/qi_groups.h"
+#include "tests/test_util.h"
+
+namespace diva {
+namespace {
+
+using testing::MedicalConstraints;
+using testing::MedicalRelation;
+using testing::MedicalSchema;
+
+/// One end-to-end pipeline pass that reaches every registered failpoint:
+/// CSV write + read (csv.*, relation.append_row), a fully-loaded DIVA run
+/// (diva.*, kmember.build, privacy.*, audit.run), and one plain run per
+/// remaining baseline (oka.build, mondrian.build).
+Status RunPipeline(const Relation& relation,
+                   std::shared_ptr<const Schema> schema,
+                   const ConstraintSet& constraints, const char* path) {
+  DIVA_RETURN_IF_ERROR(WriteCsvFile(relation, path));
+  auto read = ReadCsvFile(path, schema);
+  if (!read.ok()) return read.status();
+
+  DivaOptions options;
+  options.k = 2;
+  options.audit = true;
+  options.l_diversity = 2;
+  options.t_closeness = 0.3;
+  options.baseline = BaselineAlgorithm::kKMember;
+  auto diva = RunDiva(*read, constraints, options);
+  if (!diva.ok()) return diva.status();
+
+  // An empty Sigma leaves every row to the baseline, so each baseline's
+  // failpoint is guaranteed reachable.
+  for (BaselineAlgorithm baseline :
+       {BaselineAlgorithm::kOka, BaselineAlgorithm::kMondrian}) {
+    DivaOptions baseline_options;
+    baseline_options.k = 2;
+    baseline_options.baseline = baseline;
+    auto result = RunDiva(*read, ConstraintSet(), baseline_options);
+    if (!result.ok()) return result.status();
+  }
+  DivaOptions kmember_options;
+  kmember_options.k = 2;
+  kmember_options.baseline = BaselineAlgorithm::kKMember;
+  auto kmember = RunDiva(*read, ConstraintSet(), kmember_options);
+  if (!kmember.ok()) return kmember.status();
+  return Status::OK();
+}
+
+TEST(FaultInjectionTest, SweepEveryKnownSiteFailsCleanly) {
+  const char* path = "fault_injection_sweep.csv";
+  Relation relation = MedicalRelation();
+  auto schema = MedicalSchema();
+  ConstraintSet constraints = MedicalConstraints(*schema);
+
+  for (const std::string& name : failpoint::KnownFailpoints()) {
+    SCOPED_TRACE(name);
+    failpoint::Reset();
+    failpoint::Arm(name, StatusCode::kInternal);
+    Status status = RunPipeline(relation, schema, constraints, path);
+    EXPECT_FALSE(status.ok())
+        << "armed failpoint '" << name << "' did not surface";
+    // The injected Status reaches the caller with the firing site named
+    // in its message (wrappers may change the code, never drop the text).
+    EXPECT_NE(status.message().find("failpoint '" + name + "'"),
+              std::string::npos)
+        << status.ToString();
+    EXPECT_GE(failpoint::HitCount(name), 1u);
+  }
+  failpoint::Reset();
+  std::remove(path);
+}
+
+TEST(FaultInjectionTest, KnownSitesTableMatchesInstrumentedSites) {
+  const char* path = "fault_injection_coverage.csv";
+  Relation relation = MedicalRelation();
+  auto schema = MedicalSchema();
+  ConstraintSet constraints = MedicalConstraints(*schema);
+
+  failpoint::Reset();
+  failpoint::SetCounting(true);
+  Status status = RunPipeline(relation, schema, constraints, path);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+
+  std::vector<std::string> known = failpoint::KnownFailpoints();
+  for (const std::string& name : known) {
+    EXPECT_GE(failpoint::HitCount(name), 1u)
+        << "stale kKnownSites entry (never hit by the pipeline): " << name;
+  }
+  for (const std::string& name : failpoint::HitSites()) {
+    EXPECT_TRUE(std::binary_search(known.begin(), known.end(), name))
+        << "instrumented site missing from kKnownSites: " << name;
+  }
+  failpoint::Reset();
+  std::remove(path);
+}
+
+TEST(FaultInjectionTest, FiresOnExactlyTheNthHitAndOnlyOnce) {
+  failpoint::Reset();
+  failpoint::Arm("csv.read.record", StatusCode::kIoError, 3);
+
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(MedicalRelation(), out).ok());
+  std::istringstream in(out.str());
+  auto read = ReadCsv(in, MedicalSchema());
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(failpoint::HitCount("csv.read.record"), 3u)
+      << "the site must fire on its 3rd hit, not before or after";
+
+  // The fired latch: the same armed site passes on every later hit.
+  std::istringstream again(out.str());
+  auto reread = ReadCsv(again, MedicalSchema());
+  EXPECT_TRUE(reread.ok()) << reread.status().ToString();
+  failpoint::Reset();
+}
+
+TEST(FaultInjectionTest, InjectedDeadlineDegradesBaselineButStillAudits) {
+  failpoint::Reset();
+  failpoint::Arm("kmember.build", StatusCode::kDeadlineExceeded);
+
+  DivaOptions options;
+  options.k = 2;
+  options.audit = true;
+  auto result = RunDiva(MedicalRelation(), ConstraintSet(), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->report.baseline_degraded)
+      << "an interrupted k-member run must fall back to Mondrian";
+  EXPECT_TRUE(result->report.audited);
+  EXPECT_FALSE(result->report.deadline_exceeded)
+      << "no wall deadline was set; only the baseline was interrupted";
+  EXPECT_TRUE(IsKAnonymous(result->relation, 2));
+  failpoint::Reset();
+}
+
+TEST(FaultInjectionTest, InjectedDeadlineIsAnErrorInStrictMode) {
+  failpoint::Reset();
+  failpoint::Arm("kmember.build", StatusCode::kDeadlineExceeded);
+
+  DivaOptions options;
+  options.k = 2;
+  options.strict = true;
+  auto result = RunDiva(MedicalRelation(), ConstraintSet(), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  failpoint::Reset();
+}
+
+TEST(FaultInjectionTest, ArmFromSpecArmsEveryEntry) {
+  failpoint::Reset();
+  ASSERT_TRUE(
+      failpoint::ArmFromSpec("csv.open.read=io-error@hit:1,audit.run=Internal")
+          .ok());
+  auto read = ReadCsvFile("fault_injection_unused.csv", MedicalSchema());
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIoError);
+  EXPECT_NE(read.status().message().find("failpoint 'csv.open.read'"),
+            std::string::npos);
+  failpoint::Reset();
+}
+
+TEST(FaultInjectionTest, ArmFromSpecRejectsMalformedEntries) {
+  failpoint::Reset();
+  EXPECT_EQ(failpoint::ArmFromSpec("noequals").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(failpoint::ArmFromSpec("=io").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(failpoint::ArmFromSpec("a.site=bogus-code").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(failpoint::ArmFromSpec("a.site=io@hit:0").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(failpoint::ArmFromSpec("a.site=io@whenever").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(failpoint::ArmFromSpec("").ok());  // empty spec is a no-op
+  failpoint::Reset();
+}
+
+}  // namespace
+}  // namespace diva

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Tree-grep lints: dropped Status values and raw threading primitives.
+"""Tree-grep lints: dropped Status values, raw threading, raw clocks.
 
 Check 1 (Status): no Status-returning call may be a bare statement.
 Check 2 (threads): std::thread / std::async / std::jthread may appear
@@ -7,6 +7,11 @@ only in src/common/parallel.{h,cc} — everything else must go through the
 audited parallel layer (ThreadPool / ParallelFor / RunTasks), which is
 what keeps DIVA's outputs bit-identical across thread counts and keeps
 the tsan surface in one file.
+Check 3 (clocks): std::chrono::steady_clock / system_clock /
+high_resolution_clock may appear only under src/common/ (timer.h,
+deadline.{h,cc}) — everything else must use MonotonicSeconds /
+StopWatch / PhaseTimer / Deadline so that all reported timings and all
+deadline decisions come from one monotonic clock.
 
 The compiler already rejects discarded [[nodiscard]] Status/Result values,
 but only for translation units it compiles; this lint is a belt-and-braces
@@ -44,6 +49,7 @@ FACTORY_NAMES = {
     "BudgetExhausted",
     "Internal",
     "IoError",
+    "DeadlineExceeded",
 }
 
 ALLOW_COMMENT = "lint: allow-discard"
@@ -153,6 +159,31 @@ def find_thread_violations(path: Path) -> list[tuple[int, str]]:
     return violations
 
 
+# Raw clock reads. Matched on comment/string-stripped text.
+CLOCK_RE = re.compile(
+    r"std\s*::\s*chrono\s*::\s*"
+    r"(?:steady_clock|system_clock|high_resolution_clock)\b"
+)
+
+# The sanctioned home for raw clocks: the timing/deadline helpers.
+CLOCK_ALLOWED_DIR = "common/"
+
+
+def find_clock_violations(path: Path) -> list[tuple[int, str]]:
+    parts = str(path).replace("\\", "/").split("/")
+    if CLOCK_ALLOWED_DIR.rstrip("/") in parts[:-1]:
+        return []
+    raw = path.read_text()
+    text = strip_comments_and_strings(raw)
+    raw_lines = raw.splitlines()
+    violations = []
+    for match in CLOCK_RE.finditer(text):
+        line_no = text.count("\n", 0, match.start()) + 1
+        line = raw_lines[line_no - 1] if line_no <= len(raw_lines) else ""
+        violations.append((line_no, line.strip()))
+    return violations
+
+
 def main(argv: list[str]) -> int:
     if len(argv) < 2:
         print(f"usage: {argv[0]} <source-root>...", file=sys.stderr)
@@ -190,6 +221,13 @@ def main(argv: list[str]) -> int:
                     f"{source}:{line_no}: raw threading primitive: `{line}` "
                     f"(use common/parallel.h — ThreadPool, ParallelFor or "
                     f"RunTasks — instead of std::thread/std::async)"
+                )
+                failures += 1
+            for line_no, line in find_clock_violations(source):
+                print(
+                    f"{source}:{line_no}: raw chrono clock: `{line}` "
+                    f"(use common/timer.h — MonotonicSeconds, StopWatch, "
+                    f"PhaseTimer — or common/deadline.h instead)"
                 )
                 failures += 1
 
