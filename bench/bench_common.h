@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "anon/anonymizer.h"
+#include "common/counters.h"
 #include "common/timer.h"
 #include "core/diva.h"
 #include "datagen/profiles.h"
@@ -78,6 +79,10 @@ struct RunResult {
   double accuracy = 0.0;
   double seconds = 0.0;
   bool complete = false;
+  /// Counter delta for the run as a JSON array (common/counters.h), so
+  /// every BENCH_*.json row can carry the work counters next to its
+  /// timings. Averaged() keeps the last rep's counters.
+  std::string counters_json = "[]";
 };
 
 /// One DIVA run; accuracy per DESIGN.md §3 (discernibility x satisfied).
@@ -103,6 +108,7 @@ inline RunResult RunDivaOnce(const Relation& relation,
   if (result.ok()) {
     out.accuracy = OverallAccuracy(result->relation, k, constraints);
     out.complete = result->report.clustering_complete;
+    out.counters_json = counters::ToJson(result->report.counters);
   }
   return out;
 }
@@ -119,6 +125,9 @@ inline RunResult RunBaselineOnce(const Relation& relation,
   factory_options.anonymizer.sample_size = 64;
   auto anonymizer = MakeBaselineAnonymizer(factory_options);
 
+  // Baselines carry no report, so the counter delta is taken around the
+  // call directly (meaningful for one run at a time, like the benches).
+  std::vector<counters::Sample> before = counters::Snapshot();
   StopWatch watch;
   auto result = Anonymize(anonymizer.get(), relation, k);
   RunResult out;
@@ -126,6 +135,8 @@ inline RunResult RunBaselineOnce(const Relation& relation,
   if (result.ok()) {
     out.accuracy = OverallAccuracy(*result, k, constraints);
     out.complete = true;
+    out.counters_json =
+        counters::ToJson(counters::Delta(before, counters::Snapshot()));
   }
   return out;
 }
@@ -139,6 +150,7 @@ RunResult Averaged(size_t reps, Fn&& fn) {
     total.accuracy += one.accuracy;
     total.seconds += one.seconds;
     total.complete = total.complete || one.complete;
+    total.counters_json = std::move(one.counters_json);
   }
   double n = static_cast<double>(reps);
   total.accuracy /= n;

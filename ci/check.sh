@@ -6,9 +6,11 @@
 #      failpoint + deadline suites re-run with DIVA_THREADS=8
 #   3. tsan build + full ctest with DIVA_THREADS>=8 (gates the thread
 #      pool: the parallel layer must be race-free at real width)
-#   4. tools/lint_status.py over src/ (dropped Status, raw-thread and
-#      raw-clock lints)
+#   4. tools/lint_status.py over src/ (dropped Status, raw-thread,
+#      raw-clock and ad-hoc-instrumentation lints)
 #   5. clang-tidy over src/ (skipped with a notice when not installed)
+#   6. coverage gate: gcovr line coverage >=80% on src/common/trace.*
+#      and counters.* (skipped with a notice when gcovr is not installed)
 #
 # Usage: ci/check.sh [--skip-sanitizers] [--threads N]
 #
@@ -89,6 +91,21 @@ if command -v clang-tidy >/dev/null 2>&1; then
   clang-tidy -p build/release --quiet $(find src -name '*.cc' | sort)
 else
   step "clang-tidy: SKIPPED (not installed; config is .clang-tidy)"
+fi
+
+if command -v gcovr >/dev/null 2>&1; then
+  step "coverage: build + ctest (coverage preset)"
+  cmake --preset coverage
+  cmake --build --preset coverage -j "$JOBS"
+  ctest --preset coverage -j "$JOBS"
+
+  step "coverage gate: >=80% lines on src/common/trace.* + counters.*"
+  gcovr --root . \
+    --filter 'src/common/trace\.' \
+    --filter 'src/common/counters\.' \
+    --fail-under-line 80 --print-summary
+else
+  step "coverage: SKIPPED (gcovr not installed)"
 fi
 
 step "all checks passed"

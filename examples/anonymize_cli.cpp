@@ -9,12 +9,21 @@
 //       [--constraints sigma.txt] [--algorithm diva|kmember|oka|mondrian]
 //       [--strategy basic|minchoice|maxfanout] [--seed N]
 //       [--taxonomy ATTR=taxonomy.txt]... [--json]
-//       [--strict] [--deadline-ms N] [--output out.csv]
+//       [--strict] [--deadline-ms N] [--trace-out trace.json]
+//       [--output out.csv]
 //
 // --deadline-ms N bounds the run's wall time: on expiry DIVA publishes
 // its best-effort (still k-anonymous) relation and flags the degraded
 // phases in the report; with --strict expiry is an error. Equivalent to
 // the DIVA_DEADLINE_MS environment knob, which it overrides.
+//
+// --trace-out FILE enables span tracing for the run and writes a
+// Chrome-trace JSON (open in ui.perfetto.dev or chrome://tracing) with
+// one span per pipeline phase and per pool chunk; see "Observability"
+// in docs/development.md. A traced DIVA run also turns on the self-audit
+// so the trace covers all five phases (clustering, suppress, anonymize,
+// integrate, audit). Without the flag, tracing stays off and costs one
+// relaxed atomic load per span site.
 //
 // Schema file: one attribute per line, "NAME,role,kind" where role is
 // id|qi|sensitive and kind is cat|num. Example:
@@ -33,6 +42,7 @@
 
 #include "anon/anonymizer.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 #include "constraint/analysis.h"
 #include "constraint/parser.h"
 #include "core/diva.h"
@@ -110,6 +120,11 @@ int main(int argc, char** argv) {
       args["json"] = "1";
     } else if (arg == "--taxonomy" && i + 1 < argc) {
       taxonomy_specs.emplace_back(argv[++i]);
+    } else if (StartsWith(arg, "--") &&
+               arg.find('=') != std::string::npos) {
+      // --key=value form (e.g. --trace-out=t.json).
+      size_t eq = arg.find('=');
+      args[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
     } else if (StartsWith(arg, "--") && i + 1 < argc) {
       args[arg.substr(2)] = argv[++i];
     } else {
@@ -183,6 +198,9 @@ int main(int argc, char** argv) {
   std::string algorithm =
       args.count("algorithm") ? ToLowerAscii(args["algorithm"]) : "diva";
 
+  const bool tracing = args.count("trace-out") != 0;
+  if (tracing) trace::Enable();
+
   Relation output((*schema));
   if (algorithm == "diva") {
     DivaOptions options;
@@ -190,6 +208,8 @@ int main(int argc, char** argv) {
     options.seed = seed;
     options.strict = strict;
     options.generalization = generalization;
+    // A traced run audits too, so the trace shows every pipeline phase.
+    if (tracing) options.audit = true;
     if (args.count("deadline-ms")) {
       auto deadline_ms = ParseInt64(args["deadline-ms"]);
       if (!deadline_ms.ok() || *deadline_ms < 0) {
@@ -233,6 +253,15 @@ int main(int argc, char** argv) {
         Anonymize(anonymizer.get(), *relation, static_cast<size_t>(*k));
     if (!result.ok()) return Fail(result.status().ToString());
     output = std::move(result).value();
+  }
+
+  if (tracing) {
+    trace::Disable();
+    Status written = trace::WriteChromeTrace(args["trace-out"]);
+    if (!written.ok()) return Fail(written.ToString());
+    std::fprintf(stderr, "wrote trace %s (%llu event(s) dropped)\n",
+                 args["trace-out"].c_str(),
+                 static_cast<unsigned long long>(trace::DroppedEvents()));
   }
 
   if (!IsKAnonymous(output, static_cast<size_t>(*k))) {

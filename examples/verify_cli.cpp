@@ -12,7 +12,11 @@
 //   verify_cli --input anonymized.csv --schema schema.txt --k 10
 //       [--l 3] [--t 0.4] [--constraints sigma.txt]
 //       [--original raw.csv] [--expected-stars N] [--threads N]
-//       [--deadline-ms N]
+//       [--deadline-ms N] [--trace-out trace.json]
+//
+// --trace-out FILE enables span tracing for the verification run and
+// writes Chrome-trace JSON (audit sub-checks, pool chunks); open in
+// ui.perfetto.dev.
 //
 // --threads N sets the verification pool width (0 = one per hardware
 // core); it overrides DIVA_THREADS and never changes any verdict, only
@@ -33,6 +37,7 @@
 #include "common/deadline.h"
 #include "common/parallel.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 #include "constraint/parser.h"
 #include "metrics/metrics.h"
 #include "relation/csv.h"
@@ -56,10 +61,18 @@ Result<std::shared_ptr<const Schema>> LoadSchemaFile(const std::string& path);
 
 int main(int argc, char** argv) {
   std::map<std::string, std::string> args;
-  for (int i = 1; i + 1 < argc; i += 2) {
+  for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (!StartsWith(arg, "--")) return Fail("unexpected argument " + arg);
-    args[arg.substr(2)] = argv[i + 1];
+    size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      // --key=value form (e.g. --trace-out=t.json).
+      args[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc) {
+      args[arg.substr(2)] = argv[++i];
+    } else {
+      return Fail("missing value for argument " + arg);
+    }
   }
   if (!args.count("input") || !args.count("schema") || !args.count("k")) {
     return Fail("--input, --schema and --k are required");
@@ -103,6 +116,9 @@ int main(int argc, char** argv) {
     incomplete = true;
     return true;
   };
+
+  const bool tracing = args.count("trace-out") != 0;
+  if (tracing) trace::Enable();
 
   bool all_ok = true;
 
@@ -172,6 +188,13 @@ int main(int argc, char** argv) {
   std::printf("%-28s %.1f%% of QI cells suppressed, disc. accuracy %.3f\n",
               "information loss", 100.0 * SuppressionRatio(*relation),
               DiscernibilityAccuracy(*relation, static_cast<size_t>(*k)));
+
+  if (tracing) {
+    trace::Disable();
+    Status written = trace::WriteChromeTrace(args["trace-out"]);
+    if (!written.ok()) return Fail(written.ToString());
+    std::fprintf(stderr, "wrote trace %s\n", args["trace-out"].c_str());
+  }
 
   // An incomplete verification must not look like a verdict: checks that
   // ran reported honestly, but the contract as a whole is unconfirmed.

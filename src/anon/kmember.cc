@@ -3,10 +3,12 @@
 #include <limits>
 
 #include "anon/distance.h"
+#include "common/counters.h"
 #include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/trace.h"
 
 namespace diva {
 
@@ -58,6 +60,7 @@ size_t PickIndex(const RowPool& pool, size_t scan, size_t step, Rng* rng) {
 
 Result<Clustering> KMemberAnonymizer::BuildClusters(
     const Relation& relation, std::span<const RowId> rows, size_t k) {
+  DIVA_TRACE_SPAN("baseline/kmember");
   DIVA_RETURN_IF_ERROR(DIVA_FAIL("kmember.build"));
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
   if (rows.empty()) return Clustering{};
@@ -191,6 +194,7 @@ Result<Clustering> KMemberAnonymizer::BuildClusters(
     clusters[target].push_back(row);
   }
 
+  DIVA_COUNTER_ADD("kmember.clusters", clusters.size());
   return clusters;
 }
 

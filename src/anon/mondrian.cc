@@ -5,8 +5,10 @@
 #include <unordered_set>
 
 #include "anon/distance.h"
+#include "common/counters.h"
 #include "common/failpoint.h"
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace diva {
 
@@ -128,6 +130,7 @@ void Partition(const Relation& relation, const DistanceMetric& metric,
 
 Result<Clustering> MondrianAnonymizer::BuildClusters(
     const Relation& relation, std::span<const RowId> rows, size_t k) {
+  DIVA_TRACE_SPAN("baseline/mondrian");
   DIVA_RETURN_IF_ERROR(DIVA_FAIL("mondrian.build"));
   // Mondrian deliberately ignores options_.cancel: it is the deadline
   // fallback and near-linear, so it always runs to completion.
@@ -146,6 +149,7 @@ Result<Clustering> MondrianAnonymizer::BuildClusters(
   for (const Cluster& c : clusters) {
     DIVA_CHECK_MSG(c.size() >= k, "Mondrian produced an undersized partition");
   }
+  DIVA_COUNTER_ADD("mondrian.clusters", clusters.size());
   return clusters;
 }
 

@@ -7,10 +7,12 @@
 #include <unordered_map>
 
 #include "anon/distance.h"
+#include "common/counters.h"
 #include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/trace.h"
 
 namespace diva {
 
@@ -111,6 +113,7 @@ class Centroid {
 Result<Clustering> OkaAnonymizer::BuildClusters(const Relation& relation,
                                                 std::span<const RowId> rows,
                                                 size_t k) {
+  DIVA_TRACE_SPAN("baseline/oka");
   DIVA_RETURN_IF_ERROR(DIVA_FAIL("oka.build"));
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
   if (rows.empty()) return Clustering{};
@@ -238,6 +241,7 @@ Result<Clustering> OkaAnonymizer::BuildClusters(const Relation& relation,
   for (const Cluster& c : clusters) {
     DIVA_CHECK_MSG(c.size() >= k, "OKA adjustment left an undersized cluster");
   }
+  DIVA_COUNTER_ADD("oka.clusters", clusters.size());
   return clusters;
 }
 

@@ -8,8 +8,10 @@
 #include <unordered_set>
 
 #include "anon/suppress.h"
+#include "common/counters.h"
 #include "common/failpoint.h"
 #include "common/logging.h"
+#include "common/trace.h"
 #include "relation/qi_groups.h"
 
 namespace diva {
@@ -54,6 +56,7 @@ size_t CountDistinctSensitiveProjections(const Relation& relation) {
 
 Result<Clustering> EnforceLDiversity(Relation* relation, Clustering clusters,
                                      size_t l, CancellationToken cancel) {
+  DIVA_TRACE_SPAN("privacy/l_diversity");
   DIVA_RETURN_IF_ERROR(DIVA_FAIL("privacy.ldiversity"));
   if (l <= 1 || clusters.empty()) return clusters;
   if (CountDistinctSensitiveProjections(*relation) < l) {
@@ -90,6 +93,7 @@ Result<Clustering> EnforceLDiversity(Relation* relation, Clustering clusters,
       Cluster& target = clusters[best];
       target.insert(target.end(), clusters[i].begin(), clusters[i].end());
       clusters.erase(clusters.begin() + static_cast<long>(i));
+      DIVA_COUNTER_ADD("privacy.merges", 1);
       changed = true;
       break;  // indices shifted; rescan
     }
@@ -196,6 +200,7 @@ bool IsTClose(const Relation& relation, double t) {
 
 Result<Clustering> EnforceTCloseness(Relation* relation, Clustering clusters,
                                      double t, CancellationToken cancel) {
+  DIVA_TRACE_SPAN("privacy/t_closeness");
   DIVA_RETURN_IF_ERROR(DIVA_FAIL("privacy.tcloseness"));
   if (t < 0.0) {
     return Status::InvalidArgument("t must be non-negative");
@@ -236,6 +241,7 @@ Result<Clustering> EnforceTCloseness(Relation* relation, Clustering clusters,
     target.insert(target.end(), clusters[worst].begin(),
                   clusters[worst].end());
     clusters.erase(clusters.begin() + static_cast<long>(worst));
+    DIVA_COUNTER_ADD("privacy.merges", 1);
   }
 
   SuppressClustersInPlace(relation, clusters);

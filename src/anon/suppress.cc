@@ -1,6 +1,8 @@
 #include "anon/suppress.h"
 
+#include "common/counters.h"
 #include "common/parallel.h"
+#include "common/trace.h"
 
 namespace diva {
 
@@ -40,6 +42,11 @@ void SuppressOneCluster(Relation* relation, const Cluster& cluster,
   for (size_t col : qi) {
     if (!Unanimous(*relation, cluster, col)) {
       for (RowId row : cluster) relation->Set(row, col, kSuppressed);
+      // Cells *written* by this subsystem, including work on speculative
+      // trial copies (MergeLeftoverRows ranking, privacy merges) — a
+      // work measure, not the published-star count (that is
+      // suppress.stars, counted once against the input in RunDiva).
+      DIVA_COUNTER_ADD("suppress.cells", cluster.size());
     }
   }
 }
@@ -48,6 +55,7 @@ void SuppressOneCluster(Relation* relation, const Cluster& cluster,
 
 void SuppressClustersInPlace(Relation* relation,
                              const Clustering& clustering) {
+  DIVA_TRACE_SPAN("suppress/clusters");
   const auto& qi = relation->schema().qi_indices();
   // Disjoint clusters touch disjoint rows, so suppressing them
   // concurrently is literally the sequential computation re-ordered over

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "common/counters.h"
 #include "common/timer.h"
 
 namespace diva {
@@ -49,6 +50,9 @@ void CancellationToken::RequestCancel() const {
 
 bool CancellationToken::Cancelled() const {
   if (state_ == nullptr) return false;
+  // Execution-scoped: how often a run polls depends on chunking and
+  // timing, not on the algorithm's decisions.
+  DIVA_COUNTER_ADD_EXEC("deadline.polls", 1);
   if (state_->cancelled.load(std::memory_order_relaxed)) return true;
   if (state_->deadline.Expired()) {
     // Latch: later polls skip the clock read entirely.

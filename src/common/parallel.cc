@@ -10,6 +10,9 @@
 #include <stdexcept>
 #include <thread>
 
+#include "common/counters.h"
+#include "common/trace.h"
+
 namespace diva {
 
 namespace {
@@ -61,14 +64,17 @@ struct Job {
   void CancelUnclaimedLocked() {
     size_t raw = next_chunk.exchange(chunks, std::memory_order_relaxed);
     size_t claimed = raw < chunks ? raw : chunks;
+    DIVA_COUNTER_ADD_EXEC("pool.chunks_cancelled", chunks - claimed);
     completed_chunks += chunks - claimed;
     if (claimed < first_unrun_chunk) first_unrun_chunk = claimed;
   }
 
   /// Claims and runs chunks until none remain or the token trips. Any
   /// thread may call this; chunk -> index-range mapping is fixed by
-  /// (count, grain) alone.
-  void RunChunks() {
+  /// (count, grain) alone. `is_worker` is observability-only: it decides
+  /// whether a completed chunk counts as stolen (run by a pool worker
+  /// rather than the submitting thread).
+  void RunChunks(bool is_worker) {
     while (true) {
       if (cancel.Cancelled()) {
         std::lock_guard<std::mutex> lock(mutex);
@@ -80,8 +86,12 @@ struct Job {
       if (chunk >= chunks) return;
       size_t begin = chunk * grain;
       size_t end = begin + grain < count ? begin + grain : count;
+      DIVA_COUNTER_ADD_EXEC("pool.chunks", 1);
+      if (is_worker) DIVA_COUNTER_ADD_EXEC("pool.chunks_stolen", 1);
       std::exception_ptr error;
       try {
+        DIVA_TRACE_SPAN_RANGE("pool/chunk", static_cast<int64_t>(begin),
+                              static_cast<int64_t>(end));
         BodyScope scope;
         (*body)(begin, end);
       } catch (...) {
@@ -116,9 +126,13 @@ struct Job {
 size_t RunInline(size_t count, size_t grain,
                  const std::function<void(size_t, size_t)>& body,
                  const CancellationToken& cancel) {
+  DIVA_COUNTER_ADD_EXEC("pool.inline_loops", 1);
   for (size_t begin = 0; begin < count; begin += grain) {
     if (cancel.Cancelled()) return begin;
     size_t end = begin + grain < count ? begin + grain : count;
+    DIVA_COUNTER_ADD_EXEC("pool.chunks", 1);
+    DIVA_TRACE_SPAN_RANGE("pool/chunk", static_cast<int64_t>(begin),
+                          static_cast<int64_t>(end));
     BodyScope scope;
     body(begin, end);
   }
@@ -173,7 +187,7 @@ struct ThreadPool::Impl {
         seen = generation;
         job = current_job;  // may be null if the job already retired
       }
-      if (job != nullptr) job->RunChunks();
+      if (job != nullptr) job->RunChunks(/*is_worker=*/true);
     }
   }
 };
@@ -198,10 +212,25 @@ ThreadPool::~ThreadPool() {
 
 size_t ThreadPool::threads() const { return impl_->threads; }
 
+namespace {
+
+/// Leaves a zero-length marker span in the trace when a loop was cut
+/// short, carrying the completed prefix [0, prefix) against the full
+/// count — the trace-side view of PR 3's anytime semantics.
+void AnnotateCancelledPrefix(size_t prefix, size_t count) {
+  if (prefix >= count) return;
+  DIVA_TRACE_SPAN_RANGE("pool/cancelled_prefix",
+                        static_cast<int64_t>(prefix),
+                        static_cast<int64_t>(count));
+}
+
+}  // namespace
+
 size_t ThreadPool::ParallelFor(
     size_t count, size_t grain,
     const std::function<void(size_t, size_t)>& body) {
   if (count == 0) return 0;
+  DIVA_COUNTER_ADD_EXEC("pool.loops", 1);
   if (tl_in_parallel_body) {
     throw std::logic_error(
         "nested ParallelFor: a parallel body may not start another "
@@ -216,7 +245,9 @@ size_t ThreadPool::ParallelFor(
   if (grain == 0) grain = AutoGrain(count, impl_->threads);
   size_t chunks = (count + grain - 1) / grain;
   if (impl_->threads == 1 || chunks == 1) {
-    return RunInline(count, grain, body, cancel);
+    size_t prefix = RunInline(count, grain, body, cancel);
+    AnnotateCancelledPrefix(prefix, count);
+    return prefix;
   }
   std::unique_lock<std::mutex> submit(impl_->submit_mutex,
                                       std::try_to_lock);
@@ -224,7 +255,9 @@ size_t ThreadPool::ParallelFor(
     // Another thread is mid-loop on this pool (e.g. two portfolio
     // searches enumerating concurrently): degrade to inline execution of
     // the identical chunks rather than queueing behind it.
-    return RunInline(count, grain, body, cancel);
+    size_t prefix = RunInline(count, grain, body, cancel);
+    AnnotateCancelledPrefix(prefix, count);
+    return prefix;
   }
   auto job = std::make_shared<Job>();
   job->body = &body;
@@ -239,7 +272,7 @@ size_t ThreadPool::ParallelFor(
     ++impl_->generation;
   }
   impl_->work_cv.notify_all();
-  job->RunChunks();  // the submitter is a full participant
+  job->RunChunks(/*is_worker=*/false);  // the submitter participates
   job->Join();
   {
     std::lock_guard<std::mutex> lock(impl_->mutex);
@@ -248,7 +281,9 @@ size_t ThreadPool::ParallelFor(
   if (job->first_error != nullptr) {
     std::rethrow_exception(job->first_error);
   }
-  return job->CompletedPrefix();
+  size_t prefix = job->CompletedPrefix();
+  AnnotateCancelledPrefix(prefix, count);
+  return prefix;
 }
 
 namespace {

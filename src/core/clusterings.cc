@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <optional>
 
+#include "common/counters.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/trace.h"
 
 namespace diva {
 
@@ -168,6 +170,7 @@ std::vector<CandidateClustering> EnumerateClusteringsWithBounds(
     const Relation& relation, const std::vector<RowId>& free_targets,
     size_t k, size_t min_preserve, size_t max_preserve,
     const ClusteringEnumOptions& options) {
+  DIVA_TRACE_SPAN("clusterings/enumerate");
   std::vector<CandidateClustering> out;
   if (k == 0 || free_targets.empty()) return out;
 
@@ -273,6 +276,7 @@ std::vector<CandidateClustering> EnumerateClusteringsWithBounds(
   if (!options.ordered) {
     rng.Shuffle(&out);
   }
+  DIVA_COUNTER_ADD("clusterings.enumerated", out.size());
   return out;
 }
 

@@ -6,9 +6,11 @@
 #include <limits>
 #include <unordered_map>
 
+#include "common/counters.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/trace.h"
 
 namespace diva {
 
@@ -277,7 +279,9 @@ class ColoringEngine {
       uint64_t reachable =
           preserved_[j] + delta[j] + (free_count_[j] - claimed[j]);
       if (reachable < constraints_[j].lower()) {
+        DIVA_COUNTER_ADD("coloring.forward_check_fails", 1);
         if (std::getenv("DIVA_DEBUG_COLORING")) {
+          // lint: allow-print — env-gated debug aid, off by default.
           std::fprintf(stderr,
                        "fwd-fail j=%zu lower=%u preserved=%llu delta=%llu "
                        "free=%llu claimed=%llu\n",
@@ -502,6 +506,8 @@ ColoringOutcome ColorConstraints(const Relation& relation,
   for (int attempt = 0;
        spent < strict_budget && attempt < 8 && !options.deadline.Cancelled();
        ++attempt) {
+    DIVA_TRACE_SPAN_RANGE("coloring/attempt", attempt, attempt + 1);
+    DIVA_COUNTER_ADD("coloring.attempts", 1);
     ColoringOptions pass = options;
     pass.seed = options.seed + 0x9e3779b97f4a7c15ULL * attempt;
     pass.step_budget = strict_budget - spent;
@@ -536,6 +542,7 @@ ColoringOutcome ColorConstraints(const Relation& relation,
   ColoringOptions second = options;
   second.step_budget = budget > spent ? budget - spent : 1;
   second.epsilon = 0.1;
+  DIVA_TRACE_SPAN("coloring/greedy");
   ColoringEngine greedy(relation, constraints, graph, second,
                         /*forward_check=*/false);
   ColoringOutcome fallback = greedy.Run();

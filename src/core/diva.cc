@@ -4,9 +4,11 @@
 
 #include "anon/privacy.h"
 #include "anon/suppress.h"
+#include "common/counters.h"
 #include "common/deadline.h"
 #include "common/failpoint.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "core/constraint_graph.h"
 #include "core/integrate.h"
 #include "verify/auditor.h"
@@ -126,6 +128,13 @@ Result<DivaResult> RunDiva(const Relation& relation,
   }
 
   StopWatch total_watch;
+  DIVA_TRACE_SPAN("diva/run");
+  // The report carries this run's counter *delta*; concurrent RunDiva
+  // calls in one process would blend into each other's deltas (the
+  // registry is process-wide), so deltas are meaningful for the common
+  // one-run-at-a-time case.
+  const std::vector<counters::Sample> counters_before =
+      counters::Snapshot();
   DivaReport report;
   report.total_constraints = constraints.size();
 
@@ -147,6 +156,7 @@ Result<DivaResult> RunDiva(const Relation& relation,
   // search, over the target rows still unclaimed).
   ColoringOutcome coloring;
   {
+    DIVA_TRACE_SPAN("diva/clustering");
     PhaseTimer phase_timer(&report.clustering_seconds);
     DIVA_RETURN_IF_ERROR(DIVA_FAIL("diva.graph.build"));
     ConstraintGraph graph = BuildConstraintGraph(relation, constraints);
@@ -195,6 +205,8 @@ Result<DivaResult> RunDiva(const Relation& relation,
   report.colored_constraints = coloring.NumColored();
   report.coloring_steps = coloring.steps;
   report.backtracks = coloring.backtracks;
+  DIVA_COUNTER_ADD("coloring.steps", coloring.steps);
+  DIVA_COUNTER_ADD("coloring.backtracks", coloring.backtracks);
 
   if (!coloring.complete && options.strict) {
     if (token.Cancelled()) return DeadlineExceededStatus("clustering");
@@ -217,11 +229,18 @@ Result<DivaResult> RunDiva(const Relation& relation,
   }
   DIVA_RETURN_IF_ERROR(DIVA_FAIL("diva.suppress"));
   Relation out = relation;
-  DIVA_RETURN_IF_ERROR(Recode(options, &out, sigma_clusters));
+  {
+    DIVA_TRACE_SPAN("diva/suppress");
+    DIVA_RETURN_IF_ERROR(Recode(options, &out, sigma_clusters));
+  }
+  for (const Cluster& cluster : sigma_clusters) {
+    DIVA_HISTOGRAM_RECORD("diva.cluster_size", cluster.size());
+  }
 
   // Phase 3: Anonymize the remaining tuples with the baseline.
   Clustering rk_clusters;
   {
+    DIVA_TRACE_SPAN("diva/anonymize");
     PhaseTimer phase_timer(&report.anonymize_seconds);
     std::vector<bool> covered(relation.NumRows(), false);
     for (const Cluster& cluster : sigma_clusters) {
@@ -278,6 +297,7 @@ Result<DivaResult> RunDiva(const Relation& relation,
   // report.unsatisfied below (and are waived for the audit), which is an
   // honest degradation — a half-applied repair would not be.
   {
+    DIVA_TRACE_SPAN("diva/integrate");
     PhaseTimer phase_timer(&report.integrate_seconds);
     DIVA_RETURN_IF_ERROR(DIVA_FAIL("diva.integrate"));
     if (token.Cancelled()) {
@@ -295,6 +315,7 @@ Result<DivaResult> RunDiva(const Relation& relation,
   // The deadline token truncates the merge loops; whether the target was
   // actually missed is re-checked afterwards.
   if (options.l_diversity > 1 || options.t_closeness < 1.0) {
+    DIVA_TRACE_SPAN("diva/privacy");
     Clustering all_clusters = sigma_clusters;
     all_clusters.insert(all_clusters.end(), rk_clusters.begin(),
                         rk_clusters.end());
@@ -328,9 +349,29 @@ Result<DivaResult> RunDiva(const Relation& relation,
 
   report.deadline_exceeded = token.Cancelled();
 
+  // The published stars, counted exactly once against the input: cells
+  // suppressed in `out` that were not suppressed in `relation`. Counting
+  // here — rather than inside SuppressClustersInPlace, whose speculative
+  // trial copies (MergeLeftoverRows ranking, privacy merges) would
+  // overcount — keeps the figure equal to what the auditor's star
+  // accounting re-derives from the published pair.
+  {
+    uint64_t added_stars = 0;
+    for (RowId row = 0; row < out.NumRows(); ++row) {
+      for (size_t col = 0; col < out.NumAttributes(); ++col) {
+        if (out.At(row, col) == kSuppressed &&
+            relation.At(row, col) != kSuppressed) {
+          ++added_stars;
+        }
+      }
+    }
+    DIVA_COUNTER_ADD("suppress.stars", added_stars);
+  }
+
   // The self-audit is NEVER skipped on deadline expiry: a degraded
   // output must still prove it is k-anonymous and suppression-only.
   if (options.audit) {
+    DIVA_TRACE_SPAN("diva/audit");
     PhaseTimer phase_timer(&report.audit_seconds);
     AuditOptions audit_options;
     audit_options.waived_constraints = report.unsatisfied;
@@ -347,6 +388,7 @@ Result<DivaResult> RunDiva(const Relation& relation,
   }
 
   DIVA_RETURN_IF_ERROR(DIVA_FAIL("diva.publish"));
+  report.counters = counters::Delta(counters_before, counters::Snapshot());
   report.total_seconds = total_watch.ElapsedSeconds();
   return DivaResult{std::move(out), std::move(report)};
 }

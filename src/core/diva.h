@@ -6,6 +6,7 @@
 
 #include "anon/anonymizer.h"
 #include "hierarchy/generalize.h"
+#include "common/counters.h"
 #include "common/deadline.h"
 #include "common/parallel.h"
 #include "common/result.h"
@@ -148,6 +149,13 @@ struct DivaReport {
   /// The l-diversity / t-closeness merge loop stopped before reaching
   /// its target (the output may not meet the requested l or t).
   bool privacy_truncated = false;
+
+  /// Per-run delta of the process-wide counter registry
+  /// (common/counters.h), sorted by name: coloring.steps,
+  /// suppress.stars, pool.chunks, deadline.polls, ... Deterministic-
+  /// scoped entries are identical at every thread width; execution-
+  /// scoped ones describe scheduling. Serialized into the report JSON.
+  std::vector<counters::Sample> counters;
 
   /// Per-phase wall seconds from one monotonic clock (common/timer.h);
   /// filled even when a deadline cut the phase short.

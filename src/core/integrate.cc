@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <optional>
 
+#include "common/counters.h"
 #include "common/parallel.h"
+#include "common/trace.h"
 
 namespace diva {
 
@@ -37,6 +39,7 @@ size_t QiTargetAttribute(const Relation& relation,
 IntegrateStats IntegrateRepair(Relation* relation,
                                const ConstraintSet& constraints,
                                const Clustering& rk_clusters) {
+  DIVA_TRACE_SPAN("integrate/repair");
   IntegrateStats stats;
 
   for (const DiversityConstraint& constraint : constraints) {
@@ -116,6 +119,9 @@ IntegrateStats IntegrateRepair(Relation* relation,
       excess -= std::min(excess, cluster.size());
     }
   }
+  DIVA_COUNTER_ADD("integrate.repaired_constraints",
+                   stats.repaired_constraints);
+  DIVA_COUNTER_ADD("integrate.suppressed_cells", stats.suppressed_cells);
   return stats;
 }
 

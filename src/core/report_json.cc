@@ -42,6 +42,7 @@ std::string ReportToJson(const DivaReport& report) {
   out += report.integrate_skipped ? "true" : "false";
   out += ",\"privacy_truncated\":";
   out += report.privacy_truncated ? "true" : "false";
+  out += ",\"counters\":" + counters::ToJson(report.counters);
   out += ",\"timings\":{\"clustering_s\":";
   AppendDouble(&out, report.clustering_seconds);
   out += ",\"anonymize_s\":";

@@ -4,8 +4,10 @@
 #include <map>
 #include <sstream>
 
+#include "common/counters.h"
 #include "common/failpoint.h"
 #include "common/parallel.h"
+#include "common/trace.h"
 
 namespace diva {
 
@@ -360,6 +362,7 @@ Result<AuditReport> AuditAnonymization(const Relation& input,
                                        const Relation& output, size_t k,
                                        const ConstraintSet& constraints,
                                        const AuditOptions& options) {
+  DIVA_TRACE_SPAN("audit/run");
   DIVA_RETURN_IF_ERROR(DIVA_FAIL("audit.run"));
   if (k == 0) {
     return Status::InvalidArgument("audit: k must be >= 1");
@@ -386,11 +389,21 @@ Result<AuditReport> AuditAnonymization(const Relation& input,
   report.stats.rows = output.NumRows();
   ViolationRecorder recorder(&report, options.max_details_per_check);
 
-  CheckGroupSizes(output, k, &recorder, &report.stats);
-  CheckConstraintBounds(output, constraints, options, &recorder,
-                        &report.stats);
-  CheckCellsAndStars(input, output, options, &recorder, &report.stats);
+  {
+    DIVA_TRACE_SPAN("audit/group_sizes");
+    CheckGroupSizes(output, k, &recorder, &report.stats);
+  }
+  {
+    DIVA_TRACE_SPAN("audit/constraint_bounds");
+    CheckConstraintBounds(output, constraints, options, &recorder,
+                          &report.stats);
+  }
+  {
+    DIVA_TRACE_SPAN("audit/cells_and_stars");
+    CheckCellsAndStars(input, output, options, &recorder, &report.stats);
+  }
 
+  DIVA_COUNTER_ADD("audit.violations", report.violations.size());
   return report;
 }
 

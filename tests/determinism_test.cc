@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/counters.h"
 #include "common/parallel.h"
 #include "constraint/generator.h"
 #include "core/diva.h"
@@ -34,9 +35,27 @@ struct RunFingerprint {
   size_t stars = 0;
   uint64_t discernibility = 0;
   std::vector<size_t> unsatisfied;
+  /// Deterministic-scope counters that moved during the run, as
+  /// "name=value/sum" strings. Execution-scope counters (pool chunk
+  /// accounting, deadline polls) legitimately vary with the pool width
+  /// and are excluded; so are zero deltas, whose presence depends only
+  /// on registration order elsewhere in the process.
+  std::vector<std::string> counters;
 
   bool operator==(const RunFingerprint&) const = default;
 };
+
+std::vector<std::string> DeterministicCounters(
+    const std::vector<counters::Sample>& delta) {
+  std::vector<std::string> moved;
+  for (const counters::Sample& sample :
+       counters::FilterScope(delta, counters::Scope::kDeterministic)) {
+    if (sample.value == 0 && sample.sum == 0) continue;
+    moved.push_back(sample.name + "=" + std::to_string(sample.value) + "/" +
+                    std::to_string(sample.sum));
+  }
+  return moved;
+}
 
 RunFingerprint FingerprintRun(const Relation& relation,
                               const ConstraintSet& constraints, size_t k,
@@ -60,6 +79,7 @@ RunFingerprint FingerprintRun(const Relation& relation,
   print.stars = CountStars(result->relation);
   print.discernibility = Discernibility(result->relation, k);
   print.unsatisfied = result->report.unsatisfied;
+  print.counters = DeterministicCounters(result->report.counters);
   return print;
 }
 

@@ -2,11 +2,16 @@
 #define DIVA_TESTS_TEST_UTIL_H_
 
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/rng.h"
 #include "constraint/diversity_constraint.h"
+#include "constraint/generator.h"
 #include "constraint/parser.h"
+#include "datagen/synthetic.h"
 #include "relation/relation.h"
 #include "relation/schema.h"
 
@@ -66,6 +71,71 @@ inline DiversityConstraint MustParse(const Schema& schema,
   auto constraint = ParseConstraint(schema, text);
   DIVA_CHECK_MSG(constraint.ok(), constraint.status().ToString());
   return std::move(constraint).value();
+}
+
+struct FuzzWorkload {
+  Relation relation;
+  ConstraintSet constraints;
+  size_t k;
+};
+
+/// Builds a random small workload from a fuzz seed: 20-220 rows, 2-4
+/// categorical QI attributes with random domains and skews, an optional
+/// numeric attribute, one sensitive attribute, 0-6 generated constraints,
+/// k in [2, 8]. Shared by the fuzz-property and differential tests so
+/// both suites draw instances from the identical seed -> workload map.
+inline FuzzWorkload MakeWorkload(uint64_t fuzz_seed) {
+  Rng rng(fuzz_seed);
+  SyntheticSpec spec;
+  spec.num_rows = 20 + static_cast<size_t>(rng.NextBounded(200));
+  spec.seed = rng.Next();
+  spec.num_latent_classes = 2 + static_cast<size_t>(rng.NextBounded(12));
+  spec.latent_skew = rng.UniformDouble() * 1.5;
+
+  size_t num_qi = 2 + static_cast<size_t>(rng.NextBounded(3));
+  for (size_t i = 0; i < num_qi; ++i) {
+    AttributeSpec attr;
+    attr.name = "Q" + std::to_string(i);
+    attr.domain_size = 2 + static_cast<size_t>(rng.NextBounded(9));
+    attr.distribution = static_cast<ValueDistribution>(rng.NextBounded(3));
+    attr.zipf_skew = 0.5 + rng.UniformDouble();
+    attr.correlation = rng.UniformDouble() * 0.5;
+    spec.attributes.push_back(attr);
+  }
+  if (rng.NextBounded(2) == 0) {
+    AttributeSpec numeric;
+    numeric.name = "NUM";
+    numeric.kind = AttributeKind::kNumeric;
+    numeric.domain_size = 5 + static_cast<size_t>(rng.NextBounded(40));
+    numeric.numeric_base = static_cast<int64_t>(rng.NextBounded(100));
+    numeric.distribution = ValueDistribution::kGaussian;
+    spec.attributes.push_back(numeric);
+  }
+  AttributeSpec sensitive;
+  sensitive.name = "S";
+  sensitive.role = AttributeRole::kSensitive;
+  sensitive.domain_size = 2 + static_cast<size_t>(rng.NextBounded(6));
+  spec.attributes.push_back(sensitive);
+
+  auto relation = GenerateSynthetic(spec);
+  DIVA_CHECK_MSG(relation.ok(), relation.status().ToString());
+
+  size_t k = 2 + static_cast<size_t>(rng.NextBounded(7));
+
+  ConstraintGenOptions gen;
+  gen.count = static_cast<size_t>(rng.NextBounded(7));
+  gen.min_support = 2;
+  gen.slack = 0.1 + rng.UniformDouble() * 0.5;
+  gen.kind = static_cast<ConstraintClass>(rng.NextBounded(3));
+  gen.seed = rng.Next();
+  if (rng.NextBounded(2) == 0) {
+    gen.target_conflict = rng.UniformDouble();
+  }
+  ConstraintSet constraints;
+  auto generated = GenerateConstraints(*relation, gen);
+  if (generated.ok()) constraints = std::move(generated).value();
+
+  return {std::move(relation).value(), std::move(constraints), k};
 }
 
 }  // namespace testing

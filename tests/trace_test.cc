@@ -1,0 +1,303 @@
+// Tests for the observability layer (common/trace.h, common/counters.h):
+// span nesting and collection order, ring-buffer overflow policy,
+// deterministic Chrome-trace serialization, phase coverage across thread
+// widths, and counter exactness against the pipeline's own report.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/trace.h"
+#include "core/diva.h"
+#include "tests/test_util.h"
+
+namespace diva {
+namespace {
+
+using diva::testing::FuzzWorkload;
+using diva::testing::MakeWorkload;
+
+/// Looks up a counter sample by name; fails the test when absent.
+const counters::Sample* Find(const std::vector<counters::Sample>& samples,
+                             const std::string& name) {
+  for (const counters::Sample& sample : samples) {
+    if (sample.name == name) return &sample;
+  }
+  return nullptr;
+}
+
+TEST(TraceTest, DisabledPathRecordsNothing) {
+  trace::SetRingCapacity(1024);
+  trace::Enable();
+  trace::Disable();
+  EXPECT_FALSE(trace::IsEnabled());
+  EXPECT_EQ(trace::Collect().size(), 0u);
+  EXPECT_EQ(trace::ActiveBufferCount(), 0u);
+  {
+    DIVA_TRACE_SPAN("disabled/span");
+    DIVA_TRACE_SPAN_RANGE("disabled/range", 0, 10);
+  }
+  // Disabled spans never open: no buffer registration, no events.
+  EXPECT_EQ(trace::ActiveBufferCount(), 0u);
+  EXPECT_EQ(trace::Collect().size(), 0u);
+  EXPECT_EQ(trace::DroppedEvents(), 0u);
+}
+
+TEST(TraceTest, SpanNestingAndCollectionOrder) {
+  trace::SetRingCapacity(1024);
+  trace::Enable();
+  {
+    DIVA_TRACE_SPAN("outer");
+    {
+      DIVA_TRACE_SPAN("inner");
+    }
+  }
+  {
+    DIVA_TRACE_SPAN("tail");
+  }
+  trace::Disable();
+
+  std::vector<trace::SpanEvent> events = trace::Collect();
+  ASSERT_EQ(events.size(), 3u);
+  // Sorted by (tid, begin_us, depth): parents before their children,
+  // siblings in wall-clock order.
+  EXPECT_STREQ(events[0].name, "outer");
+  EXPECT_STREQ(events[1].name, "inner");
+  EXPECT_STREQ(events[2].name, "tail");
+  EXPECT_EQ(events[0].depth, 0u);
+  EXPECT_EQ(events[1].depth, 1u);
+  EXPECT_EQ(events[2].depth, 0u);
+  // The parent's interval contains the child's.
+  EXPECT_LE(events[0].begin_us, events[1].begin_us);
+  EXPECT_GE(events[0].begin_us + events[0].dur_us,
+            events[1].begin_us + events[1].dur_us);
+  // All events share the single capture thread.
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  EXPECT_EQ(events[1].tid, events[2].tid);
+  EXPECT_EQ(trace::ActiveBufferCount(), 1u);
+}
+
+TEST(TraceTest, RangeSpanCarriesPayload) {
+  trace::SetRingCapacity(1024);
+  trace::Enable();
+  {
+    DIVA_TRACE_SPAN_RANGE("chunk", 128, 256);
+  }
+  trace::Disable();
+  std::vector<trace::SpanEvent> events = trace::Collect();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(events[0].has_range);
+  EXPECT_EQ(events[0].arg_begin, 128);
+  EXPECT_EQ(events[0].arg_end, 256);
+}
+
+TEST(TraceTest, RingOverflowDropsNewestAndCounts) {
+  trace::SetRingCapacity(4);
+  trace::Enable();
+  for (int i = 0; i < 10; ++i) {
+    DIVA_TRACE_SPAN("overflow/span");
+  }
+  trace::Disable();
+  // Drop-newest: the first `capacity` closed spans survive, the rest are
+  // counted, never silently lost.
+  EXPECT_EQ(trace::Collect().size(), 4u);
+  EXPECT_EQ(trace::DroppedEvents(), 6u);
+  trace::SetRingCapacity(65536);
+}
+
+TEST(TraceTest, EnableClearsThePreviousCapture) {
+  trace::SetRingCapacity(1024);
+  trace::Enable();
+  {
+    DIVA_TRACE_SPAN("first/capture");
+  }
+  trace::Disable();
+  ASSERT_EQ(trace::Collect().size(), 1u);
+  trace::Enable();
+  trace::Disable();
+  EXPECT_EQ(trace::Collect().size(), 0u);
+  EXPECT_EQ(trace::DroppedEvents(), 0u);
+}
+
+TEST(TraceTest, ChromeJsonIsByteStableAndWellFormed) {
+  trace::SetRingCapacity(1024);
+  trace::Enable();
+  {
+    DIVA_TRACE_SPAN("json/\"quoted\"\\name");
+    DIVA_TRACE_SPAN_RANGE("json/range", 3, 9);
+  }
+  trace::Disable();
+  std::vector<trace::SpanEvent> events = trace::Collect();
+  ASSERT_EQ(events.size(), 2u);
+
+  std::string once = trace::ToChromeJson(events);
+  std::string twice = trace::ToChromeJson(events);
+  // Same events, same bytes — serialization holds no hidden state.
+  EXPECT_EQ(once, twice);
+
+  EXPECT_EQ(once.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0),
+            0u);
+  EXPECT_EQ(once.substr(once.size() - 4), "\n]}\n");
+  EXPECT_NE(once.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(once.find("\"cat\":\"diva\""), std::string::npos);
+  // Quotes and backslashes in names are escaped.
+  EXPECT_NE(once.find("json/\\\"quoted\\\"\\\\name"), std::string::npos);
+  // The range payload is rendered as args.
+  EXPECT_NE(once.find("\"args\":{\"begin\":3,\"end\":9}"),
+            std::string::npos);
+
+  std::string path =
+      ::testing::TempDir() + "/diva_trace_test_trace.json";
+  ASSERT_TRUE(trace::WriteChromeTrace(path).ok());
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::fclose(file);
+  std::remove(path.c_str());
+  EXPECT_FALSE(
+      trace::WriteChromeTrace("/nonexistent-dir/trace.json").ok());
+}
+
+TEST(TraceTest, PipelineSpansAgreeAcrossThreadWidths) {
+  FuzzWorkload workload = MakeWorkload(5);
+  ASSERT_GE(workload.relation.NumRows(), workload.k);
+
+  // Span-name multiset per width, pool/* spans excluded: how work is
+  // chunked across threads legitimately varies, which phases ran (and
+  // how often) must not.
+  std::map<size_t, std::multiset<std::string>> phase_spans;
+  trace::SetRingCapacity(65536);
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    DivaOptions options;
+    options.k = workload.k;
+    options.seed = 7;
+    options.threads = threads;
+    options.audit = true;
+    trace::Enable();
+    auto result = RunDiva(workload.relation, workload.constraints, options);
+    trace::Disable();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(trace::DroppedEvents(), 0u);
+    for (const trace::SpanEvent& event : trace::Collect()) {
+      if (std::string(event.name).rfind("pool/", 0) == 0) continue;
+      phase_spans[threads].insert(event.name);
+    }
+  }
+
+  for (const char* phase :
+       {"diva/run", "diva/clustering", "diva/suppress", "diva/anonymize",
+        "diva/integrate", "diva/audit"}) {
+    EXPECT_EQ(phase_spans[1].count(phase), 1u) << phase;
+  }
+  EXPECT_EQ(phase_spans[1], phase_spans[2]);
+  EXPECT_EQ(phase_spans[1], phase_spans[8]);
+}
+
+TEST(TraceTest, CountersMatchTheReportExactly) {
+  FuzzWorkload workload = MakeWorkload(11);
+  ASSERT_GE(workload.relation.NumRows(), workload.k);
+
+  DivaOptions options;
+  options.k = workload.k;
+  options.seed = 13;
+  options.threads = 1;
+  auto result = RunDiva(workload.relation, workload.constraints, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // suppress.stars is the published star count: cells suppressed in the
+  // output that were not already suppressed in the input.
+  size_t stars = 0;
+  for (RowId row = 0; row < workload.relation.NumRows(); ++row) {
+    for (size_t col = 0; col < workload.relation.NumAttributes(); ++col) {
+      if (result->relation.At(row, col) == kSuppressed &&
+          workload.relation.At(row, col) != kSuppressed) {
+        ++stars;
+      }
+    }
+  }
+  const std::vector<counters::Sample>& delta = result->report.counters;
+  const counters::Sample* sample = Find(delta, "suppress.stars");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->value, stars);
+
+  sample = Find(delta, "coloring.steps");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->value, result->report.coloring_steps);
+
+  sample = Find(delta, "coloring.backtracks");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->value, result->report.backtracks);
+
+  sample = Find(delta, "integrate.suppressed_cells");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->value, result->report.repair_cells);
+}
+
+TEST(CountersTest, AddAndSnapshotAndDelta) {
+  std::vector<counters::Sample> before = counters::Snapshot();
+  DIVA_COUNTER_ADD("test.counters.alpha", 3);
+  DIVA_COUNTER_ADD("test.counters.alpha", 4);
+  DIVA_HISTOGRAM_RECORD("test.counters.sizes", 10);
+  DIVA_HISTOGRAM_RECORD("test.counters.sizes", 2);
+  std::vector<counters::Sample> delta =
+      counters::Delta(before, counters::Snapshot());
+
+  const counters::Sample* alpha = Find(delta, "test.counters.alpha");
+  ASSERT_NE(alpha, nullptr);
+  EXPECT_EQ(alpha->value, 7u);
+  EXPECT_EQ(alpha->kind, counters::Kind::kCounter);
+  EXPECT_EQ(alpha->scope, counters::Scope::kDeterministic);
+
+  const counters::Sample* sizes = Find(delta, "test.counters.sizes");
+  ASSERT_NE(sizes, nullptr);
+  EXPECT_EQ(sizes->kind, counters::Kind::kHistogram);
+  EXPECT_EQ(sizes->value, 2u);   // observation count
+  EXPECT_EQ(sizes->sum, 12u);
+  EXPECT_EQ(sizes->min, 2u);    // cumulative, copied from `after`
+  EXPECT_EQ(sizes->max, 10u);
+
+  // Snapshots are sorted by name, so deltas are too.
+  for (size_t i = 1; i < delta.size(); ++i) {
+    EXPECT_LT(delta[i - 1].name, delta[i].name);
+  }
+}
+
+TEST(CountersTest, ScopeFilterAndJson) {
+  DIVA_COUNTER_ADD("test.scope.det", 1);
+  DIVA_COUNTER_ADD_EXEC("test.scope.exec", 1);
+  std::vector<counters::Sample> all = counters::Snapshot();
+  std::vector<counters::Sample> deterministic =
+      counters::FilterScope(all, counters::Scope::kDeterministic);
+  std::vector<counters::Sample> execution =
+      counters::FilterScope(all, counters::Scope::kExecution);
+  EXPECT_NE(Find(deterministic, "test.scope.det"), nullptr);
+  EXPECT_EQ(Find(deterministic, "test.scope.exec"), nullptr);
+  EXPECT_NE(Find(execution, "test.scope.exec"), nullptr);
+  EXPECT_EQ(Find(execution, "test.scope.det"), nullptr);
+
+  std::vector<counters::Sample> two;
+  two.push_back(*Find(all, "test.scope.det"));
+  DIVA_HISTOGRAM_RECORD("test.scope.hist", 5);
+  two.push_back(*Find(counters::Snapshot(), "test.scope.hist"));
+  std::string json = counters::ToJson(two);
+  EXPECT_NE(json.find("\"test.scope.det\":"), std::string::npos);
+  EXPECT_NE(json.find("\"test.scope.hist\":{\"count\":"),
+            std::string::npos);
+  EXPECT_EQ(json, counters::ToJson(two));  // byte-stable
+}
+
+TEST(CountersTest, ResetZeroesEveryCell) {
+  DIVA_COUNTER_ADD("test.reset.counter", 42);
+  counters::ResetForTest();
+  std::vector<counters::Sample> snapshot = counters::Snapshot();
+  const counters::Sample* sample = Find(snapshot, "test.reset.counter");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->value, 0u);
+}
+
+}  // namespace
+}  // namespace diva

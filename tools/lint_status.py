@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Tree-grep lints: dropped Status values, raw threading, raw clocks.
+"""Tree-grep lints: dropped Status, raw threading/clocks, ad-hoc probes.
 
 Check 1 (Status): no Status-returning call may be a bare statement.
 Check 2 (threads): std::thread / std::async / std::jthread may appear
@@ -12,6 +12,13 @@ high_resolution_clock may appear only under src/common/ (timer.h,
 deadline.{h,cc}) — everything else must use MonotonicSeconds /
 StopWatch / PhaseTimer / Deadline so that all reported timings and all
 deadline decisions come from one monotonic clock.
+Check 4 (ad-hoc instrumentation): library code under src/ outside
+common/ may not call the C timing APIs (gettimeofday, clock_gettime,
+timespec_get, clock) or the printf family (printf/fprintf/puts/fputs) —
+leftover measurement hacks belong in the span tracer (DIVA_TRACE_SPAN)
+and counter registry (DIVA_COUNTER_ADD), and user-facing text belongs to
+the CLIs, not the library. A deliberate diagnostic escape hatch is
+`// lint: allow-print` on the call's line or the line above.
 
 The compiler already rejects discarded [[nodiscard]] Status/Result values,
 but only for translation units it compiles; this lint is a belt-and-braces
@@ -184,6 +191,49 @@ def find_clock_violations(path: Path) -> list[tuple[int, str]]:
     return violations
 
 
+# Ad-hoc instrumentation left behind by profiling/debugging sessions.
+# Library code measures time through common/timer.h + trace spans and
+# reports through counters or Status — not raw clock syscalls or stdio.
+RAW_TIME_RE = re.compile(
+    r"(?<![\w:])(?:std\s*::\s*)?(?:gettimeofday|clock_gettime|timespec_get)\s*\("
+    r"|(?<![\w.])std\s*::\s*clock\s*\(\s*\)"
+)
+
+PRINT_RE = re.compile(
+    r"(?<![\w.])(?:std\s*::\s*)?(?:printf|fprintf|puts|fputs)\s*\("
+)
+
+ALLOW_PRINT_COMMENT = "lint: allow-print"
+
+# Only library code is held to this; the CLIs (examples/), benchmarks and
+# tests print to the user by design, and common/ owns the sanctioned
+# logging/timing implementations themselves.
+INSTRUMENTATION_ROOT = "src"
+INSTRUMENTATION_EXEMPT_DIR = "common"
+
+
+def find_instrumentation_violations(path: Path) -> list[tuple[int, str, str]]:
+    parts = str(path).replace("\\", "/").split("/")
+    if INSTRUMENTATION_ROOT not in parts[:-1]:
+        return []
+    if INSTRUMENTATION_EXEMPT_DIR in parts[:-1]:
+        return []
+    raw = path.read_text()
+    text = strip_comments_and_strings(raw)
+    raw_lines = raw.splitlines()
+    violations = []
+    for kind, pattern in (("raw timing call", RAW_TIME_RE),
+                          ("stdio print", PRINT_RE)):
+        for match in pattern.finditer(text):
+            line_no = text.count("\n", 0, match.start()) + 1
+            line = raw_lines[line_no - 1] if line_no <= len(raw_lines) else ""
+            above = raw_lines[line_no - 2] if line_no >= 2 else ""
+            if ALLOW_PRINT_COMMENT in line or ALLOW_PRINT_COMMENT in above:
+                continue
+            violations.append((line_no, line.strip(), kind))
+    return violations
+
+
 def main(argv: list[str]) -> int:
     if len(argv) < 2:
         print(f"usage: {argv[0]} <source-root>...", file=sys.stderr)
@@ -228,6 +278,14 @@ def main(argv: list[str]) -> int:
                     f"{source}:{line_no}: raw chrono clock: `{line}` "
                     f"(use common/timer.h — MonotonicSeconds, StopWatch, "
                     f"PhaseTimer — or common/deadline.h instead)"
+                )
+                failures += 1
+            for line_no, line, kind in find_instrumentation_violations(source):
+                print(
+                    f"{source}:{line_no}: {kind} in library code: `{line}` "
+                    f"(instrument with DIVA_TRACE_SPAN / DIVA_COUNTER_ADD, "
+                    f"time with common/timer.h; `// {ALLOW_PRINT_COMMENT}` "
+                    f"on or above the call if deliberate)"
                 )
                 failures += 1
 
