@@ -7,10 +7,12 @@
 #   3. tsan build + full ctest with DIVA_THREADS>=8 (gates the thread
 #      pool: the parallel layer must be race-free at real width)
 #   4. tools/lint_status.py over src/ (dropped Status, raw-thread,
-#      raw-clock and ad-hoc-instrumentation lints)
+#      raw-clock, ad-hoc-instrumentation and vector<bool> lints)
 #   5. clang-tidy over src/ (skipped with a notice when not installed)
 #   6. coverage gate: gcovr line coverage >=80% on src/common/trace.*
 #      and counters.* (skipped with a notice when gcovr is not installed)
+#   7. bench gate: bench_coloring vs bench/baselines/BENCH_coloring.json
+#      via tools/bench_diff.py (deterministic metrics, 10% tolerance)
 #
 # Usage: ci/check.sh [--skip-sanitizers] [--threads N]
 #
@@ -81,6 +83,13 @@ else
   step "asan-ubsan: SKIPPED (--skip-sanitizers)"
   step "tsan: SKIPPED (--skip-sanitizers)"
 fi
+
+step "bench gate: bench_coloring vs bench/baselines/BENCH_coloring.json"
+cmake --build --preset release -j "$JOBS" --target bench_coloring
+./build/release/bench/bench_coloring /tmp/BENCH_coloring.$$.json
+python3 tools/bench_diff.py \
+  bench/baselines/BENCH_coloring.json /tmp/BENCH_coloring.$$.json
+rm -f /tmp/BENCH_coloring.$$.json
 
 step "lint: tools/lint_status.py src examples bench tests"
 python3 tools/lint_status.py src examples bench tests

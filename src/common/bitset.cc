@@ -1,0 +1,120 @@
+#include "common/bitset.h"
+
+#include <algorithm>
+
+#include "common/parallel.h"
+
+namespace diva {
+
+namespace {
+
+/// Sequential popcount over a word range.
+size_t PopcountRange(const uint64_t* words, size_t begin, size_t end) {
+  size_t count = 0;
+  for (size_t w = begin; w < end; ++w) {
+    count += static_cast<size_t>(__builtin_popcountll(words[w]));
+  }
+  return count;
+}
+
+size_t PopcountAndRange(const uint64_t* a, const uint64_t* b, size_t begin,
+                        size_t end) {
+  size_t count = 0;
+  for (size_t w = begin; w < end; ++w) {
+    count += static_cast<size_t>(__builtin_popcountll(a[w] & b[w]));
+  }
+  return count;
+}
+
+}  // namespace
+
+void Bitset::Clear() { std::fill(words_.begin(), words_.end(), 0); }
+
+size_t Bitset::Count() const {
+  size_t n = words_.size();
+  if (n < kParallelWordCutoff) {
+    return PopcountRange(words_.data(), 0, n);
+  }
+  return ParallelReduce<size_t>(
+      n, /*grain=*/0, size_t{0},
+      [&](size_t begin, size_t end) {
+        return PopcountRange(words_.data(), begin, end);
+      },
+      [](size_t a, size_t b) { return a + b; });
+}
+
+void Bitset::And(const Bitset& other) {
+  DIVA_CHECK_MSG(bits_ == other.bits_, "Bitset::And size mismatch");
+  size_t n = words_.size();
+  if (n < kParallelWordCutoff) {
+    for (size_t w = 0; w < n; ++w) words_[w] &= other.words_[w];
+    return;
+  }
+  ParallelFor(n, /*grain=*/0, [&](size_t begin, size_t end) {
+    for (size_t w = begin; w < end; ++w) words_[w] &= other.words_[w];
+  });
+}
+
+void Bitset::AndNot(const Bitset& other) {
+  DIVA_CHECK_MSG(bits_ == other.bits_, "Bitset::AndNot size mismatch");
+  size_t n = words_.size();
+  if (n < kParallelWordCutoff) {
+    for (size_t w = 0; w < n; ++w) words_[w] &= ~other.words_[w];
+    return;
+  }
+  ParallelFor(n, /*grain=*/0, [&](size_t begin, size_t end) {
+    for (size_t w = begin; w < end; ++w) words_[w] &= ~other.words_[w];
+  });
+}
+
+void Bitset::Or(const Bitset& other) {
+  DIVA_CHECK_MSG(bits_ == other.bits_, "Bitset::Or size mismatch");
+  size_t n = words_.size();
+  if (n < kParallelWordCutoff) {
+    for (size_t w = 0; w < n; ++w) words_[w] |= other.words_[w];
+    return;
+  }
+  ParallelFor(n, /*grain=*/0, [&](size_t begin, size_t end) {
+    for (size_t w = begin; w < end; ++w) words_[w] |= other.words_[w];
+  });
+}
+
+size_t Bitset::IntersectionCount(const Bitset& a, const Bitset& b) {
+  DIVA_CHECK_MSG(a.bits_ == b.bits_,
+                 "Bitset::IntersectionCount size mismatch");
+  size_t n = a.words_.size();
+  if (n < kParallelWordCutoff) {
+    return PopcountAndRange(a.words_.data(), b.words_.data(), 0, n);
+  }
+  return ParallelReduce<size_t>(
+      n, /*grain=*/0, size_t{0},
+      [&](size_t begin, size_t end) {
+        return PopcountAndRange(a.words_.data(), b.words_.data(), begin, end);
+      },
+      [](size_t x, size_t y) { return x + y; });
+}
+
+bool Bitset::Intersects(const Bitset& other) const {
+  DIVA_CHECK_MSG(bits_ == other.bits_, "Bitset::Intersects size mismatch");
+  for (size_t w = 0; w < words_.size(); ++w) {
+    if ((words_[w] & other.words_[w]) != 0) return true;
+  }
+  return false;
+}
+
+bool Bitset::IsSubsetOf(const Bitset& other) const {
+  DIVA_CHECK_MSG(bits_ == other.bits_, "Bitset::IsSubsetOf size mismatch");
+  for (size_t w = 0; w < words_.size(); ++w) {
+    if ((words_[w] & ~other.words_[w]) != 0) return false;
+  }
+  return true;
+}
+
+bool Bitset::None() const {
+  for (uint64_t word : words_) {
+    if (word != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace diva

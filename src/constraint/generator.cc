@@ -5,6 +5,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "common/bitset.h"
 #include "common/rng.h"
 #include "constraint/conflict.h"
 
@@ -234,7 +235,7 @@ Result<ConstraintSet> GenerateConstraints(
     // Greedy conflict targeting: keep the running mean pairwise conflict
     // of the selected set as close to the target as possible.
     double target = std::clamp(*options.target_conflict, 0.0, 1.0);
-    std::vector<bool> used(pool.size(), false);
+    Bitset used(pool.size());
     // cf_sum[i] = sum of cf(pool[i], s) over already-selected s.
     std::vector<double> cf_sum(pool.size(), 0.0);
     // Seed with the most frequent candidate (stable across seeds so curves
@@ -244,12 +245,12 @@ Result<ConstraintSet> GenerateConstraints(
       if (pool[i].support() > pool[first].support()) first = i;
     }
     selected.push_back(first);
-    used[first] = true;
+    used.Set(first);
     double pair_sum = 0.0;
     while (selected.size() < options.count) {
       size_t just_added = selected.back();
       for (size_t i = 0; i < pool.size(); ++i) {
-        if (used[i]) continue;
+        if (used.Test(i)) continue;
         size_t overlap =
             SortedIntersectionSize(pool[i].rows, pool[just_added].rows);
         double denom = static_cast<double>(
@@ -262,7 +263,7 @@ Result<ConstraintSet> GenerateConstraints(
       size_t best = pool.size();
       size_t ties = 0;
       for (size_t i = 0; i < pool.size(); ++i) {
-        if (used[i]) continue;
+        if (used.Test(i)) continue;
         double mean_cf = (pair_sum + cf_sum[i]) / next_pairs;
         double error = std::fabs(mean_cf - target);
         if (error < best_error - 1e-12) {
@@ -278,7 +279,7 @@ Result<ConstraintSet> GenerateConstraints(
       if (best == pool.size()) break;
       pair_sum += cf_sum[best];
       selected.push_back(best);
-      used[best] = true;
+      used.Set(best);
     }
   }
 

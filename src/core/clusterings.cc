@@ -10,10 +10,6 @@
 
 namespace diva {
 
-namespace {
-
-/// Sorts target rows by their QI projection so that sliding windows group
-/// similar tuples (cheap suppression) together.
 std::vector<RowId> SortByQiSimilarity(const Relation& relation,
                                       const std::vector<RowId>& targets) {
   std::vector<RowId> sorted = targets;
@@ -28,6 +24,8 @@ std::vector<RowId> SortByQiSimilarity(const Relation& relation,
   });
   return sorted;
 }
+
+namespace {
 
 /// True when rows a and b agree on every quasi-identifier attribute.
 bool SameQiProjection(const Relation& relation, RowId a, RowId b) {
@@ -109,32 +107,42 @@ void AddPartitions(const Relation& relation, const std::vector<RowId>& subset,
 }
 
 /// One unit of enumeration work for the parallel phase: a row subset to
-/// partition (windows arrive pre-sorted by QI similarity; random subsets
-/// still need the sort) or a candidate that was already materialized
-/// inline (the interleaved escape-route clustering).
+/// partition (windows arrive as rows pre-sorted by QI similarity; random
+/// subsets as positions into the sorted order) or a candidate that was
+/// already materialized inline (the interleaved escape-route clustering).
 struct EnumerationJob {
-  std::vector<RowId> subset;
-  bool needs_sort = false;
-  /// When set, `subset` is ignored and this candidate is emitted as-is.
+  std::vector<RowId> subset;  // rows, already in QI-similarity order
+  /// When non-empty, `subset` is ignored: these are positions into the
+  /// caller's sorted target order. Sorting positions ascending and
+  /// gathering reproduces SortByQiSimilarity of the subset exactly (the
+  /// similarity order IS the position order) without ever touching the
+  /// relation's comparator.
+  std::vector<uint32_t> positions;
+  /// When set, everything else is ignored and this candidate is emitted
+  /// as-is.
   std::optional<CandidateClustering> ready;
 };
 
 /// Runs the partitioning of one job into a fresh candidate list. Pure
-/// function of (relation, job, k, options) — safe to evaluate for every
+/// function of (sorted, job, k, options) — safe to evaluate for every
 /// job concurrently; callers concatenate results in job order, which
 /// reproduces the sequential emission order exactly.
 std::vector<CandidateClustering> RunEnumerationJob(
-    const Relation& relation, EnumerationJob&& job, size_t k,
-    const ClusteringEnumOptions& options) {
+    const Relation& relation, const std::vector<RowId>& sorted,
+    EnumerationJob&& job, size_t k, const ClusteringEnumOptions& options) {
   std::vector<CandidateClustering> local;
   if (job.ready.has_value()) {
     local.push_back(std::move(*job.ready));
     return local;
   }
-  std::vector<RowId> subset =
-      job.needs_sort ? SortByQiSimilarity(relation, job.subset)
-                     : std::move(job.subset);
-  AddPartitions(relation, subset, k, options, &local);
+  if (!job.positions.empty()) {
+    std::sort(job.positions.begin(), job.positions.end());
+    job.subset.reserve(job.positions.size());
+    for (uint32_t position : job.positions) {
+      job.subset.push_back(sorted[position]);
+    }
+  }
+  AddPartitions(relation, job.subset, k, options, &local);
   return local;
 }
 
@@ -170,16 +178,37 @@ std::vector<CandidateClustering> EnumerateClusteringsWithBounds(
     const Relation& relation, const std::vector<RowId>& free_targets,
     size_t k, size_t min_preserve, size_t max_preserve,
     const ClusteringEnumOptions& options) {
-  DIVA_TRACE_SPAN("clusterings/enumerate");
   std::vector<CandidateClustering> out;
   if (k == 0 || free_targets.empty()) return out;
-
   size_t m_lo = std::max(k, std::max<size_t>(1, min_preserve));
   size_t m_hi = std::min(max_preserve, free_targets.size());
   if (m_lo > m_hi) return out;
-  const std::vector<RowId>& targets = free_targets;
 
-  std::vector<RowId> sorted = SortByQiSimilarity(relation, targets);
+  // coloring.target_sorts counts full-target stable_sorts; the coloring
+  // engine hoists them to construction time, so after one ColorConstraints
+  // the deterministic counter equals the constraint count exactly
+  // (coloring_test asserts this). Any future code path that reaches this
+  // per-call sort from inside the search loop breaks that invariant
+  // loudly instead of silently regressing.
+  std::vector<RowId> sorted = SortByQiSimilarity(relation, free_targets);
+  DIVA_COUNTER_ADD("coloring.target_sorts", 1);
+  return EnumerateClusteringsQiSorted(relation, sorted, k, min_preserve,
+                                      max_preserve, options);
+}
+
+std::vector<CandidateClustering> EnumerateClusteringsQiSorted(
+    const Relation& relation, const std::vector<RowId>& sorted_free_targets,
+    size_t k, size_t min_preserve, size_t max_preserve,
+    const ClusteringEnumOptions& options) {
+  DIVA_TRACE_SPAN("clusterings/enumerate");
+  std::vector<CandidateClustering> out;
+  if (k == 0 || sorted_free_targets.empty()) return out;
+
+  size_t m_lo = std::max(k, std::max<size_t>(1, min_preserve));
+  size_t m_hi = std::min(max_preserve, sorted_free_targets.size());
+  if (m_lo > m_hi) return out;
+
+  const std::vector<RowId>& sorted = sorted_free_targets;
   Rng rng(options.seed);
 
   std::vector<size_t> preserved_values;
@@ -244,7 +273,13 @@ std::vector<CandidateClustering> EnumerateClusteringsWithBounds(
     }
 
     // Seeded random subsets for diversity beyond the similarity order.
-    std::vector<RowId> pool = sorted;
+    // The pool holds positions into `sorted`, not rows: the RNG swap
+    // sequence is unchanged, and the job re-sorts positions instead of
+    // running the QI comparator over the relation again.
+    std::vector<uint32_t> pool(sorted.size());
+    for (size_t i = 0; i < pool.size(); ++i) {
+      pool[i] = static_cast<uint32_t>(i);
+    }
     for (size_t r = 0; r < options.random_subsets; ++r) {
       // Partial Fisher-Yates: the first m entries become a random subset.
       for (size_t i = 0; i < m; ++i) {
@@ -252,8 +287,7 @@ std::vector<CandidateClustering> EnumerateClusteringsWithBounds(
         std::swap(pool[i], pool[j]);
       }
       EnumerationJob job;
-      job.subset.assign(pool.begin(), pool.begin() + m);
-      job.needs_sort = true;
+      job.positions.assign(pool.begin(), pool.begin() + m);
       jobs.push_back(std::move(job));
     }
 
@@ -262,8 +296,8 @@ std::vector<CandidateClustering> EnumerateClusteringsWithBounds(
     std::vector<std::vector<CandidateClustering>> produced =
         ParallelMap<std::vector<CandidateClustering>>(
             jobs.size(), /*grain=*/1, [&](size_t i) {
-              return RunEnumerationJob(relation, std::move(jobs[i]), k,
-                                       options);
+              return RunEnumerationJob(relation, sorted, std::move(jobs[i]),
+                                       k, options);
             });
     for (std::vector<CandidateClustering>& batch : produced) {
       for (CandidateClustering& candidate : batch) {

@@ -49,6 +49,15 @@ struct ClusteringEnumOptions {
   uint64_t seed = 42;
 };
 
+/// Sorts target rows by their QI projection (column by column, row id as
+/// the final tie-break). The comparator is a strict total order that does
+/// not depend on which rows are present, so filtering a presorted list
+/// down to a subset yields exactly the order this function would produce
+/// for that subset — the property the coloring engine relies on to hoist
+/// the sort out of its per-visit candidate enumeration.
+std::vector<RowId> SortByQiSimilarity(const Relation& relation,
+                                      const std::vector<RowId>& targets);
+
 /// Enumerates candidate clusterings satisfying `constraint` over
 /// `relation` with minimum cluster size `k` (the Clusterings routine of
 /// Algorithm 4). `targets` must be sigma's target tuples I_sigma in
@@ -68,6 +77,16 @@ std::vector<CandidateClustering> EnumerateClusterings(
 /// headroom) occurrences. Every emitted cluster has >= k rows.
 std::vector<CandidateClustering> EnumerateClusteringsWithBounds(
     const Relation& relation, const std::vector<RowId>& free_targets,
+    size_t k, size_t min_preserve, size_t max_preserve,
+    const ClusteringEnumOptions& options);
+
+/// As EnumerateClusteringsWithBounds, but `sorted_free_targets` must
+/// already be in SortByQiSimilarity order. Skips the per-call
+/// stable_sort — the coloring engine computes each constraint's full
+/// target order once at construction and filters it by the claimed-row
+/// bitset, so enumeration never re-sorts.
+std::vector<CandidateClustering> EnumerateClusteringsQiSorted(
+    const Relation& relation, const std::vector<RowId>& sorted_free_targets,
     size_t k, size_t min_preserve, size_t max_preserve,
     const ClusteringEnumOptions& options);
 

@@ -4,8 +4,11 @@
 #include <atomic>
 #include <cstdlib>
 #include <limits>
+#include <memory>
 #include <unordered_map>
+#include <utility>
 
+#include "common/bitset.h"
 #include "common/counters.h"
 #include "common/logging.h"
 #include "common/parallel.h"
@@ -28,15 +31,47 @@ const char* SelectionStrategyToString(SelectionStrategy strategy) {
 
 namespace {
 
-struct RowVectorHash {
-  size_t operator()(const std::vector<RowId>& rows) const {
-    uint64_t h = 1469598103934665603ULL;
-    for (RowId r : rows) {
-      h ^= r;
-      h *= 1099511628211ULL;
+/// Immutable search state shared by every engine one ColorConstraints
+/// call spawns (all restart attempts plus the greedy pass): packed target
+/// bitmaps, the hoisted QI-similarity target orders, the row->constraint
+/// incidence lists that drive O(incidence) bookkeeping updates, and the
+/// row tag table behind every set fingerprint.
+struct SearchContext {
+  SearchContext(const Relation& relation, const ConstraintGraph& graph) {
+    size_t n = graph.NumNodes();
+    size_t num_rows = relation.NumRows();
+    target_bitmap.resize(n);
+    incidence.resize(num_rows);
+    for (size_t j = 0; j < n; ++j) {
+      target_bitmap[j].Resize(num_rows);
+      for (RowId row : graph.targets[j]) {
+        target_bitmap[j].Set(row);
+        incidence[row].push_back(static_cast<uint32_t>(j));
+      }
     }
-    return static_cast<size_t>(h);
+    // One stable_sort per constraint, once, in parallel — CandidatesFor
+    // used to redo this sort on every node visit. Filtering these orders
+    // by the claimed bitset reproduces a fresh sort of the free subset
+    // exactly, because SortByQiSimilarity's comparator is a strict total
+    // order independent of which rows are present.
+    sorted_targets = ParallelMap<std::vector<RowId>>(
+        n, /*grain=*/1, [&](size_t j) {
+          return SortByQiSimilarity(relation, graph.targets[j]);
+        });
+    DIVA_COUNTER_ADD("coloring.target_sorts", n);
+    if (graph.row_tags.size() >= num_rows) {
+      row_tags = graph.row_tags;
+    } else {
+      // Hand-built graph (tests construct these): regenerate the same
+      // fixed-seed tags BuildConstraintGraph would have stored.
+      row_tags = MakeRowTags(num_rows);
+    }
   }
+
+  std::vector<Bitset> target_bitmap;
+  std::vector<std::vector<uint32_t>> incidence;
+  std::vector<std::vector<RowId>> sorted_targets;
+  std::vector<uint64_t> row_tags;
 };
 
 /// Backtracking engine implementing Algorithm 4 with dynamic candidate
@@ -44,36 +79,44 @@ struct RowVectorHash {
 /// yet claimed by any chosen cluster, sized to the constraint's
 /// *remaining* lower-bound deficit (occurrences preserved by other
 /// constraints' clusters count). Disjoint-or-equal is enforced through a
-/// row -> cluster map; upper bounds through incremental per-constraint
-/// preserved-count totals.
+/// claimed-row bitset; upper bounds through incremental per-constraint
+/// preserved-count totals. Active clusters and candidate memo entries are
+/// keyed by XOR-of-row-tag fingerprints that update in O(1) per row.
 class ColoringEngine {
  public:
   ColoringEngine(const Relation& relation, const ConstraintSet& constraints,
-                 const ConstraintGraph& graph, const ColoringOptions& options,
-                 bool forward_check)
+                 const ConstraintGraph& graph, const SearchContext& context,
+                 const ColoringOptions& options, bool forward_check)
       : relation_(relation),
         constraints_(constraints),
         graph_(graph),
+        context_(context),
         options_(options),
         forward_check_(forward_check),
         rng_(options.seed) {
     size_t n = constraints.size();
     assignment_.assign(n, -1);
-    sacrificed_.assign(n, false);
+    sacrificed_.Resize(n);
     preserved_.assign(n, 0);
     basic_order_.resize(n);
     for (size_t i = 0; i < n; ++i) basic_order_[i] = i;
     if (options.strategy == SelectionStrategy::kBasic) {
       rng_.Shuffle(&basic_order_);
     }
-    // Per-constraint target membership bitmaps: contribution checks are
-    // the inner loop of the search.
-    target_bitmap_.assign(n, std::vector<bool>(relation.NumRows(), false));
     free_count_.resize(n);
     for (size_t j = 0; j < n; ++j) {
-      for (RowId row : graph.targets[j]) target_bitmap_[j][row] = true;
       free_count_[j] = graph.targets[j].size();
     }
+    claimed_fp_.assign(n, 0);
+    in_target_scratch_.assign(n, 0);
+    delta_scratch_.assign(n, 0);
+    // The single empty clustering handed to zero-deficit nodes — shared
+    // so the hot "lower bound already met" path allocates nothing.
+    trivial_candidates_ =
+        std::make_shared<const std::vector<PreparedCandidate>>(1);
+    claimed_.Resize(relation.NumRows());
+    fresh_scratch_.Resize(relation.NumRows());
+    memo_.resize(n);
     outcome_.assignment.assign(n, -1);
     outcome_.preserved.assign(n, 0);
   }
@@ -89,12 +132,82 @@ class ColoringEngine {
   }
 
  private:
+  /// Per-(j, count) preserved contributions of one cluster: constraint j
+  /// gains `count` (= |cluster|) iff the cluster lies entirely inside j's
+  /// target set. Static facts, so they are computed once per enumerated
+  /// cluster and reused on every trial and memo replay.
+  using SparseContrib = std::vector<std::pair<uint32_t, uint64_t>>;
+
   struct ActiveCluster {
-    std::vector<uint64_t> contrib;  // preserved count per constraint
+    std::vector<RowId> rows;  // sorted ascending; the identity
+    SparseContrib contrib;
     int refcount = 0;
   };
-  using Registry =
-      std::unordered_map<std::vector<RowId>, ActiveCluster, RowVectorHash>;
+  /// Keyed by the cluster's row-set fingerprint; `rows` inside the entry
+  /// is the collision oracle (checked under DCHECK on every hit).
+  using Registry = std::unordered_map<uint64_t, ActiveCluster>;
+
+  /// An enumerated cluster with its static derived facts precomputed:
+  /// rows sorted ascending, the XOR-of-tags fingerprint, and the sparse
+  /// contribution list. TryAssign consumes these directly instead of
+  /// re-sorting/re-hashing/re-counting per search step.
+  struct PreparedCluster {
+    uint64_t fingerprint = 0;
+    std::vector<RowId> rows;
+    SparseContrib contrib;
+  };
+  struct PreparedCandidate {
+    size_t preserved = 0;
+    std::vector<PreparedCluster> clusters;
+  };
+  using CandidateList = std::shared_ptr<const std::vector<PreparedCandidate>>;
+
+  struct MemoKey {
+    uint64_t fingerprint;  // claimed rows restricted to the node's targets
+    uint64_t deficit;
+    uint64_t headroom;
+    bool operator==(const MemoKey& other) const {
+      return fingerprint == other.fingerprint && deficit == other.deficit &&
+             headroom == other.headroom;
+    }
+  };
+  struct MemoKeyHash {
+    size_t operator()(const MemoKey& key) const {
+      uint64_t h = key.fingerprint;
+      h ^= (key.deficit + 0x9e3779b97f4a7c15ULL) + (h << 6) + (h >> 2);
+      h ^= (key.headroom + 0x9e3779b97f4a7c15ULL) + (h << 6) + (h >> 2);
+      return static_cast<size_t>(h);
+    }
+  };
+  /// Memo values are shared immutable lists: a hit hands back a refcount
+  /// bump, not a deep copy, and an epoch eviction during a recursive
+  /// Color() call cannot pull a list out from under an outer stack frame
+  /// still iterating it.
+  using Memo = std::unordered_map<MemoKey, CandidateList, MemoKeyHash>;
+
+  uint64_t FingerprintOf(const std::vector<RowId>& rows) const {
+    uint64_t fp = 0;
+    for (RowId row : rows) fp ^= context_.row_tags[row];
+    return fp;
+  }
+
+  /// Claims `row` for an active cluster: O(#constraints targeting row)
+  /// bookkeeping instead of a loop over every constraint.
+  void ClaimRow(RowId row) {
+    claimed_.Set(row);
+    for (uint32_t j : context_.incidence[row]) {
+      --free_count_[j];
+      claimed_fp_[j] ^= context_.row_tags[row];
+    }
+  }
+
+  void ReleaseRow(RowId row) {
+    claimed_.Reset(row);
+    for (uint32_t j : context_.incidence[row]) {
+      ++free_count_[j];
+      claimed_fp_[j] ^= context_.row_tags[row];
+    }
+  }
 
   bool Color() {
     if (colored_count_ + sacrificed_count_ == constraints_.size()) {
@@ -107,21 +220,18 @@ class ColoringEngine {
       return false;
     }
     size_t node = SelectNode();
-    std::vector<CandidateClustering> candidates = CandidatesFor(node);
-    if (!forward_check_ && candidates.empty()) {
+    CandidateList candidates = CandidatesFor(node);
+    if (!forward_check_ && candidates->empty()) {
       // Greedy mode: a node with no admissible clustering is sacrificed
       // (left uncolored) so the rest of Sigma can still be satisfied.
-      sacrificed_[node] = true;
+      sacrificed_.Set(node);
       ++sacrificed_count_;
       if (Color()) return true;
-      sacrificed_[node] = false;
+      sacrificed_.Reset(node);
       --sacrificed_count_;
       return false;
     }
-    if (options_.strategy != SelectionStrategy::kBasic) {
-      OrderLeastConstrainingFirst(node, &candidates);
-    }
-    for (CandidateClustering& candidate : candidates) {
+    for (const PreparedCandidate& candidate : *candidates) {
       ++steps_;
       if (steps_ > options_.step_budget ||
           (options_.stall_limit > 0 &&
@@ -132,7 +242,7 @@ class ColoringEngine {
         budget_exhausted_ = true;
         return false;
       }
-      std::vector<std::vector<RowId>> activated;
+      std::vector<uint64_t> activated;
       if (!TryAssign(candidate, &activated)) continue;
       assignment_[node] = static_cast<int>(candidate.preserved);
       ++colored_count_;
@@ -145,30 +255,101 @@ class ColoringEngine {
     return false;
   }
 
-  /// Candidate clusterings of `node` under the current partial coloring.
-  std::vector<CandidateClustering> CandidatesFor(size_t node) {
+  /// Candidate clusterings of `node` under the current partial coloring,
+  /// already in trial order with their static facts prepared. The result
+  /// is a pure function of (free target set, deficit, headroom) — the
+  /// enumeration seed is fixed per node and the least-constraining
+  /// ordering reads only static target bitmaps — so backtracking
+  /// re-visits replay the memo instead of re-enumerating. No engine RNG
+  /// is consumed here, which is why the search tree is identical with the
+  /// memo on or off.
+  CandidateList CandidatesFor(size_t node) {
     const DiversityConstraint& constraint = constraints_[node];
     uint64_t have = preserved_[node];
     // Occurrences already preserved by neighbors' clusters count toward
     // the lower bound; no deficit means the empty clustering suffices
     // (and claiming more rows can only restrict other nodes).
     if (have >= constraint.lower()) {
-      return {CandidateClustering{}};
+      return trivial_candidates_;
     }
     size_t deficit = constraint.lower() - static_cast<size_t>(have);
     size_t headroom = constraint.upper() - static_cast<size_t>(have);
 
+    MemoKey key{claimed_fp_[node], deficit, headroom};
+    if (options_.memo) {
+      auto it = memo_[node].find(key);
+      if (it != memo_[node].end()) {
+        DIVA_COUNTER_ADD("coloring.memo_hits", 1);
+        return it->second;
+      }
+      DIVA_COUNTER_ADD("coloring.memo_misses", 1);
+    }
+
+    // The free targets, in QI-similarity order: filtering the hoisted
+    // per-constraint order by the claimed bitset is exactly the order a
+    // fresh SortByQiSimilarity of the free subset would produce.
     std::vector<RowId> free_targets;
-    free_targets.reserve(graph_.targets[node].size());
-    for (RowId row : graph_.targets[node]) {
-      if (row_map_.find(row) == row_map_.end()) free_targets.push_back(row);
+    free_targets.reserve(static_cast<size_t>(free_count_[node]));
+    for (RowId row : context_.sorted_targets[node]) {
+      if (!claimed_.Test(row)) free_targets.push_back(row);
     }
 
     ClusteringEnumOptions enumeration = options_.enumeration;
     enumeration.seed = options_.seed * 1000003ULL + node;
-    return EnumerateClusteringsWithBounds(relation_, free_targets,
-                                          options_.k, deficit, headroom,
-                                          enumeration);
+    std::vector<CandidateClustering> enumerated = EnumerateClusteringsQiSorted(
+        relation_, free_targets, options_.k, deficit, headroom, enumeration);
+    if (options_.strategy != SelectionStrategy::kBasic) {
+      OrderLeastConstrainingFirst(node, &enumerated);
+    }
+    CandidateList candidates = Prepare(std::move(enumerated));
+
+    if (options_.memo) {
+      if (memo_entries_ >= options_.memo_capacity) {
+        // Epoch eviction: drop everything rather than track recency; the
+        // next few visits repopulate the hot keys.
+        DIVA_COUNTER_ADD("coloring.memo_evictions", memo_entries_);
+        for (Memo& memo : memo_) memo.clear();
+        memo_entries_ = 0;
+      }
+      memo_[node].emplace(key, candidates);
+      ++memo_entries_;
+    }
+    return candidates;
+  }
+
+  /// Precomputes the static facts of each enumerated candidate (sorted
+  /// rows, fingerprint, sparse contributions) so every later trial — and
+  /// every memo replay — skips straight to the dynamic checks.
+  CandidateList Prepare(std::vector<CandidateClustering>&& enumerated) {
+    auto prepared = std::make_shared<std::vector<PreparedCandidate>>();
+    prepared->reserve(enumerated.size());
+    for (CandidateClustering& candidate : enumerated) {
+      PreparedCandidate out;
+      out.preserved = candidate.preserved;
+      out.clusters.reserve(candidate.clusters.size());
+      for (Cluster& cluster : candidate.clusters) {
+        PreparedCluster entry;
+        entry.rows = std::move(cluster);
+        std::sort(entry.rows.begin(), entry.rows.end());
+        entry.fingerprint = FingerprintOf(entry.rows);
+        // Per-constraint overlap in one incidence pass; full containment
+        // (|overlap| == |cluster|) is the only way a cluster preserves
+        // occurrences for constraint j.
+        std::fill(in_target_scratch_.begin(), in_target_scratch_.end(), 0);
+        for (RowId row : entry.rows) {
+          for (uint32_t j : context_.incidence[row]) ++in_target_scratch_[j];
+        }
+        for (size_t j = 0; j < constraints_.size(); ++j) {
+          if (in_target_scratch_[j] == entry.rows.size()) {
+            entry.contrib.emplace_back(static_cast<uint32_t>(j),
+                                       entry.rows.size());
+          }
+        }
+        out.clusters.push_back(std::move(entry));
+      }
+      prepared->push_back(std::move(out));
+    }
+    return prepared;
   }
 
   /// Least-constraining-value ordering for the selective strategies:
@@ -177,18 +358,24 @@ class ColoringEngine {
   /// constraint's target set is wasted when the cluster is not uniform on
   /// that target (the row is claimed but contributes nothing toward the
   /// other constraint's lower bound). (DIVA-Basic keeps its shuffled
-  /// order.)
+  /// order.) Per-constraint overlap counts come from the incidence lists
+  /// in one pass per cluster; a cluster fully inside target j contributes
+  /// |cluster| there (zero waste), any partial overlap is pure waste.
   void OrderLeastConstrainingFirst(size_t node,
                                    std::vector<CandidateClustering>* candidates) {
+    size_t n = constraints_.size();
     std::vector<std::pair<uint64_t, size_t>> keyed(candidates->size());
     for (size_t i = 0; i < candidates->size(); ++i) {
       uint64_t waste = 0;
       for (const Cluster& cluster : (*candidates)[i].clusters) {
-        for (size_t j = 0; j < constraints_.size(); ++j) {
+        std::fill(in_target_scratch_.begin(), in_target_scratch_.end(), 0);
+        for (RowId row : cluster) {
+          for (uint32_t j : context_.incidence[row]) ++in_target_scratch_[j];
+        }
+        for (size_t j = 0; j < n; ++j) {
           if (j == node) continue;
-          uint64_t in_target = 0;
-          for (RowId row : cluster) in_target += target_bitmap_[j][row];
-          waste += in_target - Contribution(cluster, j);
+          uint64_t in_target = in_target_scratch_[j];
+          if (in_target != cluster.size()) waste += in_target;
         }
       }
       keyed[i] = {waste, i};
@@ -208,139 +395,130 @@ class ColoringEngine {
     *candidates = std::move(ordered);
   }
 
-  /// Contribution of a (sorted) cluster to constraint j: |cluster| when
-  /// every row is one of j's target tuples (the target attributes then
-  /// survive suppression unanimously and keep matching), else 0.
-  uint64_t Contribution(const std::vector<RowId>& rows, size_t j) const {
-    const std::vector<bool>& bitmap = target_bitmap_[j];
-    for (RowId row : rows) {
-      if (!bitmap[row]) return 0;
-    }
-    return rows.size();
-  }
-
   /// Checks consistency of `candidate` against the current state and, if
-  /// consistent, activates its clusters. `activated` receives the keys of
-  /// clusters whose refcount this call incremented.
-  bool TryAssign(const CandidateClustering& candidate,
-                 std::vector<std::vector<RowId>>* activated) {
+  /// consistent, activates its clusters. `activated` receives the
+  /// fingerprints of clusters whose refcount this call incremented. All
+  /// static facts (sorted rows, fingerprints, contributions) arrive
+  /// precomputed; only the dynamic checks — registry lookups, claimed-row
+  /// disjointness, bounds, forward check — run per trial.
+  bool TryAssign(const PreparedCandidate& candidate,
+                 std::vector<uint64_t>* activated) {
     // Phase 1: validate without mutating.
-    struct NewCluster {
-      std::vector<RowId> rows;
-      std::vector<uint64_t> contrib;
-    };
-    std::vector<NewCluster> fresh;
-    std::vector<std::vector<RowId>> reused;
-    std::vector<uint64_t> delta(constraints_.size(), 0);
-    for (const Cluster& cluster : candidate.clusters) {
-      std::vector<RowId> sorted = cluster;
-      std::sort(sorted.begin(), sorted.end());
-      auto it = registry_.find(sorted);
+    size_t n = constraints_.size();
+    std::vector<const PreparedCluster*> fresh;
+    std::vector<uint64_t> reused;
+    std::fill(delta_scratch_.begin(), delta_scratch_.end(), 0);
+    for (const PreparedCluster& cluster : candidate.clusters) {
+      auto it = registry_.find(cluster.fingerprint);
       if (it != registry_.end()) {
-        reused.push_back(std::move(sorted));
+        // Fingerprint hit = identical row set (disjoint-or-equal makes a
+        // real overlap-but-unequal cluster inadmissible anyway); a tag
+        // collision would silently merge two clusters, so verify.
+        DIVA_DCHECK(it->second.rows == cluster.rows);
+        reused.push_back(cluster.fingerprint);
         continue;
       }
       // A new cluster may not touch any row owned by a different active
       // cluster (disjoint-or-equal condition).
-      for (RowId row : sorted) {
-        if (row_map_.find(row) != row_map_.end()) return false;
+      for (RowId row : cluster.rows) {
+        if (claimed_.Test(row)) return false;
       }
-      NewCluster entry;
-      entry.contrib.resize(constraints_.size());
-      for (size_t j = 0; j < constraints_.size(); ++j) {
-        entry.contrib[j] = Contribution(sorted, j);
-        delta[j] += entry.contrib[j];
+      for (const auto& [j, count] : cluster.contrib) {
+        delta_scratch_[j] += count;
       }
-      entry.rows = std::move(sorted);
-      fresh.push_back(std::move(entry));
+      fresh.push_back(&cluster);
     }
     // Upper-bound condition over every constraint (the paper checks
     // neighbors; non-neighbors have zero contribution, so checking all is
     // equivalent and simpler).
-    for (size_t j = 0; j < constraints_.size(); ++j) {
-      if (preserved_[j] + delta[j] > constraints_[j].upper()) return false;
-    }
-    // Forward check: every still-uncolored constraint must be able to
-    // reach its lower bound from its preserved total plus the target rows
-    // that would remain free after this assignment. (Disabled in the
-    // greedy second pass, where partial colorings are acceptable.)
-    std::vector<uint64_t> claimed;
-    if (forward_check_) {
-    claimed.assign(constraints_.size(), 0);
-    for (const NewCluster& entry : fresh) {
-      for (RowId row : entry.rows) {
-        for (size_t j = 0; j < constraints_.size(); ++j) {
-          claimed[j] += target_bitmap_[j][row];
-        }
-      }
-    }
-    for (size_t j = 0; forward_check_ && j < constraints_.size(); ++j) {
-      if (assignment_[j] >= 0) continue;
-      uint64_t reachable =
-          preserved_[j] + delta[j] + (free_count_[j] - claimed[j]);
-      if (reachable < constraints_[j].lower()) {
-        DIVA_COUNTER_ADD("coloring.forward_check_fails", 1);
-        if (std::getenv("DIVA_DEBUG_COLORING")) {
-          // lint: allow-print — env-gated debug aid, off by default.
-          std::fprintf(stderr,
-                       "fwd-fail j=%zu lower=%u preserved=%llu delta=%llu "
-                       "free=%llu claimed=%llu\n",
-                       j, constraints_[j].lower(),
-                       (unsigned long long)preserved_[j],
-                       (unsigned long long)delta[j],
-                       (unsigned long long)free_count_[j],
-                       (unsigned long long)claimed[j]);
-        }
+    for (size_t j = 0; j < n; ++j) {
+      if (preserved_[j] + delta_scratch_[j] > constraints_[j].upper()) {
         return false;
       }
     }
+    // Forward check: every still-uncolored constraint must be able to
+    // reach its lower bound from its preserved total plus the target rows
+    // that would remain free after this assignment. Fresh rows are marked
+    // in a scratch bitset once, then each constraint's newly-claimed
+    // count is one word-wise popcount kernel instead of per-row probes.
+    // (Disabled in the greedy second pass, where partial colorings are
+    // acceptable.)
+    if (forward_check_) {
+      for (const PreparedCluster* cluster : fresh) {
+        for (RowId row : cluster->rows) fresh_scratch_.Set(row);
+      }
+      bool feasible = true;
+      for (size_t j = 0; j < n && feasible; ++j) {
+        if (assignment_[j] >= 0) continue;
+        uint64_t claimed_j =
+            Bitset::IntersectionCount(fresh_scratch_, context_.target_bitmap[j]);
+        uint64_t reachable =
+            preserved_[j] + delta_scratch_[j] + (free_count_[j] - claimed_j);
+        if (reachable < constraints_[j].lower()) {
+          DIVA_COUNTER_ADD("coloring.forward_check_fails", 1);
+          if (std::getenv("DIVA_DEBUG_COLORING")) {
+            // lint: allow-print — env-gated debug aid, off by default.
+            std::fprintf(stderr,
+                         "fwd-fail j=%zu lower=%u preserved=%llu delta=%llu "
+                         "free=%llu claimed=%llu\n",
+                         j, constraints_[j].lower(),
+                         (unsigned long long)preserved_[j],
+                         (unsigned long long)delta_scratch_[j],
+                         (unsigned long long)free_count_[j],
+                         (unsigned long long)claimed_j);
+          }
+          feasible = false;
+        }
+      }
+      for (const PreparedCluster* cluster : fresh) {
+        for (RowId row : cluster->rows) fresh_scratch_.Reset(row);
+      }
+      if (!feasible) return false;
     }
 
     // Phase 2: activate.
-    for (NewCluster& entry : fresh) {
-      for (RowId row : entry.rows) {
-        row_map_.emplace(row, 0);
-        for (size_t j = 0; j < constraints_.size(); ++j) {
-          free_count_[j] -= target_bitmap_[j][row];
-        }
+    for (const PreparedCluster* cluster : fresh) {
+      for (RowId row : cluster->rows) ClaimRow(row);
+      for (const auto& [j, count] : cluster->contrib) {
+        preserved_[j] += count;
       }
-      for (size_t j = 0; j < constraints_.size(); ++j) {
-        preserved_[j] += entry.contrib[j];
-      }
-      activated->push_back(entry.rows);
-      registry_.emplace(std::move(entry.rows),
-                        ActiveCluster{std::move(entry.contrib), 1});
+      activated->push_back(cluster->fingerprint);
+      bool inserted =
+          registry_
+              .emplace(cluster->fingerprint,
+                       ActiveCluster{cluster->rows, cluster->contrib, 1})
+              .second;
+      // A failed emplace means a fingerprint collision between two
+      // distinct fresh clusters of one candidate — possible only through
+      // a tag collision.
+      DIVA_DCHECK(inserted);
+      (void)inserted;
     }
-    for (std::vector<RowId>& rows : reused) {
-      auto it = registry_.find(rows);
+    for (uint64_t fp : reused) {
+      auto it = registry_.find(fp);
       // Always-on: ++end()->refcount is UB in release builds; the hash
       // lookup above dominates the cost of this branch.
       DIVA_CHECK_MSG(it != registry_.end(),
                      "coloring: reused cluster missing from registry");
       ++it->second.refcount;
-      activated->push_back(std::move(rows));
+      activated->push_back(fp);
     }
     return true;
   }
 
-  void Unassign(size_t node, const std::vector<std::vector<RowId>>& activated) {
+  void Unassign(size_t node, const std::vector<uint64_t>& activated) {
     assignment_[node] = -1;
     --colored_count_;
-    for (const std::vector<RowId>& rows : activated) {
-      auto it = registry_.find(rows);
+    for (uint64_t fp : activated) {
+      auto it = registry_.find(fp);
       // Always-on for the same reason as Assign: end() deref is UB and a
       // zero refcount would wrap and leak the cluster forever.
       DIVA_CHECK_MSG(it != registry_.end() && it->second.refcount > 0,
                      "coloring: unassigned cluster missing from registry");
       if (--it->second.refcount == 0) {
-        for (RowId row : rows) {
-          row_map_.erase(row);
-          for (size_t j = 0; j < constraints_.size(); ++j) {
-            free_count_[j] += target_bitmap_[j][row];
-          }
-        }
-        for (size_t j = 0; j < constraints_.size(); ++j) {
-          preserved_[j] -= it->second.contrib[j];
+        for (RowId row : it->second.rows) ReleaseRow(row);
+        for (const auto& [j, count] : it->second.contrib) {
+          preserved_[j] -= count;
         }
         registry_.erase(it);
       }
@@ -354,7 +532,9 @@ class ColoringEngine {
         rng_.UniformDouble() < options_.epsilon) {
       std::vector<size_t> open;
       for (size_t node = 0; node < constraints_.size(); ++node) {
-        if (assignment_[node] < 0 && !sacrificed_[node]) open.push_back(node);
+        if (assignment_[node] < 0 && !sacrificed_.Test(node)) {
+          open.push_back(node);
+        }
       }
       if (!open.empty()) {
         return open[static_cast<size_t>(rng_.NextBounded(open.size()))];
@@ -365,7 +545,7 @@ class ColoringEngine {
     // empty clustering, claim nothing, and shrink the problem.
     if (options_.strategy != SelectionStrategy::kBasic) {
       for (size_t node = 0; node < constraints_.size(); ++node) {
-        if (assignment_[node] < 0 && !sacrificed_[node] &&
+        if (assignment_[node] < 0 && !sacrificed_.Test(node) &&
             preserved_[node] >= constraints_[node].lower()) {
           return node;
         }
@@ -374,7 +554,7 @@ class ColoringEngine {
     switch (options_.strategy) {
       case SelectionStrategy::kBasic: {
         for (size_t node : basic_order_) {
-          if (assignment_[node] < 0 && !sacrificed_[node]) return node;
+          if (assignment_[node] < 0 && !sacrificed_.Test(node)) return node;
         }
         break;
       }
@@ -388,7 +568,7 @@ class ColoringEngine {
         size_t best = constraints_.size();
         uint64_t best_slack = std::numeric_limits<uint64_t>::max();
         for (size_t node = 0; node < constraints_.size(); ++node) {
-          if (assignment_[node] >= 0 || sacrificed_[node]) continue;
+          if (assignment_[node] >= 0 || sacrificed_.Test(node)) continue;
           uint64_t lower = constraints_[node].lower();
           uint64_t deficit =
               lower > preserved_[node] ? lower - preserved_[node] : 0;
@@ -414,7 +594,7 @@ class ColoringEngine {
         size_t best = constraints_.size();
         size_t best_fanout = 0;
         for (size_t node = 0; node < constraints_.size(); ++node) {
-          if (assignment_[node] >= 0 || sacrificed_[node]) continue;
+          if (assignment_[node] >= 0 || sacrificed_.Test(node)) continue;
           size_t fanout = 0;
           for (size_t neighbor : graph_.adjacency[node]) {
             if (assignment_[neighbor] < 0) ++fanout;
@@ -434,7 +614,7 @@ class ColoringEngine {
     }
     // Fallback: first uncolored.
     for (size_t node = 0; node < constraints_.size(); ++node) {
-      if (assignment_[node] < 0 && !sacrificed_[node]) return node;
+      if (assignment_[node] < 0 && !sacrificed_.Test(node)) return node;
     }
     DIVA_CHECK_MSG(false, "SelectNode called with all nodes colored");
     return 0;
@@ -449,9 +629,17 @@ class ColoringEngine {
     outcome_.assignment = assignment_;
     outcome_.preserved.assign(preserved_.begin(), preserved_.end());
     outcome_.chosen_clusters.clear();
-    for (const auto& [rows, entry] : registry_) {
-      outcome_.chosen_clusters.push_back(rows);
+    for (const auto& [fp, entry] : registry_) {
+      outcome_.chosen_clusters.push_back(entry.rows);
     }
+    // Canonical order: active clusters are pairwise disjoint, so their
+    // smallest row ids are distinct and sorting by them is a strict total
+    // order — the snapshot no longer inherits hash-map iteration order.
+    std::sort(outcome_.chosen_clusters.begin(),
+              outcome_.chosen_clusters.end(),
+              [](const std::vector<RowId>& a, const std::vector<RowId>& b) {
+                return a.front() < b.front();
+              });
   }
 
   static constexpr size_t kNoSnapshot = std::numeric_limits<size_t>::max();
@@ -459,21 +647,29 @@ class ColoringEngine {
   const Relation& relation_;
   const ConstraintSet& constraints_;
   const ConstraintGraph& graph_;
+  const SearchContext& context_;
   ColoringOptions options_;
   bool forward_check_;
   Rng rng_;
 
   std::vector<int> assignment_;
-  std::vector<bool> sacrificed_;
+  Bitset sacrificed_;
   size_t sacrificed_count_ = 0;
   std::vector<uint64_t> preserved_;
   std::vector<size_t> basic_order_;
-  std::vector<std::vector<bool>> target_bitmap_;
   std::vector<uint64_t> free_count_;  // unclaimed target rows per constraint
+  std::vector<uint64_t> claimed_fp_;  // fingerprint of claimed ∩ targets[j]
   size_t colored_count_ = 0;
 
-  Registry registry_;                       // active clusters only
-  std::unordered_map<RowId, int> row_map_;  // rows owned by a cluster
+  Registry registry_;  // active clusters only
+  Bitset claimed_;     // rows owned by an active cluster
+  Bitset fresh_scratch_;
+  std::vector<uint64_t> in_target_scratch_;
+  std::vector<uint64_t> delta_scratch_;
+  CandidateList trivial_candidates_;
+
+  std::vector<Memo> memo_;  // per node
+  size_t memo_entries_ = 0;
 
   uint64_t steps_ = 0;
   uint64_t backtracks_ = 0;
@@ -493,6 +689,10 @@ ColoringOutcome ColorConstraints(const Relation& relation,
                                  const ColoringOptions& options) {
   DIVA_CHECK_MSG(graph.targets.size() == constraints.size(),
                  "graph must be built from the same constraint set");
+  // Bitmaps, QI-sorted target orders, incidence lists, and row tags are
+  // pure functions of (relation, graph): build them once and share across
+  // every restart attempt and the greedy pass.
+  SearchContext context(relation, graph);
   // Strict passes (lower-bound forward checking) with randomized
   // restarts: complete colorings are typically found within a few dozen
   // steps of a good ordering, so several cheap diversified attempts beat
@@ -517,7 +717,7 @@ ColoringOutcome ColorConstraints(const Relation& relation,
       // them cheap so eight attempts stay affordable.
       pass.stall_limit = std::max<uint64_t>(500, options.stall_limit / 4);
     }
-    ColoringEngine strict(relation, constraints, graph, pass,
+    ColoringEngine strict(relation, constraints, graph, context, pass,
                           /*forward_check=*/true);
     ColoringOutcome outcome = strict.Run();
     spent += outcome.steps;
@@ -543,7 +743,7 @@ ColoringOutcome ColorConstraints(const Relation& relation,
   second.step_budget = budget > spent ? budget - spent : 1;
   second.epsilon = 0.1;
   DIVA_TRACE_SPAN("coloring/greedy");
-  ColoringEngine greedy(relation, constraints, graph, second,
+  ColoringEngine greedy(relation, constraints, graph, context, second,
                         /*forward_check=*/false);
   ColoringOutcome fallback = greedy.Run();
   fallback.steps += spent;

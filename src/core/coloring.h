@@ -60,12 +60,26 @@ struct ColoringOptions {
   /// node order cannot wedge the search.
   double epsilon = 0.0;
 
+  /// Memoize per-node candidate lists across backtracking re-visits,
+  /// keyed by the claimed-rows fingerprint restricted to the node's
+  /// targets plus its remaining deficit/headroom. Enumeration (and the
+  /// least-constraining ordering) is a pure function of that key, so the
+  /// search explores exactly the same tree with the memo on or off —
+  /// disabling it only costs time (coloring_test asserts byte-identical
+  /// outcomes both ways). Hit/miss/evict totals are exported through the
+  /// deterministic counters coloring.memo_{hits,misses,evictions}.
+  bool memo = true;
+
+  /// Memoized candidate lists retained per search engine before the memo
+  /// is dropped wholesale (epoch eviction) to bound memory.
+  size_t memo_capacity = 2048;
+
   /// Knobs of the per-node candidate enumeration. Candidates are
-  /// regenerated each time a node is tried, over the target rows still
-  /// unclaimed by other clusters and for the constraint's *remaining*
-  /// deficit (the paper: "we update the candidate clusterings for their
-  /// neighbors") — occurrences preserved by other constraints' clusters
-  /// count toward a node's lower bound.
+  /// regenerated each time a node is tried (or replayed from the memo),
+  /// over the target rows still unclaimed by other clusters and for the
+  /// constraint's *remaining* deficit (the paper: "we update the
+  /// candidate clusterings for their neighbors") — occurrences preserved
+  /// by other constraints' clusters count toward a node's lower bound.
   ClusteringEnumOptions enumeration;
 };
 

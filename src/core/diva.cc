@@ -4,6 +4,7 @@
 
 #include "anon/privacy.h"
 #include "anon/suppress.h"
+#include "common/bitset.h"
 #include "common/counters.h"
 #include "common/deadline.h"
 #include "common/failpoint.h"
@@ -242,14 +243,14 @@ Result<DivaResult> RunDiva(const Relation& relation,
   {
     DIVA_TRACE_SPAN("diva/anonymize");
     PhaseTimer phase_timer(&report.anonymize_seconds);
-    std::vector<bool> covered(relation.NumRows(), false);
+    Bitset covered(relation.NumRows());
     for (const Cluster& cluster : sigma_clusters) {
-      for (RowId row : cluster) covered[row] = true;
+      for (RowId row : cluster) covered.Set(row);
     }
     std::vector<RowId> remaining;
     remaining.reserve(relation.NumRows() - report.sigma_rows);
     for (RowId row = 0; row < relation.NumRows(); ++row) {
-      if (!covered[row]) remaining.push_back(row);
+      if (!covered.Test(row)) remaining.push_back(row);
     }
 
     if (remaining.size() >= options.k) {

@@ -11,84 +11,63 @@ namespace diva {
 namespace {
 
 /// FNV-1a over the QI codes of a row.
-struct QiRowHasher {
-  const Relation* relation;
-
-  uint64_t operator()(RowId row) const {
-    uint64_t h = 1469598103934665603ULL;
-    for (size_t col : relation->schema().qi_indices()) {
-      uint64_t v = static_cast<uint64_t>(
-          static_cast<uint32_t>(relation->At(row, col)));
-      h ^= v;
-      h *= 1099511628211ULL;
-    }
-    return h;
+uint64_t QiProjectionHash(const Relation& relation, RowId row) {
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t col : relation.schema().qi_indices()) {
+    uint64_t v =
+        static_cast<uint64_t>(static_cast<uint32_t>(relation.At(row, col)));
+    h ^= v;
+    h *= 1099511628211ULL;
   }
-};
+  return h;
+}
 
-struct QiRowEquals {
-  const Relation* relation;
-
-  bool operator()(RowId a, RowId b) const {
-    for (size_t col : relation->schema().qi_indices()) {
-      if (relation->At(a, col) != relation->At(b, col)) return false;
-    }
-    return true;
+/// True when rows a and b agree on every quasi-identifier attribute.
+bool SameQiProjection(const Relation& relation, RowId a, RowId b) {
+  for (size_t col : relation.schema().qi_indices()) {
+    if (relation.At(a, col) != relation.At(b, col)) return false;
   }
-};
-
-QiGroups GroupRowsSequential(const Relation& relation,
-                             std::span<const RowId> rows) {
-  QiGroups out;
-  std::unordered_map<RowId, size_t, QiRowHasher, QiRowEquals> group_index(
-      16, QiRowHasher{&relation}, QiRowEquals{&relation});
-  for (RowId row : rows) {
-    auto [it, inserted] = group_index.try_emplace(row, out.groups.size());
-    if (inserted) {
-      out.groups.emplace_back();
-    }
-    out.groups[it->second].push_back(row);
-  }
-  return out;
+  return true;
 }
 
 QiGroups GroupRows(const Relation& relation, std::span<const RowId> rows) {
-  // Below this size the per-chunk hash maps cost more than they save.
-  // Both paths produce the identical grouping (proof below), so where
-  // the cutoff falls never affects results.
+  // Hash-then-verify: one 64-bit QI-projection hash per row, computed up
+  // front (in parallel above the cutoff — a pure per-row function, so
+  // identical at every thread width), then a sequential grouping pass
+  // that touches full projections only when two hashes collide. The old
+  // scheme re-hashed a row's projection on every map probe and compared
+  // projections along whole collision chains.
   constexpr size_t kMinParallelRows = 4096;
+  std::vector<uint64_t> hashes;
   if (rows.size() < kMinParallelRows) {
-    return GroupRowsSequential(relation, rows);
+    hashes.reserve(rows.size());
+    for (RowId row : rows) hashes.push_back(QiProjectionHash(relation, row));
+  } else {
+    hashes = ParallelMap<uint64_t>(rows.size(), /*grain=*/1024, [&](size_t i) {
+      return QiProjectionHash(relation, rows[i]);
+    });
   }
 
-  // Chunk boundaries are a pure function of rows.size(): identical
-  // partials for every thread count.
-  size_t chunk_size = rows.size() / 64 + 1;
-  size_t chunks = (rows.size() + chunk_size - 1) / chunk_size;
-  std::vector<QiGroups> partials =
-      ParallelMap<QiGroups>(chunks, /*grain=*/1, [&](size_t c) {
-        size_t begin = c * chunk_size;
-        size_t end = std::min(begin + chunk_size, rows.size());
-        return GroupRowsSequential(relation, rows.subspan(begin, end - begin));
-      });
-
-  // Merging partials in ascending chunk order rebuilds the sequential
-  // result exactly: a group's global index is set by its first occurrence
-  // (earlier chunks always merge first), and each group's rows land in
-  // original scan order (chunk order outer, within-chunk order inner).
+  // Group ids are assigned at first occurrence and rows appended in scan
+  // order, so the grouping (and its order) is exactly what a pairwise
+  // projection-comparing pass would produce.
   QiGroups out;
-  std::unordered_map<RowId, size_t, QiRowHasher, QiRowEquals> group_index(
-      16, QiRowHasher{&relation}, QiRowEquals{&relation});
-  for (QiGroups& partial : partials) {
-    for (auto& group : partial.groups) {
-      auto [it, inserted] =
-          group_index.try_emplace(group.front(), out.groups.size());
-      if (inserted) {
-        out.groups.emplace_back();
+  std::unordered_map<uint64_t, std::vector<size_t>> by_hash;  // -> group ids
+  by_hash.reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::vector<size_t>& bucket = by_hash[hashes[i]];
+    size_t group = out.groups.size();
+    for (size_t candidate : bucket) {
+      if (SameQiProjection(relation, out.groups[candidate].front(), rows[i])) {
+        group = candidate;
+        break;
       }
-      auto& merged = out.groups[it->second];
-      merged.insert(merged.end(), group.begin(), group.end());
     }
+    if (group == out.groups.size()) {
+      out.groups.emplace_back();
+      bucket.push_back(group);
+    }
+    out.groups[group].push_back(rows[i]);
   }
   return out;
 }

@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
 
+#include "common/counters.h"
+#include "constraint/generator.h"
 #include "core/coloring.h"
 #include "core/constraint_graph.h"
 #include "core/diva.h"
+#include "datagen/profiles.h"
 #include "relation/qi_groups.h"
 #include "tests/test_util.h"
 
@@ -266,6 +270,135 @@ TEST(PortfolioTest, DivaWithPortfolioOption) {
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(IsKAnonymous(result->relation, 2));
   EXPECT_TRUE(SatisfiesAll(result->relation, constraints));
+}
+
+// ------------------------------------------------------------ memo cache
+
+uint64_t CounterDelta(const std::vector<counters::Sample>& delta,
+                      const std::string& name) {
+  for (const counters::Sample& sample : delta) {
+    if (sample.name == name) return sample.value;
+  }
+  return 0;
+}
+
+/// A heavy-overlap workload (nested refinement chains, tight bounds)
+/// that forces real backtracking in the strict passes — the regime the
+/// candidate memo exists for.
+struct StressWorkload {
+  Relation relation;
+  ConstraintSet constraints;
+};
+
+StressWorkload MakeStressWorkload() {
+  ProfileOptions profile_options;
+  profile_options.seed = 1000;
+  auto relation = GenerateProfile(DatasetProfile::kCredit, profile_options);
+  EXPECT_TRUE(relation.ok());
+  ConstraintGenOptions gen;
+  gen.count = 24;
+  gen.slack = 0.05;
+  gen.min_support = 15;
+  gen.target_conflict = 0.9;
+  gen.seed = 1000;
+  auto constraints = GenerateConstraints(*relation, gen);
+  EXPECT_TRUE(constraints.ok());
+  return {*std::move(relation), *std::move(constraints)};
+}
+
+ColoringOptions StressOptions() {
+  ColoringOptions options;
+  options.k = 10;
+  options.strategy = SelectionStrategy::kMaxFanOut;
+  options.seed = 1000;
+  options.step_budget = 40000;
+  options.stall_limit = 5000;
+  return options;
+}
+
+bool SameOutcome(const ColoringOutcome& a, const ColoringOutcome& b) {
+  return a.assignment == b.assignment && a.preserved == b.preserved &&
+         a.chosen_clusters == b.chosen_clusters && a.steps == b.steps &&
+         a.backtracks == b.backtracks && a.complete == b.complete;
+}
+
+// Regression guard for the hoisted QI-similarity sorts: one sort per
+// constraint per ColorConstraints call, performed at SearchContext
+// construction, regardless of how many search steps revisit each node.
+// If per-visit sorting ever creeps back into CandidatesFor, this counter
+// scales with steps and the assertion fails loudly.
+TEST(ColoringTest, TargetSortsHoistedOncePerConstraint) {
+  StressWorkload workload = MakeStressWorkload();
+  ConstraintGraph graph =
+      BuildConstraintGraph(workload.relation, workload.constraints);
+  auto before = counters::Snapshot();
+  ColoringOutcome outcome = ColorConstraints(
+      workload.relation, workload.constraints, graph, StressOptions());
+  auto delta = counters::Delta(before, counters::Snapshot());
+  ASSERT_GT(outcome.steps, workload.constraints.size());
+  EXPECT_EQ(CounterDelta(delta, "coloring.target_sorts"),
+            workload.constraints.size());
+}
+
+TEST(ColoringTest, MemoReplaysAfterBacktracking) {
+  StressWorkload workload = MakeStressWorkload();
+  ConstraintGraph graph =
+      BuildConstraintGraph(workload.relation, workload.constraints);
+  auto before = counters::Snapshot();
+  ColoringOutcome outcome = ColorConstraints(
+      workload.relation, workload.constraints, graph, StressOptions());
+  auto delta = counters::Delta(before, counters::Snapshot());
+  // The workload must actually backtrack, and backtracking re-visits
+  // must replay memoized candidate lists instead of re-enumerating.
+  EXPECT_GT(outcome.backtracks, 0u);
+  EXPECT_GT(CounterDelta(delta, "coloring.memo_hits"), 0u);
+  EXPECT_GT(CounterDelta(delta, "coloring.memo_misses"), 0u);
+  // The memo key includes the claimed-rows fingerprint restricted to the
+  // node's targets: when a neighbor claims overlapping rows, the node
+  // sees a different key and re-enumerates (a stale replay would hand
+  // back clusters containing claimed rows). The observable consequence:
+  // replayed candidates still never produce overlapping clusters or
+  // bound violations.
+  std::set<RowId> seen;
+  for (const Cluster& cluster : outcome.chosen_clusters) {
+    for (RowId row : cluster) {
+      EXPECT_TRUE(seen.insert(row).second) << "overlap on row " << row;
+    }
+  }
+  for (size_t j = 0; j < workload.constraints.size(); ++j) {
+    EXPECT_LE(outcome.preserved[j], workload.constraints[j].upper()) << j;
+  }
+}
+
+// The memo is a pure cache: candidate lists are a deterministic function
+// of (free target set, deficit, headroom), so disabling it — or forcing
+// constant evictions — must not move a single byte of the outcome.
+TEST(ColoringTest, MemoDisabledOrEvictingIsByteIdentical) {
+  StressWorkload workload = MakeStressWorkload();
+  ConstraintGraph graph =
+      BuildConstraintGraph(workload.relation, workload.constraints);
+
+  ColoringOptions with_memo = StressOptions();
+  ColoringOutcome baseline = ColorConstraints(
+      workload.relation, workload.constraints, graph, with_memo);
+  ASSERT_GT(baseline.backtracks, 0u);
+
+  ColoringOptions no_memo = StressOptions();
+  no_memo.memo = false;
+  ColoringOutcome without = ColorConstraints(
+      workload.relation, workload.constraints, graph, no_memo);
+  EXPECT_TRUE(SameOutcome(baseline, without));
+
+  // A one-entry capacity forces an eviction on nearly every miss; the
+  // search tree still must not change.
+  ColoringOptions tiny_memo = StressOptions();
+  tiny_memo.memo_capacity = 1;
+  auto before = counters::Snapshot();
+  ColoringOutcome evicting = ColorConstraints(
+      workload.relation, workload.constraints, graph, tiny_memo);
+  auto delta = counters::Delta(before, counters::Snapshot());
+  EXPECT_TRUE(SameOutcome(baseline, evicting));
+  EXPECT_GT(CounterDelta(delta, "coloring.memo_evictions"), 0u);
 }
 
 TEST(ColoringTest, PreservedMatchesChosenClusters) {

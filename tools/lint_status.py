@@ -19,6 +19,12 @@ leftover measurement hacks belong in the span tracer (DIVA_TRACE_SPAN)
 and counter registry (DIVA_COUNTER_ADD), and user-facing text belongs to
 the CLIs, not the library. A deliberate diagnostic escape hatch is
 `// lint: allow-print` on the call's line or the line above.
+Check 5 (vector<bool>): std::vector<bool> is banned in src/core/ and
+src/constraint/ — the search hot path does membership tests and set
+intersections over row sets, and the packed-word Bitset
+(common/bitset.h) does those word-wise with popcount kernels instead of
+per-element proxy reads. A vector<bool> creeping back in silently
+reverts the kernels to bit-proxy loops.
 
 The compiler already rejects discarded [[nodiscard]] Status/Result values,
 but only for translation units it compiles; this lint is a belt-and-braces
@@ -234,6 +240,32 @@ def find_instrumentation_violations(path: Path) -> list[tuple[int, str, str]]:
     return violations
 
 
+# std::vector<bool> in the search hot path. Matched on comment/string-
+# stripped text so prose mentions never flag.
+VECTOR_BOOL_RE = re.compile(r"std\s*::\s*vector\s*<\s*bool\s*>")
+
+# Directories held to the Bitset rule (the coloring/clustering hot path
+# and the constraint machinery feeding it).
+VECTOR_BOOL_DIRS = ("core", "constraint")
+
+
+def find_vector_bool_violations(path: Path) -> list[tuple[int, str]]:
+    parts = str(path).replace("\\", "/").split("/")
+    if "src" not in parts[:-1]:
+        return []
+    if not any(d in parts[:-1] for d in VECTOR_BOOL_DIRS):
+        return []
+    raw = path.read_text()
+    text = strip_comments_and_strings(raw)
+    raw_lines = raw.splitlines()
+    violations = []
+    for match in VECTOR_BOOL_RE.finditer(text):
+        line_no = text.count("\n", 0, match.start()) + 1
+        line = raw_lines[line_no - 1] if line_no <= len(raw_lines) else ""
+        violations.append((line_no, line.strip()))
+    return violations
+
+
 def main(argv: list[str]) -> int:
     if len(argv) < 2:
         print(f"usage: {argv[0]} <source-root>...", file=sys.stderr)
@@ -278,6 +310,13 @@ def main(argv: list[str]) -> int:
                     f"{source}:{line_no}: raw chrono clock: `{line}` "
                     f"(use common/timer.h — MonotonicSeconds, StopWatch, "
                     f"PhaseTimer — or common/deadline.h instead)"
+                )
+                failures += 1
+            for line_no, line in find_vector_bool_violations(source):
+                print(
+                    f"{source}:{line_no}: std::vector<bool> in the search "
+                    f"hot path: `{line}` (use Bitset from common/bitset.h — "
+                    f"packed words, popcount intersection kernels)"
                 )
                 failures += 1
             for line_no, line, kind in find_instrumentation_violations(source):
