@@ -7,11 +7,17 @@
 #   3. tsan build + full ctest with DIVA_THREADS>=8 (gates the thread
 #      pool: the parallel layer must be race-free at real width)
 #   4. tools/lint_status.py over src/ (dropped Status, raw-thread,
-#      raw-clock, ad-hoc-instrumentation and vector<bool> lints)
-#   5. clang-tidy over src/ (skipped with a notice when not installed)
-#   6. coverage gate: gcovr line coverage >=80% on src/common/trace.*
+#      raw-clock, ad-hoc-instrumentation, vector<bool> and raw-random
+#      lints)
+#   5. static analysis: tools/diva_analyze.py over src/ (determinism +
+#      locking invariants) and the analysis-fixture suite; plus a
+#      clang -Wthread-safety -Werror build of the clang-analyze preset
+#      when clang++ is installed (skipped with a notice otherwise)
+#   6. clang-tidy over src/ and tests/ (skipped with a notice when not
+#      installed)
+#   7. coverage gate: gcovr line coverage >=80% on src/common/trace.*
 #      and counters.* (skipped with a notice when gcovr is not installed)
-#   7. bench gate: bench_coloring vs bench/baselines/BENCH_coloring.json
+#   8. bench gate: bench_coloring vs bench/baselines/BENCH_coloring.json
 #      via tools/bench_diff.py (deterministic metrics, 10% tolerance)
 #
 # Usage: ci/check.sh [--skip-sanitizers] [--threads N]
@@ -94,10 +100,27 @@ rm -f /tmp/BENCH_coloring.$$.json
 step "lint: tools/lint_status.py src examples bench tests"
 python3 tools/lint_status.py src examples bench tests
 
+step "static analysis: tools/diva_analyze.py src (determinism + locking)"
+python3 tools/diva_analyze.py --compdb build/release \
+  --json /tmp/diva_analyze.$$.json src
+rm -f /tmp/diva_analyze.$$.json
+
+step "static analysis: fixture suite (tests/analysis_fixtures)"
+python3 tests/analysis_fixtures/fixture_test.py
+
+if command -v clang++ >/dev/null 2>&1; then
+  step "clang-analyze: -Wthread-safety -Werror build (locking proof)"
+  cmake --preset clang-analyze
+  cmake --build --preset clang-analyze -j "$JOBS"
+else
+  step "clang-analyze: SKIPPED (clang++ not installed; CI runs it)"
+fi
+
 if command -v clang-tidy >/dev/null 2>&1; then
-  step "clang-tidy over src/ (compile db: build/release)"
+  step "clang-tidy over src/ and tests/ (compile db: build/release)"
   # shellcheck disable=SC2046
-  clang-tidy -p build/release --quiet $(find src -name '*.cc' | sort)
+  clang-tidy -p build/release --quiet \
+    $(find src tests -name '*.cc' ! -path 'tests/analysis_fixtures/*' | sort)
 else
   step "clang-tidy: SKIPPED (not installed; config is .clang-tidy)"
 fi

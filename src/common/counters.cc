@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <map>
 #include <memory>
-#include <mutex>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace diva {
 namespace counters {
@@ -16,12 +18,12 @@ struct Entry {
   std::unique_ptr<Cell> cell;
 };
 
-std::mutex g_mutex;
+Mutex g_mutex;
 
 /// name -> entry, ordered so Snapshot() is sorted for free. Entries are
 /// never removed: a Cell* handed to a macro site stays valid for the
 /// process lifetime.
-std::map<std::string, Entry>& Registry() {
+std::map<std::string, Entry>& Registry() DIVA_REQUIRES(g_mutex) {
   static auto* registry = new std::map<std::string, Entry>();
   return *registry;
 }
@@ -29,7 +31,7 @@ std::map<std::string, Entry>& Registry() {
 }  // namespace
 
 Cell* Register(const char* name, Kind kind, Scope scope) {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   auto& registry = Registry();
   auto it = registry.find(name);
   if (it == registry.end()) {
@@ -43,7 +45,7 @@ Cell* Register(const char* name, Kind kind, Scope scope) {
 }
 
 std::vector<Sample> Snapshot() {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::vector<Sample> samples;
   const auto& registry = Registry();
   samples.reserve(registry.size());
@@ -111,7 +113,7 @@ std::vector<Sample> FilterScope(const std::vector<Sample>& samples,
 }
 
 void ResetForTest() {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   for (auto& [name, entry] : Registry()) {
     entry.cell->value.store(0, std::memory_order_relaxed);
     entry.cell->sum.store(0, std::memory_order_relaxed);

@@ -5,8 +5,10 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <unordered_map>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace diva {
 namespace failpoint {
@@ -44,10 +46,10 @@ struct Site {
 };
 
 struct Registry {
-  std::mutex mutex;
-  std::unordered_map<std::string, Site> sites;
-  bool counting = false;
-  bool env_parsed = false;
+  Mutex mutex;
+  std::unordered_map<std::string, Site> sites DIVA_GUARDED_BY(mutex);
+  bool counting DIVA_GUARDED_BY(mutex) = false;
+  bool env_parsed DIVA_GUARDED_BY(mutex) = false;
 };
 
 Registry& GetRegistry() {
@@ -93,7 +95,8 @@ bool ParseStatusCode(const std::string& text, StatusCode* code) {
 }
 
 /// Arms every entry of `spec` into an already-locked registry.
-Status ArmFromSpecLocked(Registry& registry, const std::string& spec) {
+Status ArmFromSpecLocked(Registry& registry, const std::string& spec)
+    DIVA_REQUIRES(registry.mutex) {
   size_t pos = 0;
   while (pos < spec.size()) {
     size_t comma = spec.find(',', pos);
@@ -144,7 +147,8 @@ Status ArmFromSpecLocked(Registry& registry, const std::string& spec) {
 /// Parses DIVA_FAILPOINTS once per Reset. A malformed spec aborts: a
 /// fault-injection run with a half-armed spec would silently test
 /// nothing.
-void MaybeArmFromEnvLocked(Registry& registry) {
+void MaybeArmFromEnvLocked(Registry& registry)
+    DIVA_REQUIRES(registry.mutex) {
   if (registry.env_parsed) return;
   registry.env_parsed = true;
   const char* env = std::getenv("DIVA_FAILPOINTS");
@@ -163,7 +167,7 @@ Status Check(const char* name) {
   // One-time lazy DIVA_FAILPOINTS parse (thread-safe magic static).
   static const bool env_initialized = [] {
     Registry& registry = GetRegistry();
-    std::lock_guard<std::mutex> lock(registry.mutex);
+    MutexLock lock(registry.mutex);
     MaybeArmFromEnvLocked(registry);
     return true;
   }();
@@ -171,7 +175,7 @@ Status Check(const char* name) {
   // Fast path: nothing armed, no counting — one relaxed load.
   if (g_active.load(std::memory_order_relaxed) == 0) return Status::OK();
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(registry.mutex);
   Site& site = registry.sites[name];
   ++site.hits;
   if (site.armed && !site.fired && site.hits == site.trigger_hit) {
@@ -185,7 +189,7 @@ Status Check(const char* name) {
 
 void Arm(const std::string& name, StatusCode code, uint64_t trigger_hit) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(registry.mutex);
   Site& site = registry.sites[name];
   site.armed = true;
   site.fired = false;
@@ -197,13 +201,13 @@ void Arm(const std::string& name, StatusCode code, uint64_t trigger_hit) {
 
 Status ArmFromSpec(const std::string& spec) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(registry.mutex);
   return ArmFromSpecLocked(registry, spec);
 }
 
 void Reset() {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(registry.mutex);
   registry.sites.clear();
   registry.counting = false;
   registry.env_parsed = true;  // an explicit Reset overrides the env
@@ -212,14 +216,14 @@ void Reset() {
 
 uint64_t HitCount(const std::string& name) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(registry.mutex);
   auto it = registry.sites.find(name);
   return it == registry.sites.end() ? 0 : it->second.hits;
 }
 
 void SetCounting(bool enabled) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(registry.mutex);
   if (registry.counting == enabled) return;
   registry.counting = enabled;
   if (enabled) {
@@ -231,7 +235,7 @@ void SetCounting(bool enabled) {
 
 std::vector<std::string> HitSites() {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(registry.mutex);
   std::vector<std::string> names;
   for (const auto& [name, site] : registry.sites) {
     if (site.hits > 0) names.push_back(name);

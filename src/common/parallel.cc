@@ -1,16 +1,16 @@
 #include "common/parallel.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 
 #include "common/counters.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/trace.h"
 
 namespace diva {
@@ -50,18 +50,20 @@ struct Job {
   CancellationToken cancel;  // copied at submission; null = never trips
   std::atomic<size_t> next_chunk{0};
 
-  std::mutex mutex;
-  std::condition_variable done_cv;
-  size_t completed_chunks = 0;        // guarded by mutex
-  size_t first_unrun_chunk = 0;       // guarded by mutex; chunks when none
-  std::exception_ptr first_error;     // guarded by mutex
+  Mutex mutex;
+  CondVar done_cv;
+  size_t completed_chunks DIVA_GUARDED_BY(mutex) = 0;
+  /// Chunk index where the fully-executed prefix ends; `chunks` when
+  /// every chunk ran.
+  size_t first_unrun_chunk DIVA_GUARDED_BY(mutex) = 0;
+  std::exception_ptr first_error DIVA_GUARDED_BY(mutex);
 
   /// Marks every not-yet-claimed chunk as cancelled: no thread will run
   /// them, so account for them as completed and remember where the
   /// executed prefix ends. Claims are monotonic (fetch_add), so the
   /// chunks claimed before the exchange are exactly [0, raw) and all of
-  /// them drain to completion. Caller must hold `mutex`.
-  void CancelUnclaimedLocked() {
+  /// them drain to completion.
+  void CancelUnclaimedLocked() DIVA_REQUIRES(mutex) {
     size_t raw = next_chunk.exchange(chunks, std::memory_order_relaxed);
     size_t claimed = raw < chunks ? raw : chunks;
     DIVA_COUNTER_ADD_EXEC("pool.chunks_cancelled", chunks - claimed);
@@ -77,9 +79,9 @@ struct Job {
   void RunChunks(bool is_worker) {
     while (true) {
       if (cancel.Cancelled()) {
-        std::lock_guard<std::mutex> lock(mutex);
+        MutexLock lock(mutex);
         CancelUnclaimedLocked();
-        if (completed_chunks == chunks) done_cv.notify_all();
+        if (completed_chunks == chunks) done_cv.NotifyAll();
         return;
       }
       size_t chunk = next_chunk.fetch_add(1, std::memory_order_relaxed);
@@ -97,7 +99,7 @@ struct Job {
       } catch (...) {
         error = std::current_exception();
       }
-      std::lock_guard<std::mutex> lock(mutex);
+      MutexLock lock(mutex);
       if (error != nullptr) {
         if (first_error == nullptr) first_error = error;
         // Cancel chunks nobody claimed yet; account for them as completed
@@ -105,19 +107,25 @@ struct Job {
         // chunks drain normally and count themselves.
         CancelUnclaimedLocked();
       }
-      if (++completed_chunks == chunks) done_cv.notify_all();
+      if (++completed_chunks == chunks) done_cv.NotifyAll();
     }
   }
 
   /// Blocks until every chunk completed (or was cancelled).
   void Join() {
-    std::unique_lock<std::mutex> lock(mutex);
-    done_cv.wait(lock, [&] { return completed_chunks == chunks; });
+    MutexLock lock(mutex);
+    while (completed_chunks != chunks) done_cv.Wait(lock);
+  }
+
+  /// First exception any chunk raised, if any. Call after Join.
+  std::exception_ptr FirstError() {
+    MutexLock lock(mutex);
+    return first_error;
   }
 
   /// Index-space prefix [0, n) that fully executed. Call after Join.
   size_t CompletedPrefix() {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     size_t done = first_unrun_chunk * grain;
     return done < count ? done : count;
   }
@@ -140,8 +148,8 @@ size_t RunInline(size_t count, size_t grain,
 }
 
 /// Process-global loop-cancellation token; read once per submitted loop.
-std::mutex g_cancel_mutex;
-CancellationToken g_loop_cancel;  // guarded by g_cancel_mutex
+Mutex g_cancel_mutex;
+CancellationToken g_loop_cancel DIVA_GUARDED_BY(g_cancel_mutex);
 
 }  // namespace
 
@@ -166,13 +174,15 @@ size_t EnvThreads() {
 struct ThreadPool::Impl {
   size_t threads = 1;
 
-  std::mutex mutex;
-  std::condition_variable work_cv;       // workers: new job or shutdown
-  uint64_t generation = 0;               // bumped per submitted job
-  std::shared_ptr<Job> current_job;      // null between jobs
-  bool shutdown = false;
+  Mutex mutex;
+  CondVar work_cv;                       // workers: new job or shutdown
+  /// Bumped per submitted job.
+  uint64_t generation DIVA_GUARDED_BY(mutex) = 0;
+  /// Null between jobs.
+  std::shared_ptr<Job> current_job DIVA_GUARDED_BY(mutex);
+  bool shutdown DIVA_GUARDED_BY(mutex) = false;
 
-  std::mutex submit_mutex;               // one fork-join loop at a time
+  Mutex submit_mutex;                    // one fork-join loop at a time
   std::vector<std::thread> workers;
 
   void WorkerLoop() {
@@ -180,9 +190,8 @@ struct ThreadPool::Impl {
     while (true) {
       std::shared_ptr<Job> job;
       {
-        std::unique_lock<std::mutex> lock(mutex);
-        work_cv.wait(lock,
-                     [&] { return shutdown || generation != seen; });
+        MutexLock lock(mutex);
+        while (!shutdown && generation == seen) work_cv.Wait(lock);
         if (shutdown) return;
         seen = generation;
         job = current_job;  // may be null if the job already retired
@@ -202,10 +211,10 @@ ThreadPool::ThreadPool(size_t threads) : impl_(new Impl) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    MutexLock lock(impl_->mutex);
     impl_->shutdown = true;
   }
-  impl_->work_cv.notify_all();
+  impl_->work_cv.NotifyAll();
   for (std::thread& worker : impl_->workers) worker.join();
   delete impl_;
 }
@@ -239,7 +248,7 @@ size_t ThreadPool::ParallelFor(
   }
   CancellationToken cancel;
   {
-    std::lock_guard<std::mutex> lock(g_cancel_mutex);
+    MutexLock lock(g_cancel_mutex);
     cancel = g_loop_cancel;
   }
   if (grain == 0) grain = AutoGrain(count, impl_->threads);
@@ -249,9 +258,7 @@ size_t ThreadPool::ParallelFor(
     AnnotateCancelledPrefix(prefix, count);
     return prefix;
   }
-  std::unique_lock<std::mutex> submit(impl_->submit_mutex,
-                                      std::try_to_lock);
-  if (!submit.owns_lock()) {
+  if (!impl_->submit_mutex.TryLock()) {
     // Another thread is mid-loop on this pool (e.g. two portfolio
     // searches enumerating concurrently): degrade to inline execution of
     // the identical chunks rather than queueing behind it.
@@ -259,27 +266,33 @@ size_t ThreadPool::ParallelFor(
     AnnotateCancelledPrefix(prefix, count);
     return prefix;
   }
+  // Adopt the try-acquired submit lock so every exit path below —
+  // including the rethrow — releases it.
+  MutexLock submit(impl_->submit_mutex, kAdoptLock);
   auto job = std::make_shared<Job>();
   job->body = &body;
   job->count = count;
   job->grain = grain;
   job->chunks = chunks;
-  job->first_unrun_chunk = chunks;
   job->cancel = cancel;
   {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    MutexLock lock(job->mutex);
+    job->first_unrun_chunk = chunks;
+  }
+  {
+    MutexLock lock(impl_->mutex);
     impl_->current_job = job;
     ++impl_->generation;
   }
-  impl_->work_cv.notify_all();
+  impl_->work_cv.NotifyAll();
   job->RunChunks(/*is_worker=*/false);  // the submitter participates
   job->Join();
   {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    MutexLock lock(impl_->mutex);
     impl_->current_job = nullptr;
   }
-  if (job->first_error != nullptr) {
-    std::rethrow_exception(job->first_error);
+  if (std::exception_ptr error = job->FirstError()) {
+    std::rethrow_exception(error);
   }
   size_t prefix = job->CompletedPrefix();
   AnnotateCancelledPrefix(prefix, count);
@@ -288,11 +301,12 @@ size_t ThreadPool::ParallelFor(
 
 namespace {
 
-std::mutex g_pool_mutex;
-std::shared_ptr<ThreadPool> g_pool;  // created lazily
+Mutex g_pool_mutex;
+std::shared_ptr<ThreadPool> g_pool
+    DIVA_GUARDED_BY(g_pool_mutex);  // created lazily
 
 std::shared_ptr<ThreadPool> GlobalPool() {
-  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  MutexLock lock(g_pool_mutex);
   if (g_pool == nullptr) {
     g_pool = std::make_shared<ThreadPool>(EnvThreads());
   }
@@ -307,7 +321,7 @@ void SetParallelThreads(size_t threads) {
   size_t resolved = ResolveThreadCount(threads);
   std::shared_ptr<ThreadPool> retired;  // joined after the lock drops
   {
-    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    MutexLock lock(g_pool_mutex);
     if (g_pool != nullptr && g_pool->threads() == resolved) return;
     retired = std::move(g_pool);
     g_pool = std::make_shared<ThreadPool>(resolved);
@@ -326,14 +340,14 @@ void RunTasks(size_t count, const std::function<void(size_t)>& fn) {
     if (!cancel.Cancelled()) fn(0);
     return;
   }
-  std::mutex mutex;
+  Mutex mutex;
   std::exception_ptr first_error;
   auto run_task = [&](size_t task) {
     if (cancel.Cancelled()) return;  // skip tasks not yet started
     try {
       fn(task);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex);
+      MutexLock lock(mutex);
       if (first_error == nullptr) first_error = std::current_exception();
     }
   };
@@ -348,18 +362,18 @@ void RunTasks(size_t count, const std::function<void(size_t)>& fn) {
 }
 
 ScopedLoopCancellation::ScopedLoopCancellation(CancellationToken token) {
-  std::lock_guard<std::mutex> lock(g_cancel_mutex);
+  MutexLock lock(g_cancel_mutex);
   previous_ = g_loop_cancel;
   g_loop_cancel = std::move(token);
 }
 
 ScopedLoopCancellation::~ScopedLoopCancellation() {
-  std::lock_guard<std::mutex> lock(g_cancel_mutex);
+  MutexLock lock(g_cancel_mutex);
   g_loop_cancel = std::move(previous_);
 }
 
 CancellationToken CurrentLoopCancellation() {
-  std::lock_guard<std::mutex> lock(g_cancel_mutex);
+  MutexLock lock(g_cancel_mutex);
   return g_loop_cancel;
 }
 

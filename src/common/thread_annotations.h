@@ -1,0 +1,94 @@
+#ifndef DIVA_COMMON_THREAD_ANNOTATIONS_H_
+#define DIVA_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety capability annotations.
+///
+/// These macros attach Clang's `-Wthread-safety` attributes to types,
+/// fields and functions so that locking invariants are checked at
+/// compile time on every translation unit: which mutex guards which
+/// field, which functions must (or must not) be called with a lock
+/// held, and which scoped objects acquire/release a capability. Under
+/// GCC (or any compiler without the attributes) every macro expands to
+/// nothing, so annotated code builds identically everywhere; the
+/// `clang-analyze` preset turns the analysis into hard errors.
+///
+/// The vocabulary follows the Clang documentation (and Abseil's
+/// equivalent header): a `DIVA_CAPABILITY` type is a lock, fields are
+/// tied to it with `DIVA_GUARDED_BY`, functions declare lock contracts
+/// with `DIVA_REQUIRES` / `DIVA_ACQUIRE` / `DIVA_RELEASE`, and RAII
+/// lockers are `DIVA_SCOPED_CAPABILITY`. Use these only through
+/// common/mutex.h — raw `std::mutex` outside that wrapper is rejected
+/// by tools/diva_analyze.py (check `raw-mutex`).
+
+#if defined(__clang__)
+#define DIVA_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define DIVA_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+/// Marks a class as a capability (a lock). The string argument names
+/// the capability kind in diagnostics, e.g. "mutex".
+#define DIVA_CAPABILITY(x) \
+  DIVA_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor
+/// releases a capability.
+#define DIVA_SCOPED_CAPABILITY \
+  DIVA_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Declares that the field it is attached to is protected by the given
+/// capability: reads require the capability held shared or exclusive,
+/// writes require it exclusive.
+#define DIVA_GUARDED_BY(x) \
+  DIVA_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// As DIVA_GUARDED_BY, but protects the data *pointed to* by the
+/// annotated pointer rather than the pointer itself.
+#define DIVA_PT_GUARDED_BY(x) \
+  DIVA_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Lock-ordering declarations (deadlock prevention).
+#define DIVA_ACQUIRED_BEFORE(...) \
+  DIVA_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#define DIVA_ACQUIRED_AFTER(...) \
+  DIVA_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+/// The calling thread must hold the capability on entry, and still
+/// holds it on exit (the function neither acquires nor releases it).
+#define DIVA_REQUIRES(...) \
+  DIVA_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+/// The function acquires the capability and holds it past the return.
+#define DIVA_ACQUIRE(...) \
+  DIVA_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+/// The function releases a capability the caller held on entry.
+#define DIVA_RELEASE(...) \
+  DIVA_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+/// The function attempts to acquire the capability; the first argument
+/// is the return value that means success.
+#define DIVA_TRY_ACQUIRE(...) \
+  DIVA_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// The calling thread must NOT hold the capability (non-reentrancy /
+/// deadlock guard).
+#define DIVA_EXCLUDES(...) \
+  DIVA_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Asserts at runtime that the capability is held, teaching the
+/// analysis the fact without a visible acquisition.
+#define DIVA_ASSERT_CAPABILITY(x) \
+  DIVA_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+/// The function returns a reference to the given capability.
+#define DIVA_RETURN_CAPABILITY(x) \
+  DIVA_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch: the function body is not analyzed. Reserve for code
+/// whose safety argument the analysis cannot express (e.g. init/teardown
+/// paths that are provably single-threaded); justify with a comment.
+#define DIVA_NO_THREAD_SAFETY_ANALYSIS \
+  DIVA_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // DIVA_COMMON_THREAD_ANNOTATIONS_H_

@@ -3,8 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
-#include <mutex>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/timer.h"
 
 namespace diva {
@@ -37,11 +38,13 @@ namespace {
 
 constexpr size_t kDefaultRingCapacity = 65536;
 
-std::mutex g_registry_mutex;
-std::vector<std::shared_ptr<ThreadBuffer>> g_buffers;  // guarded by mutex
-size_t g_ring_capacity = kDefaultRingCapacity;         // guarded by mutex
-uint32_t g_next_tid = 0;                               // guarded by mutex
-double g_capture_start_s = 0.0;                        // guarded by mutex
+Mutex g_registry_mutex;
+std::vector<std::shared_ptr<ThreadBuffer>> g_buffers
+    DIVA_GUARDED_BY(g_registry_mutex);
+size_t g_ring_capacity DIVA_GUARDED_BY(g_registry_mutex) =
+    kDefaultRingCapacity;
+uint32_t g_next_tid DIVA_GUARDED_BY(g_registry_mutex) = 0;
+double g_capture_start_s DIVA_GUARDED_BY(g_registry_mutex) = 0.0;
 
 /// Bumped by Enable(); a thread whose cached buffer carries an older
 /// generation re-registers. Relaxed reads are fine: a stale value only
@@ -64,7 +67,7 @@ std::shared_ptr<ThreadBuffer> AcquireThreadBuffer() {
   TlsState& tls = Tls();
   uint64_t generation = g_generation.load(std::memory_order_relaxed);
   if (tls.buffer == nullptr || tls.buffer->generation != generation) {
-    std::lock_guard<std::mutex> lock(g_registry_mutex);
+    MutexLock lock(g_registry_mutex);
     generation = g_generation.load(std::memory_order_relaxed);
     tls.buffer = std::make_shared<ThreadBuffer>(g_ring_capacity,
                                                 g_next_tid++, generation);
@@ -93,7 +96,7 @@ uint32_t BufferTid(const ThreadBuffer* buffer) { return buffer->tid; }
 }  // namespace internal
 
 void Enable() {
-  std::lock_guard<std::mutex> lock(internal::g_registry_mutex);
+  MutexLock lock(internal::g_registry_mutex);
   internal::g_buffers.clear();
   internal::g_next_tid = 0;
   internal::g_capture_start_s = MonotonicSeconds();
@@ -110,20 +113,20 @@ bool IsEnabled() {
 }
 
 void SetRingCapacity(size_t events_per_thread) {
-  std::lock_guard<std::mutex> lock(internal::g_registry_mutex);
+  MutexLock lock(internal::g_registry_mutex);
   internal::g_ring_capacity =
       events_per_thread > 0 ? events_per_thread : 1;
 }
 
 size_t RingCapacity() {
-  std::lock_guard<std::mutex> lock(internal::g_registry_mutex);
+  MutexLock lock(internal::g_registry_mutex);
   return internal::g_ring_capacity;
 }
 
 uint64_t DroppedEvents() {
   std::vector<std::shared_ptr<internal::ThreadBuffer>> buffers;
   {
-    std::lock_guard<std::mutex> lock(internal::g_registry_mutex);
+    MutexLock lock(internal::g_registry_mutex);
     buffers = internal::g_buffers;
   }
   uint64_t dropped = 0;
@@ -134,14 +137,14 @@ uint64_t DroppedEvents() {
 }
 
 size_t ActiveBufferCount() {
-  std::lock_guard<std::mutex> lock(internal::g_registry_mutex);
+  MutexLock lock(internal::g_registry_mutex);
   return internal::g_buffers.size();
 }
 
 std::vector<SpanEvent> Collect() {
   std::vector<std::shared_ptr<internal::ThreadBuffer>> buffers;
   {
-    std::lock_guard<std::mutex> lock(internal::g_registry_mutex);
+    MutexLock lock(internal::g_registry_mutex);
     buffers = internal::g_buffers;
   }
   std::vector<SpanEvent> events;

@@ -35,6 +35,9 @@ std::vector<Candidate> SingleAttributeCandidates(
     rows_by_code[code].push_back(row);
   }
   std::vector<Candidate> candidates;
+  // Determinism audit: this loop visits rows_by_code in hash order, but
+  // the (support, value) sort below fully re-orders candidates before
+  // anything observes them, so no iteration order escapes.
   for (auto& [code, rows] : rows_by_code) {
     if (rows.size() < options.min_support) continue;
     Candidate c;
@@ -74,6 +77,9 @@ std::optional<Candidate> RefineCandidate(const Relation& relation,
   }
   const std::vector<RowId>* best = nullptr;
   ValueCode best_code = kSuppressed;
+  // Determinism audit: hash-order iteration feeding an order-insensitive
+  // max-reduction; ties break on the stable ValueCode, so the modal
+  // value selected is independent of iteration order.
   for (const auto& [code, rows] : rows_by_code) {
     if (best == nullptr || rows.size() > best->size() ||
         (rows.size() == best->size() && code < best_code)) {

@@ -1,7 +1,5 @@
 #include "hierarchy/generalize.h"
 
-#include <unordered_set>
-
 #include "common/logging.h"
 
 namespace diva {

@@ -50,7 +50,10 @@ QiGroups GroupRows(const Relation& relation, std::span<const RowId> rows) {
 
   // Group ids are assigned at first occurrence and rows appended in scan
   // order, so the grouping (and its order) is exactly what a pairwise
-  // projection-comparing pass would produce.
+  // projection-comparing pass would produce. Determinism audit: by_hash
+  // is probe-only — operator[] lookups keyed by the row's projection
+  // hash; it is never iterated, so hash-map order cannot leak into the
+  // group numbering.
   QiGroups out;
   std::unordered_map<uint64_t, std::vector<size_t>> by_hash;  // -> group ids
   by_hash.reserve(rows.size());

@@ -1,0 +1,94 @@
+#ifndef DIVA_TESTS_ANALYSIS_FIXTURES_FIXTURE_STUBS_H_
+#define DIVA_TESTS_ANALYSIS_FIXTURES_FIXTURE_STUBS_H_
+
+// Minimal hermetic stand-ins for the std types the analysis fixtures
+// mention. The fixtures must parse under the libclang engine without
+// system headers (CI runs the analyzer with a pip-installed libclang
+// whose resource dir need not match the host toolchain), and the
+// canonical type spellings must still read `std::unordered_map<...>` /
+// `std::unordered_set<...>` so the semantic checks resolve them.
+//
+// Nothing here is ever compiled by the build; fixtures are analyzer
+// input only.
+
+namespace std {
+
+using size_t = decltype(sizeof(0));
+
+template <typename A, typename B>
+struct pair {
+  A first;
+  B second;
+};
+
+class string {
+ public:
+  string();
+  string(const char* s);
+};
+
+template <typename T>
+class vector {
+ public:
+  void push_back(const T& value);
+  void emplace_back(const T& value);
+  T* begin();
+  T* end();
+  const T* begin() const;
+  const T* end() const;
+  size_t size() const;
+};
+
+template <typename K, typename V>
+class unordered_map {
+ public:
+  using value_type = pair<const K, V>;
+  value_type* begin();
+  value_type* end();
+  const value_type* begin() const;
+  const value_type* end() const;
+  V& operator[](const K& key);
+  const V& at(const K& key) const;
+  size_t size() const;
+};
+
+template <typename K>
+class unordered_set {
+ public:
+  const K* begin() const;
+  const K* end() const;
+  void insert(const K& key);
+  size_t size() const;
+};
+
+template <typename It>
+void sort(It first, It last);
+template <typename It, typename Cmp>
+void sort(It first, It last, Cmp cmp);
+
+template <typename T>
+struct less {
+  bool operator()(const T& a, const T& b) const;
+};
+
+class mutex {
+ public:
+  void lock();
+  void unlock();
+};
+
+template <typename M>
+class lock_guard {
+ public:
+  explicit lock_guard(M& m);
+};
+
+// analyze: allow-raw-random — stub declaration, not a use
+class random_device {
+ public:
+  unsigned operator()();
+};
+
+}  // namespace std
+
+#endif  // DIVA_TESTS_ANALYSIS_FIXTURES_FIXTURE_STUBS_H_

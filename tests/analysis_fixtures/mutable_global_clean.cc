@@ -1,0 +1,25 @@
+// Analysis fixture: namespace-scope declarations that are justified or
+// out of scope for the mutable-global check — compile-time constants,
+// constinit, function declarations, and class members.
+//
+// expect: mutable-global=0
+
+namespace demo {
+
+constexpr int kLimit = 64;
+
+constinit int g_epoch = 0;
+
+inline const double kScale = 1.5;
+
+static const unsigned kMask = 0xffu;
+
+int Helper(int x);
+
+static int CountHelper();
+
+struct Widget {
+  int count = 0;
+};
+
+}  // namespace demo

@@ -1,0 +1,17 @@
+// Analysis fixture: mutable namespace-scope state with no
+// GUARDED_BY / constinit justification — a plain int, a static flag,
+// and a default-constructed container each fire once.
+//
+// expect: mutable-global=3
+
+#include "fixture_stubs.h"
+
+namespace demo {
+
+int g_counter = 0;
+
+static bool g_enabled;
+
+std::vector<int> g_cache;
+
+}  // namespace demo

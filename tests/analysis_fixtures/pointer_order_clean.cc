@@ -1,0 +1,17 @@
+// Analysis fixture: deterministic comparisons involving pointers —
+// ordering on pointed-to ids and pointer equality are both fine; only
+// relational comparison of the pointer values themselves is banned.
+//
+// expect: pointer-order=0
+
+struct Node {
+  int id;
+};
+
+bool Before(const Node* a, const Node* b) {
+  return a->id < b->id;
+}
+
+bool SameObject(const Node* a, const Node* b) {
+  return a == b;
+}

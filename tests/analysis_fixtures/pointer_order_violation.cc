@@ -1,0 +1,19 @@
+// Analysis fixture: ordering on raw pointer values — a direct relational
+// comparison and a std::less instantiation over a pointer type. Both
+// depend on allocation addresses, which vary run to run.
+//
+// expect: pointer-order=2
+
+#include "fixture_stubs.h"
+
+struct Node {
+  int id;
+};
+
+bool Before(const Node* a, const Node* b) {
+  return a < b;
+}
+
+void SortByAddress(std::vector<Node*>* nodes) {
+  std::sort(nodes->begin(), nodes->end(), std::less<Node*>());
+}

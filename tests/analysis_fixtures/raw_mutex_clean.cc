@@ -1,0 +1,29 @@
+// Analysis fixture: locking through the sanctioned diva::Mutex wrapper,
+// plus near-miss spellings that must not trip the lexical ban —
+// std::mutex in a comment, in a string literal, and as a suffix of a
+// longer qualifier.
+//
+// expect: raw-mutex=0
+
+namespace diva {
+class Mutex {};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu);
+};
+}  // namespace diva
+
+namespace xstd {
+class mutex {};
+}  // namespace xstd
+
+struct SharedState {
+  diva::Mutex mu;  // not a std::mutex: wrapper type is allowed
+  int value = 0;
+};
+
+const char* Doc() {
+  return "std::mutex only appears inside this string literal";
+}
+
+void Touch(SharedState* state);

@@ -1,0 +1,17 @@
+// Analysis fixture: raw standard-library locking primitives. The field
+// declaration fires once; the lock_guard line fires twice (lock_guard
+// itself plus its std::mutex template argument).
+//
+// expect: raw-mutex=3
+
+#include "fixture_stubs.h"
+
+struct SharedState {
+  std::mutex mu;
+  int value = 0;
+};
+
+int Read(SharedState* state) {
+  std::lock_guard<std::mutex> lock(state->mu);
+  return state->value;
+}

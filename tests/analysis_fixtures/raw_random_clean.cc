@@ -1,0 +1,20 @@
+// Analysis fixture: seeded randomness through diva::Rng, plus
+// identifiers that merely contain the banned substrings — Strand(),
+// Operand(), a parameter named brand — none of which may fire.
+// std::random_device in this comment must not fire either.
+//
+// expect: raw-random=0
+
+namespace diva {
+class Rng;
+}
+
+unsigned long long NextDraw(diva::Rng& rng);
+
+int Strand() {
+  return 0;
+}
+
+int Operand(int brand) {
+  return brand + Strand();
+}

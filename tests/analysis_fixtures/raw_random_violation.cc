@@ -1,0 +1,17 @@
+// Analysis fixture: nondeterministic randomness sources — rand(),
+// srand(), and std::random_device each fire once.
+//
+// expect: raw-random=3
+
+int NextToken() {
+  return rand();
+}
+
+void Reseed(unsigned seed) {
+  srand(seed);
+}
+
+unsigned HardwareDraw() {
+  std::random_device device;
+  return device();
+}

@@ -1,0 +1,36 @@
+// Analysis fixture: the blessed idioms around unordered containers —
+// copy keys out, sort, iterate the sorted copy; or reduce
+// order-insensitively. None of these may fire.
+//
+// expect: unordered-sink=0
+
+#include "fixture_stubs.h"
+
+void WriteRow(const std::string& row);
+
+void EmitSorted(const std::unordered_map<int, std::string>& table) {
+  std::vector<int> keys;
+  for (const auto& [key, value] : table) {
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  for (int key : keys) {
+    WriteRow(table.at(key));
+  }
+}
+
+int Sum(const std::unordered_map<int, int>& table) {
+  int total = 0;
+  for (const auto& [key, value] : table) {
+    total += value;
+  }
+  return total;
+}
+
+int MaxId(const std::unordered_set<int>& ids) {
+  int best = -1;
+  for (int id : ids) {
+    if (id > best) best = id;
+  }
+  return best;
+}

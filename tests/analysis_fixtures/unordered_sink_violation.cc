@@ -1,0 +1,33 @@
+// Analysis fixture: iteration order of a hash container leaking into
+// observable output. Three distinct shapes must each fire once: a write
+// sink in the loop body, an order-sensitive hash fold, and an append to
+// a sequence that is never sorted in the enclosing function.
+//
+// expect: unordered-sink=3
+
+#include "fixture_stubs.h"
+
+void WriteRow(const std::string& row);
+void HashCombine(unsigned long long* state, int value);
+
+void EmitAll(const std::unordered_map<int, std::string>& table) {
+  for (const auto& [key, value] : table) {
+    WriteRow(value);
+  }
+}
+
+unsigned long long Fingerprint(const std::unordered_map<int, int>& table) {
+  unsigned long long state = 0;
+  for (const auto& [key, value] : table) {
+    HashCombine(&state, value);
+  }
+  return state;
+}
+
+std::vector<int> Keys(const std::unordered_map<int, int>& table) {
+  std::vector<int> keys;
+  for (const auto& [key, value] : table) {
+    keys.push_back(key);
+  }
+  return keys;
+}

@@ -25,6 +25,17 @@ intersections over row sets, and the packed-word Bitset
 (common/bitset.h) does those word-wise with popcount kernels instead of
 per-element proxy reads. A vector<bool> creeping back in silently
 reverts the kernels to bit-proxy loops.
+Check 6 (randomness): rand() / srand() / std::random_device may appear
+only in src/common/rng.* — every randomized component takes an explicit
+seed through diva::Rng so any run can be replayed bit-for-bit. This is
+the plain-checkout fallback for the deeper raw-random check in
+tools/diva_analyze.py.
+
+Escape hatches are uniform: `// lint: allow-<tag>` on the flagged line
+or the line directly above (tags: discard, thread, clock, print,
+vector-bool, random), with a justification in the comment.
+tests/analysis_fixtures/ is skipped wholesale — those files are analyzer
+input that violates the rules on purpose.
 
 The compiler already rejects discarded [[nodiscard]] Status/Result values,
 but only for translation units it compiles; this lint is a belt-and-braces
@@ -65,7 +76,19 @@ FACTORY_NAMES = {
     "DeadlineExceeded",
 }
 
-ALLOW_COMMENT = "lint: allow-discard"
+ALLOW_PREFIX = "lint: allow-"
+ALLOW_COMMENT = ALLOW_PREFIX + "discard"  # spelled out in messages
+
+
+def allowed(raw_lines: list[str], line_no: int, tag: str) -> bool:
+    """Unified escape-hatch test: `// lint: allow-<tag>` on the flagged
+    line or the line directly above suppresses the finding."""
+    needle = ALLOW_PREFIX + tag
+    for ln in (line_no, line_no - 1):
+        if 1 <= ln <= len(raw_lines) and needle in raw_lines[ln - 1]:
+            return True
+    return False
+
 
 DECL_RE = re.compile(
     r"(?:\[\[nodiscard\]\]\s*)?(?:static\s+|virtual\s+)*Status\s+(\w+)\s*\("
@@ -144,7 +167,7 @@ def find_violations(path: Path, names: set[str]) -> list[tuple[int, str]]:
             continue
         line_no = text.count("\n", 0, start) + 1
         line = raw_lines[line_no - 1] if line_no <= len(raw_lines) else ""
-        if ALLOW_COMMENT in line:
+        if allowed(raw_lines, line_no, "discard"):
             continue
         violations.append((line_no, line.strip()))
     return violations
@@ -168,6 +191,8 @@ def find_thread_violations(path: Path) -> list[tuple[int, str]]:
     for match in THREAD_RE.finditer(text):
         line_no = text.count("\n", 0, match.start()) + 1
         line = raw_lines[line_no - 1] if line_no <= len(raw_lines) else ""
+        if allowed(raw_lines, line_no, "thread"):
+            continue
         violations.append((line_no, line.strip()))
     return violations
 
@@ -193,6 +218,8 @@ def find_clock_violations(path: Path) -> list[tuple[int, str]]:
     for match in CLOCK_RE.finditer(text):
         line_no = text.count("\n", 0, match.start()) + 1
         line = raw_lines[line_no - 1] if line_no <= len(raw_lines) else ""
+        if allowed(raw_lines, line_no, "clock"):
+            continue
         violations.append((line_no, line.strip()))
     return violations
 
@@ -233,8 +260,7 @@ def find_instrumentation_violations(path: Path) -> list[tuple[int, str, str]]:
         for match in pattern.finditer(text):
             line_no = text.count("\n", 0, match.start()) + 1
             line = raw_lines[line_no - 1] if line_no <= len(raw_lines) else ""
-            above = raw_lines[line_no - 2] if line_no >= 2 else ""
-            if ALLOW_PRINT_COMMENT in line or ALLOW_PRINT_COMMENT in above:
+            if allowed(raw_lines, line_no, "print"):
                 continue
             violations.append((line_no, line.strip(), kind))
     return violations
@@ -262,6 +288,37 @@ def find_vector_bool_violations(path: Path) -> list[tuple[int, str]]:
     for match in VECTOR_BOOL_RE.finditer(text):
         line_no = text.count("\n", 0, match.start()) + 1
         line = raw_lines[line_no - 1] if line_no <= len(raw_lines) else ""
+        if allowed(raw_lines, line_no, "vector-bool"):
+            continue
+        violations.append((line_no, line.strip()))
+    return violations
+
+
+# Nondeterministic randomness sources. diva::Rng (common/rng.h) is the
+# one sanctioned generator: everything randomized takes an explicit seed
+# so runs replay bit-for-bit. rand()/srand() share hidden global state
+# and random_device is entropy by definition; neither can appear outside
+# the Rng implementation itself. (tools/diva_analyze.py enforces the
+# same rule with its own engines; this is the plain-checkout fallback.)
+RANDOM_RE = re.compile(
+    r"(?<![\w.:>])s?rand\s*\(|(?:std\s*::\s*)?\brandom_device\b"
+)
+
+RANDOM_ALLOWED_RE = re.compile(r"common/rng\.[^/]*$")
+
+
+def find_random_violations(path: Path) -> list[tuple[int, str]]:
+    if RANDOM_ALLOWED_RE.search(str(path).replace("\\", "/")):
+        return []
+    raw = path.read_text()
+    text = strip_comments_and_strings(raw)
+    raw_lines = raw.splitlines()
+    violations = []
+    for match in RANDOM_RE.finditer(text):
+        line_no = text.count("\n", 0, match.start()) + 1
+        line = raw_lines[line_no - 1] if line_no <= len(raw_lines) else ""
+        if allowed(raw_lines, line_no, "random"):
+            continue
         violations.append((line_no, line.strip()))
     return violations
 
@@ -290,6 +347,10 @@ def main(argv: list[str]) -> int:
             + list(root.rglob("*.hpp"))
         )
         for source in sources:
+            # The analysis fixtures violate the rules on purpose; they
+            # are input for tools/diva_analyze.py, never compiled code.
+            if "analysis_fixtures" in source.parts:
+                continue
             if source.suffix in (".cc", ".cpp"):
                 for line_no, line in find_violations(source, names):
                     print(
@@ -317,6 +378,14 @@ def main(argv: list[str]) -> int:
                     f"{source}:{line_no}: std::vector<bool> in the search "
                     f"hot path: `{line}` (use Bitset from common/bitset.h — "
                     f"packed words, popcount intersection kernels)"
+                )
+                failures += 1
+            for line_no, line in find_random_violations(source):
+                print(
+                    f"{source}:{line_no}: raw randomness source: `{line}` "
+                    f"(use diva::Rng from common/rng.h with an explicit "
+                    f"seed; `// {ALLOW_PREFIX}random` on or above the line "
+                    f"if deliberate)"
                 )
                 failures += 1
             for line_no, line, kind in find_instrumentation_violations(source):
