@@ -77,7 +77,7 @@ if [[ "$SKIP_SANITIZERS" -eq 0 ]]; then
   # claiming chunks (mirrors the CI fault-sweep job).
   step "fault sweep: asan-ubsan failpoint + deadline tests (DIVA_THREADS=8)"
   DIVA_THREADS=8 ctest --preset asan-ubsan -j "$JOBS" \
-    -R "FaultInjectionTest|DeadlineTest|CancellationTokenTest|PoolCancellationTest|ColoringBudgetTest|DivaDeadlineTest|CsvTest"
+    -R "FaultInjectionTest|DeadlineTest|CancellationTokenTest|PoolCancellationTest|TaskGroupTest|ColoringBudgetTest|DivaDeadlineTest|CsvTest"
 
   step "tsan: configure + build"
   cmake --preset tsan
@@ -92,10 +92,20 @@ fi
 
 step "bench gate: bench_coloring vs bench/baselines/BENCH_coloring.json"
 cmake --build --preset release -j "$JOBS" --target bench_coloring
-./build/release/bench/bench_coloring /tmp/BENCH_coloring.$$.json
+DIVA_THREADS=1 \
+  ./build/release/bench/bench_coloring /tmp/BENCH_coloring_t1.$$.json
 python3 tools/bench_diff.py \
-  bench/baselines/BENCH_coloring.json /tmp/BENCH_coloring.$$.json
-rm -f /tmp/BENCH_coloring.$$.json
+  bench/baselines/BENCH_coloring.json /tmp/BENCH_coloring_t1.$$.json
+
+# Cross-width determinism: with speculative attempt search on, every
+# deterministic metric must be byte-identical at width 8 (mirrors the
+# thread-matrix CI job; exec_/timing keys are informational).
+step "bench gate: cross-width determinism (DIVA_THREADS=1 vs 8, tolerance 0)"
+DIVA_THREADS=8 \
+  ./build/release/bench/bench_coloring /tmp/BENCH_coloring_t8.$$.json
+python3 tools/bench_diff.py --tolerance 0 \
+  /tmp/BENCH_coloring_t1.$$.json /tmp/BENCH_coloring_t8.$$.json
+rm -f /tmp/BENCH_coloring_t1.$$.json /tmp/BENCH_coloring_t8.$$.json
 
 step "lint: tools/lint_status.py src examples bench tests"
 python3 tools/lint_status.py src examples bench tests

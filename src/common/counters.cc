@@ -30,6 +30,39 @@ std::map<std::string, Entry>& Registry() DIVA_REQUIRES(g_mutex) {
 
 }  // namespace
 
+thread_local Buffer* tl_deterministic_buffer = nullptr;
+
+void Buffer::Add(Cell* cell, uint64_t delta) {
+  // Coalesce counter bumps per cell: a speculative attempt touches only
+  // a handful of distinct deterministic counters, so a linear scan beats
+  // a hash map here.
+  for (Op& op : ops_) {
+    if (op.cell == cell && !op.histogram) {
+      op.value += delta;
+      return;
+    }
+  }
+  ops_.push_back(Op{cell, false, delta});
+}
+
+void Buffer::Record(Cell* cell, uint64_t value) {
+  // Histogram observations carry min/max, so each one is kept verbatim.
+  ops_.push_back(Op{cell, true, value});
+}
+
+void Buffer::Commit() {
+  for (const Op& op : ops_) {
+    if (op.histogram) {
+      counters::Record(op.cell, op.value);
+    } else {
+      counters::Add(op.cell, op.value);
+    }
+  }
+  ops_.clear();
+}
+
+void Buffer::Discard() { ops_.clear(); }
+
 Cell* Register(const char* name, Kind kind, Scope scope) {
   MutexLock lock(g_mutex);
   auto& registry = Registry();

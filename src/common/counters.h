@@ -64,6 +64,58 @@ inline void Add(Cell* cell, uint64_t delta) {
   cell->value.fetch_add(delta, std::memory_order_relaxed);
 }
 
+/// Deferred batch of deterministic-scope updates. Speculative work (a
+/// coloring attempt run ahead of its sequential turn) records into a
+/// Buffer instead of the global cells; the driver Commit()s the buffer
+/// only if that work is adopted, so unadopted speculation leaves no
+/// trace in the deterministic fingerprint. Not thread-safe: one buffer
+/// belongs to one worker at a time.
+class Buffer {
+ public:
+  void Add(Cell* cell, uint64_t delta);
+  void Record(Cell* cell, uint64_t value);
+
+  /// Applies every buffered update to the global cells (in insertion
+  /// order, though order is immaterial — the ops commute) and clears.
+  void Commit();
+
+  /// Drops all buffered updates without applying them.
+  void Discard();
+
+  bool empty() const { return ops_.empty(); }
+
+ private:
+  struct Op {
+    Cell* cell;
+    bool histogram;
+    uint64_t value;
+  };
+  std::vector<Op> ops_;
+};
+
+/// Thread-local redirect consulted by the deterministic-scope macros.
+/// Null (the default) means updates go straight to the global cells.
+extern thread_local Buffer* tl_deterministic_buffer;
+
+/// RAII: while alive, deterministic-scope updates made on the current
+/// thread accumulate in `buffer` instead of the registry. Execution-
+/// scope updates are never redirected — they are allowed to see
+/// speculative work. Nests: the previous redirect is restored on exit.
+class ScopedBufferedCounters {
+ public:
+  explicit ScopedBufferedCounters(Buffer* buffer)
+      : previous_(tl_deterministic_buffer) {
+    tl_deterministic_buffer = buffer;
+  }
+  ~ScopedBufferedCounters() { tl_deterministic_buffer = previous_; }
+
+  ScopedBufferedCounters(const ScopedBufferedCounters&) = delete;
+  ScopedBufferedCounters& operator=(const ScopedBufferedCounters&) = delete;
+
+ private:
+  Buffer* previous_;
+};
+
 inline void Record(Cell* cell, uint64_t value) {
   cell->value.fetch_add(1, std::memory_order_relaxed);
   cell->sum.fetch_add(value, std::memory_order_relaxed);
@@ -77,6 +129,24 @@ inline void Record(Cell* cell, uint64_t value) {
          !cell->max.compare_exchange_weak(seen, value,
                                           std::memory_order_relaxed)) {
   }
+}
+
+/// Deterministic-scope entry points: honor the thread-local buffer
+/// redirect. The execution-scope macros bypass these on purpose.
+inline void AddDeterministic(Cell* cell, uint64_t delta) {
+  if (Buffer* buffer = tl_deterministic_buffer) {
+    buffer->Add(cell, delta);
+    return;
+  }
+  Add(cell, delta);
+}
+
+inline void RecordDeterministic(Cell* cell, uint64_t value) {
+  if (Buffer* buffer = tl_deterministic_buffer) {
+    buffer->Record(cell, value);
+    return;
+  }
+  Record(cell, value);
 }
 
 /// One registry entry as observed at a point in time.
@@ -127,9 +197,10 @@ void ResetForTest();
   }()
 
 /// Adds `delta` to a deterministic counter (identical totals at every
-/// thread width).
+/// thread width). Honors the ScopedBufferedCounters redirect so
+/// speculative work stays out of the fingerprint until adopted.
 #define DIVA_COUNTER_ADD(name, delta)                                 \
-  ::diva::counters::Add(                                              \
+  ::diva::counters::AddDeterministic(                                 \
       DIVA_COUNTER_CELL_(name, kCounter, kDeterministic),             \
       static_cast<uint64_t>(delta))
 
@@ -140,9 +211,10 @@ void ResetForTest();
       DIVA_COUNTER_CELL_(name, kCounter, kExecution),             \
       static_cast<uint64_t>(delta))
 
-/// Records one observation into a deterministic histogram.
+/// Records one observation into a deterministic histogram. Honors the
+/// ScopedBufferedCounters redirect like DIVA_COUNTER_ADD.
 #define DIVA_HISTOGRAM_RECORD(name, value)                          \
-  ::diva::counters::Record(                                         \
+  ::diva::counters::RecordDeterministic(                            \
       DIVA_COUNTER_CELL_(name, kHistogram, kDeterministic),         \
       static_cast<uint64_t>(value))
 

@@ -1,14 +1,20 @@
 #include "common/parallel.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
+#include <deque>
 #include <exception>
+#include <map>
 #include <memory>
 #include <stdexcept>
 #include <thread>
+#include <tuple>
+#include <utility>
 
 #include "common/counters.h"
+#include "common/logging.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "common/trace.h"
@@ -359,6 +365,176 @@ void RunTasks(size_t count, const std::function<void(size_t)>& fn) {
   run_task(0);
   for (std::thread& worker : workers) worker.join();
   if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+struct TaskGroup::Impl {
+  enum class State { kPending, kClaimed, kDone, kAbandoned };
+
+  struct Item {
+    std::function<void()> fn;
+    State state = State::kPending;
+    std::exception_ptr error;
+  };
+
+  size_t worker_count = 0;
+  std::atomic<size_t> idle_workers{0};
+
+  Mutex mutex;
+  CondVar work_cv;  // workers: pending item arrived or shutdown
+  CondVar done_cv;  // waiters: an item transitioned to kDone
+  std::map<uint64_t, Item> items DIVA_GUARDED_BY(mutex);
+  /// Tickets of kPending items, FIFO. The front is always the lowest
+  /// outstanding ticket, which is what makes claim order deterministic.
+  std::deque<uint64_t> pending DIVA_GUARDED_BY(mutex);
+  uint64_t next_ticket DIVA_GUARDED_BY(mutex) = 0;
+  bool shutdown DIVA_GUARDED_BY(mutex) = false;
+
+  std::vector<std::thread> threads;
+
+  /// Pops the FIFO-front pending item and marks it claimed. Caller must
+  /// then RunItem it. Requires !pending.empty().
+  std::pair<uint64_t, std::function<void()>> ClaimFrontLocked()
+      DIVA_REQUIRES(mutex) {
+    uint64_t ticket = pending.front();
+    pending.pop_front();
+    Item& item = items.at(ticket);
+    item.state = State::kClaimed;
+    return {ticket, std::move(item.fn)};
+  }
+
+  void RunItem(uint64_t ticket, const std::function<void()>& fn) {
+    std::exception_ptr error;
+    try {
+      fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    MutexLock lock(mutex);
+    Item& item = items.at(ticket);
+    item.state = State::kDone;
+    item.error = error;
+    done_cv.NotifyAll();
+  }
+
+  void WorkerLoop() {
+    while (true) {
+      uint64_t ticket;
+      std::function<void()> fn;
+      {
+        MutexLock lock(mutex);
+        while (!shutdown && pending.empty()) {
+          idle_workers.fetch_add(1, std::memory_order_relaxed);
+          work_cv.Wait(lock);
+          idle_workers.fetch_sub(1, std::memory_order_relaxed);
+        }
+        if (shutdown && pending.empty()) return;
+        std::tie(ticket, fn) = ClaimFrontLocked();
+      }
+      DIVA_COUNTER_ADD_EXEC("taskgroup.claimed_by_worker", 1);
+      RunItem(ticket, fn);
+    }
+  }
+};
+
+TaskGroup::TaskGroup(size_t workers) : impl_(new Impl) {
+  impl_->worker_count = workers;
+  impl_->threads.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    impl_->threads.emplace_back([impl = impl_] { impl->WorkerLoop(); });
+  }
+}
+
+TaskGroup::~TaskGroup() {
+  {
+    MutexLock lock(impl_->mutex);
+    // Retract everything nobody claimed; claimed items drain in the
+    // worker that owns them before it observes shutdown.
+    for (uint64_t ticket : impl_->pending) {
+      impl_->items.at(ticket).state = Impl::State::kAbandoned;
+      impl_->items.at(ticket).fn = nullptr;
+    }
+    impl_->pending.clear();
+    impl_->shutdown = true;
+  }
+  impl_->work_cv.NotifyAll();
+  for (std::thread& thread : impl_->threads) thread.join();
+  delete impl_;
+}
+
+size_t TaskGroup::workers() const { return impl_->worker_count; }
+
+bool TaskGroup::HasIdleWorker() const {
+  return impl_->idle_workers.load(std::memory_order_relaxed) > 0;
+}
+
+uint64_t TaskGroup::Submit(std::function<void()> fn) {
+  DIVA_COUNTER_ADD_EXEC("taskgroup.submitted", 1);
+  uint64_t ticket;
+  {
+    MutexLock lock(impl_->mutex);
+    ticket = impl_->next_ticket++;
+    Impl::Item item;
+    item.fn = std::move(fn);
+    impl_->items.emplace(ticket, std::move(item));
+    impl_->pending.push_back(ticket);
+  }
+  impl_->work_cv.NotifyOne();
+  return ticket;
+}
+
+void TaskGroup::Wait(uint64_t ticket) {
+  while (true) {
+    uint64_t help_ticket;
+    std::function<void()> help_fn;
+    {
+      MutexLock lock(impl_->mutex);
+      auto it = impl_->items.find(ticket);
+      DIVA_CHECK_MSG(it != impl_->items.end(),
+                     "TaskGroup::Wait on unknown ticket");
+      DIVA_CHECK_MSG(it->second.state != Impl::State::kAbandoned,
+                     "TaskGroup::Wait on abandoned ticket");
+      if (it->second.state == Impl::State::kDone) {
+        std::exception_ptr error = it->second.error;
+        if (error != nullptr) std::rethrow_exception(error);
+        return;
+      }
+      if (impl_->pending.empty()) {
+        // Our item is claimed (or another helper beat us to the queue):
+        // park until something settles.
+        impl_->done_cv.Wait(lock);
+        continue;
+      }
+      std::tie(help_ticket, help_fn) = impl_->ClaimFrontLocked();
+    }
+    DIVA_COUNTER_ADD_EXEC("taskgroup.claimed_by_waiter", 1);
+    impl_->RunItem(help_ticket, help_fn);
+  }
+}
+
+bool TaskGroup::TryAbandon(uint64_t ticket) {
+  MutexLock lock(impl_->mutex);
+  auto it = impl_->items.find(ticket);
+  DIVA_CHECK_MSG(it != impl_->items.end(),
+                 "TaskGroup::TryAbandon on unknown ticket");
+  if (it->second.state != Impl::State::kPending) return false;
+  it->second.state = Impl::State::kAbandoned;
+  it->second.fn = nullptr;
+  auto pos = std::find(impl_->pending.begin(), impl_->pending.end(), ticket);
+  DIVA_CHECK(pos != impl_->pending.end());
+  impl_->pending.erase(pos);
+  DIVA_COUNTER_ADD_EXEC("taskgroup.abandoned", 1);
+  return true;
+}
+
+void TaskGroup::AbandonAll() {
+  MutexLock lock(impl_->mutex);
+  for (uint64_t ticket : impl_->pending) {
+    Impl::Item& item = impl_->items.at(ticket);
+    item.state = Impl::State::kAbandoned;
+    item.fn = nullptr;
+    DIVA_COUNTER_ADD_EXEC("taskgroup.abandoned", 1);
+  }
+  impl_->pending.clear();
 }
 
 ScopedLoopCancellation::ScopedLoopCancellation(CancellationToken token) {

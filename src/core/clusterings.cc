@@ -179,10 +179,10 @@ std::vector<CandidateClustering> EnumerateClusteringsWithBounds(
     size_t k, size_t min_preserve, size_t max_preserve,
     const ClusteringEnumOptions& options) {
   std::vector<CandidateClustering> out;
-  if (k == 0 || free_targets.empty()) return out;
-  size_t m_lo = std::max(k, std::max<size_t>(1, min_preserve));
-  size_t m_hi = std::min(max_preserve, free_targets.size());
-  if (m_lo > m_hi) return out;
+  if (EnumerationIsTriviallyEmpty(free_targets.size(), k, min_preserve,
+                                  max_preserve)) {
+    return out;
+  }
 
   // coloring.target_sorts counts full-target stable_sorts; the coloring
   // engine hoists them to construction time, so after one ColorConstraints
@@ -196,17 +196,26 @@ std::vector<CandidateClustering> EnumerateClusteringsWithBounds(
                                       max_preserve, options);
 }
 
+bool EnumerationIsTriviallyEmpty(size_t free_targets, size_t k,
+                                 size_t min_preserve, size_t max_preserve) {
+  if (k == 0 || free_targets == 0) return true;
+  size_t m_lo = std::max(k, std::max<size_t>(1, min_preserve));
+  size_t m_hi = std::min(max_preserve, free_targets);
+  return m_lo > m_hi;
+}
+
 std::vector<CandidateClustering> EnumerateClusteringsQiSorted(
     const Relation& relation, const std::vector<RowId>& sorted_free_targets,
     size_t k, size_t min_preserve, size_t max_preserve,
     const ClusteringEnumOptions& options) {
   DIVA_TRACE_SPAN("clusterings/enumerate");
   std::vector<CandidateClustering> out;
-  if (k == 0 || sorted_free_targets.empty()) return out;
-
+  if (EnumerationIsTriviallyEmpty(sorted_free_targets.size(), k,
+                                  min_preserve, max_preserve)) {
+    return out;
+  }
   size_t m_lo = std::max(k, std::max<size_t>(1, min_preserve));
   size_t m_hi = std::min(max_preserve, sorted_free_targets.size());
-  if (m_lo > m_hi) return out;
 
   const std::vector<RowId>& sorted = sorted_free_targets;
   Rng rng(options.seed);

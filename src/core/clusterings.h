@@ -80,6 +80,15 @@ std::vector<CandidateClustering> EnumerateClusteringsWithBounds(
     size_t k, size_t min_preserve, size_t max_preserve,
     const ClusteringEnumOptions& options);
 
+/// O(1) structural test for "the bounded enumeration can emit nothing":
+/// true iff no preserved-count m with max(k, max(1, min_preserve)) <= m
+/// <= min(max_preserve, free_targets) exists (or k == 0 / no free
+/// targets). Shared by both Enumerate functions, and used by the
+/// coloring engine to skip enumeration (and the candidate memo) for
+/// structurally dead nodes without spending a step.
+bool EnumerationIsTriviallyEmpty(size_t free_targets, size_t k,
+                                 size_t min_preserve, size_t max_preserve);
+
 /// As EnumerateClusteringsWithBounds, but `sorted_free_targets` must
 /// already be in SortByQiSimilarity order. Skips the per-call
 /// stable_sort — the coloring engine computes each constraint's full

@@ -74,6 +74,52 @@ struct ColoringOptions {
   /// is dropped wholesale (epoch eviction) to bound memory.
   size_t memo_capacity = 2048;
 
+  /// Deterministic speculative search: restart attempts run ahead on
+  /// idle threads and the driver adopts results in attempt order, each
+  /// one only when it is provably identical to what the sequential
+  /// schedule would have computed (otherwise that attempt is re-run
+  /// inline under exact sequential semantics). Sibling candidates at
+  /// backtrack points are additionally pre-validated by idle workers.
+  /// Output, step/backtrack counts, and every deterministic counter are
+  /// byte-identical to speculation = false at any thread width; the knob
+  /// only trades threads for wall time. Automatically disabled when the
+  /// search can be cancelled externally (options.cancel / deadline),
+  /// because a truncated run is scheduling-dependent by nature.
+  bool speculation = true;
+
+  /// Learn dead subtrees: when every candidate of a node fails without
+  /// consuming randomness, improving the best partial coloring, or
+  /// hitting a budget, the (node, state) pair is recorded with its
+  /// step/backtrack cost and replayed on re-visits — the search charges
+  /// the recorded cost and fails immediately instead of re-exploring.
+  /// Replay is exactly equivalent to re-execution, so outcomes are
+  /// byte-identical with the table on or off (coloring_test asserts
+  /// this). Hit/miss/evict totals are exported through the deterministic
+  /// counters coloring.nogood_{hits,misses,evictions}.
+  bool nogood = true;
+
+  /// Nogood entries retained per search engine before the table is
+  /// dropped wholesale (epoch eviction, like memo_capacity).
+  size_t nogood_capacity = 4096;
+
+  /// Publish each restart attempt's learned nogoods at its end (a
+  /// deterministic sequence point) and seed them into every later
+  /// attempt, so attempt i prunes attempts j > i. Changes later
+  /// attempts' trajectories (deterministically — identical at every
+  /// thread width), and forces the attempt portfolio to run
+  /// sequentially, since attempt j cannot start before attempt i's
+  /// table is final. Off by default: the attempts that learn the most
+  /// are exactly the expensive ones speculation overlaps. The greedy
+  /// pass never consumes shared entries (they were learned under
+  /// forward checking and are unsound without it).
+  bool share_nogoods = false;
+
+  /// Hand the first strict attempt's candidate memo to the greedy pass
+  /// (they share the per-node enumeration seed, so entries are
+  /// interchangeable; the memo is semantically transparent, so steps
+  /// and outcome are unchanged — only enumeration time is saved).
+  bool share_memo = true;
+
   /// Knobs of the per-node candidate enumeration. Candidates are
   /// regenerated each time a node is tried (or replayed from the memo),
   /// over the target rows still unclaimed by other clusters and for the

@@ -290,6 +290,144 @@ TEST(CountersTest, ScopeFilterAndJson) {
   EXPECT_EQ(json, counters::ToJson(two));  // byte-stable
 }
 
+TEST(CountersTest, BufferCommitAppliesAndDiscardDrops) {
+  // The speculative-adoption primitive: deterministic-scope updates made
+  // under a redirect stay invisible until Commit, and Discard erases
+  // them as if the work never ran. Execution-scope updates bypass the
+  // redirect on purpose (they are allowed to see unadopted work).
+  counters::Buffer buffer;
+  auto before = counters::Snapshot();
+  {
+    counters::ScopedBufferedCounters redirect(&buffer);
+    DIVA_COUNTER_ADD("test.buffer.det", 5);
+    DIVA_HISTOGRAM_RECORD("test.buffer.hist", 9);
+    DIVA_COUNTER_ADD_EXEC("test.buffer.exec", 2);
+  }
+  auto delta = counters::Delta(before, counters::Snapshot());
+  const counters::Sample* det = Find(delta, "test.buffer.det");
+  ASSERT_NE(det, nullptr);
+  EXPECT_EQ(det->value, 0u) << "buffered update leaked before Commit";
+  const counters::Sample* exec = Find(delta, "test.buffer.exec");
+  ASSERT_NE(exec, nullptr);
+  EXPECT_EQ(exec->value, 2u) << "execution scope must bypass the redirect";
+
+  EXPECT_FALSE(buffer.empty());
+  buffer.Commit();
+  EXPECT_TRUE(buffer.empty());
+  delta = counters::Delta(before, counters::Snapshot());
+  det = Find(delta, "test.buffer.det");
+  ASSERT_NE(det, nullptr);
+  EXPECT_EQ(det->value, 5u);
+  const counters::Sample* hist = Find(delta, "test.buffer.hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->value, 1u);
+  EXPECT_EQ(hist->sum, 9u);
+
+  // A second batch, discarded: nothing moves.
+  before = counters::Snapshot();
+  {
+    counters::ScopedBufferedCounters redirect(&buffer);
+    DIVA_COUNTER_ADD("test.buffer.det", 100);
+  }
+  buffer.Discard();
+  EXPECT_TRUE(buffer.empty());
+  delta = counters::Delta(before, counters::Snapshot());
+  det = Find(delta, "test.buffer.det");
+  ASSERT_NE(det, nullptr);
+  EXPECT_EQ(det->value, 0u);
+}
+
+TEST(CountersTest, ScopedBufferRedirectNests) {
+  counters::Buffer outer;
+  counters::Buffer inner;
+  auto before = counters::Snapshot();
+  {
+    counters::ScopedBufferedCounters outer_scope(&outer);
+    DIVA_COUNTER_ADD("test.nest.counter", 1);
+    {
+      counters::ScopedBufferedCounters inner_scope(&inner);
+      DIVA_COUNTER_ADD("test.nest.counter", 10);
+    }
+    // Inner scope gone: updates land in the outer buffer again.
+    DIVA_COUNTER_ADD("test.nest.counter", 100);
+  }
+  inner.Discard();
+  outer.Commit();
+  auto delta = counters::Delta(before, counters::Snapshot());
+  const counters::Sample* sample = Find(delta, "test.nest.counter");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->value, 101u) << "only the outer batch was committed";
+}
+
+TEST(TraceTest, SpanBufferCommitRepublishesUnderOpenSpan) {
+  trace::SetRingCapacity(1024);
+  trace::Enable();
+  trace::SpanBuffer buffer;
+  {
+    trace::ScopedBufferedSpans redirect(&buffer);
+    DIVA_TRACE_SPAN("spec/outer");
+    {
+      DIVA_TRACE_SPAN("spec/inner");
+    }
+  }
+  // Nothing reaches the capture until the owner adopts the work.
+  EXPECT_EQ(trace::Collect().size(), 0u);
+  EXPECT_FALSE(buffer.empty());
+  {
+    DIVA_TRACE_SPAN("adopt/parent");
+    buffer.Commit();
+  }
+  trace::Disable();
+  EXPECT_TRUE(buffer.empty());
+  std::vector<trace::SpanEvent> events = trace::Collect();
+  ASSERT_EQ(events.size(), 3u);
+  uint32_t tid = events[0].tid;
+  std::map<std::string, const trace::SpanEvent*> by_name;
+  for (const trace::SpanEvent& event : events) {
+    EXPECT_EQ(event.tid, tid) << "committed spans adopt the committer's tid";
+    by_name[event.name] = &event;
+  }
+  ASSERT_EQ(by_name.count("adopt/parent"), 1u);
+  ASSERT_EQ(by_name.count("spec/outer"), 1u);
+  ASSERT_EQ(by_name.count("spec/inner"), 1u);
+  // Committed spans nest under the committer's open span: parent depth
+  // is 0, the buffered spans keep their relative nesting one level down.
+  EXPECT_EQ(by_name["adopt/parent"]->depth, 0u);
+  EXPECT_EQ(by_name["spec/outer"]->depth, 1u);
+  EXPECT_EQ(by_name["spec/inner"]->depth, 2u);
+}
+
+TEST(TraceTest, SpanBufferDiscardLeavesNoTrace) {
+  trace::SetRingCapacity(1024);
+  trace::Enable();
+  trace::SpanBuffer buffer;
+  {
+    trace::ScopedBufferedSpans redirect(&buffer);
+    DIVA_TRACE_SPAN("doomed/span");
+  }
+  buffer.Discard();
+  buffer.Commit();  // no-op on an empty buffer
+  trace::Disable();
+  EXPECT_EQ(trace::Collect().size(), 0u);
+}
+
+TEST(TraceTest, SpanBufferDropsSpansFromARetiredCapture) {
+  trace::SetRingCapacity(1024);
+  trace::Enable();
+  trace::SpanBuffer buffer;
+  {
+    trace::ScopedBufferedSpans redirect(&buffer);
+    DIVA_TRACE_SPAN("stale/span");
+  }
+  // A new capture retires the old timebase: the buffered span can no
+  // longer be rebased and must be silently dropped, not misfiled.
+  trace::Enable();
+  buffer.Commit();
+  EXPECT_TRUE(buffer.empty());
+  trace::Disable();
+  EXPECT_EQ(trace::Collect().size(), 0u);
+}
+
 TEST(CountersTest, ResetZeroesEveryCell) {
   DIVA_COUNTER_ADD("test.reset.counter", 42);
   counters::ResetForTest();

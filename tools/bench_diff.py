@@ -22,6 +22,12 @@ keys starting with "_" are metadata and ignored). Two metric classes:
   calibrated hardware — refresh the baseline on the same machine first).
   Only worse-direction drift fails: faster is never a regression.
 
+* Execution-scope metrics (any key starting with "exec_", e.g.
+  exec_spec_adopted): describe how work was *scheduled* — speculative
+  adoptions, probe counts — and legitimately vary with thread width and
+  timing. Always informational, never gated, not even by
+  --strict-timing.
+
 Exit code 0 = within tolerance, 1 = regression, 2 = usage/format error.
 """
 
@@ -90,7 +96,8 @@ def main() -> int:
                 continue
             delta = relative_delta(float(base), float(cur))
             timing = metric in TIMING_KEYS
-            gated = not timing or args.strict_timing
+            execution = metric.startswith("exec_")
+            gated = (not timing or args.strict_timing) and not execution
             if timing:
                 # Only worse-direction drift can regress.
                 worse = -delta if metric in LOWER_IS_BETTER else delta
