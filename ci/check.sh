@@ -19,6 +19,9 @@
 #      and counters.* (skipped with a notice when gcovr is not installed)
 #   8. bench gate: bench_coloring vs bench/baselines/BENCH_coloring.json
 #      via tools/bench_diff.py (deterministic metrics, 10% tolerance)
+#   9. serve gate: diva_loadgen (steady + overload replay against an
+#      in-process server) vs bench/baselines/BENCH_serve.json — the
+#      crash-tolerance invariants gate, latency keys stay informational
 #
 # Usage: ci/check.sh [--skip-sanitizers] [--threads N]
 #
@@ -106,6 +109,22 @@ DIVA_THREADS=8 \
 python3 tools/bench_diff.py --tolerance 0 \
   /tmp/BENCH_coloring_t1.$$.json /tmp/BENCH_coloring_t8.$$.json
 rm -f /tmp/BENCH_coloring_t1.$$.json /tmp/BENCH_coloring_t8.$$.json
+
+step "serve gate: diva_loadgen vs bench/baselines/BENCH_serve.json"
+cmake --build --preset release -j "$JOBS" --target diva_loadgen
+DIVA_THREADS=1 \
+  ./build/release/examples/diva_loadgen --json /tmp/BENCH_serve_t1.$$.json
+python3 tools/bench_diff.py \
+  bench/baselines/BENCH_serve.json /tmp/BENCH_serve_t1.$$.json
+
+# Cross-width check: the serve invariants (accounting, leaks, audits)
+# are exact at every pool width; exec_/timing keys are informational.
+step "serve gate: cross-width invariants (DIVA_THREADS=1 vs 8, tolerance 0)"
+DIVA_THREADS=8 \
+  ./build/release/examples/diva_loadgen --json /tmp/BENCH_serve_t8.$$.json
+python3 tools/bench_diff.py --tolerance 0 \
+  /tmp/BENCH_serve_t1.$$.json /tmp/BENCH_serve_t8.$$.json
+rm -f /tmp/BENCH_serve_t1.$$.json /tmp/BENCH_serve_t8.$$.json
 
 step "lint: tools/lint_status.py src examples bench tests"
 python3 tools/lint_status.py src examples bench tests

@@ -109,6 +109,9 @@ Result<std::shared_ptr<const Schema>> LoadSchema(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // ^C degrades the run through the anytime pipeline and still flushes
+  // the partial report; a dead pager/pipe is a write error, not SIGPIPE.
+  InstallSignalHygiene();
   std::map<std::string, std::string> args;
   std::vector<std::string> taxonomy_specs;  // repeated ATTR=path pairs
   bool strict = false;
@@ -208,6 +211,7 @@ int main(int argc, char** argv) {
     options.seed = seed;
     options.strict = strict;
     options.generalization = generalization;
+    options.cancel = InterruptToken();
     // A traced run audits too, so the trace shows every pipeline phase.
     if (tracing) options.audit = true;
     if (args.count("deadline-ms")) {
@@ -266,6 +270,11 @@ int main(int argc, char** argv) {
 
   if (!IsKAnonymous(output, static_cast<size_t>(*k))) {
     return Fail("internal: output is not k-anonymous");
+  }
+  if (Interrupted()) {
+    std::fprintf(stderr,
+                 "interrupted: flushing the best-effort (still k-anonymous) "
+                 "result\n");
   }
   PrintQuality(output, static_cast<size_t>(*k), constraints);
 

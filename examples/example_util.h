@@ -2,16 +2,67 @@
 #define DIVA_EXAMPLES_EXAMPLE_UTIL_H_
 
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "core/diva.h"
 #include "metrics/metrics.h"
 #include "relation/relation.h"
 
 namespace diva {
 namespace examples {
+
+/// ------------------------------------------------------------------
+/// Signal hygiene shared by the CLIs and daemons.
+///
+/// SIGPIPE: a peer (pager, socket, downstream pipe) hanging up must
+/// surface as a write error Status, not kill the process mid-report.
+///
+/// SIGINT: first ^C trips InterruptToken() — a manual CancellationToken
+/// the tool threads through DivaOptions::cancel or polls between steps —
+/// so the run degrades through the anytime path and the tool can still
+/// flush whatever partial report it has. A second ^C falls back to the
+/// default disposition (immediate kill) so a wedged tool stays killable.
+
+/// The process-wide interrupt token (trips on the first SIGINT).
+inline CancellationToken& InterruptToken() {
+  static CancellationToken* token =
+      new CancellationToken(CancellationToken::Manual());
+  return *token;
+}
+
+/// True once SIGINT was received.
+inline std::atomic<bool>& InterruptedFlag() {
+  static std::atomic<bool> interrupted{false};
+  return interrupted;
+}
+
+inline bool Interrupted() {
+  return InterruptedFlag().load(std::memory_order_relaxed);
+}
+
+namespace internal {
+/// Async-signal-safe: two relaxed atomic stores and a sigaction reset.
+inline void HandleInterrupt(int) {
+  InterruptedFlag().store(true, std::memory_order_relaxed);
+  InterruptToken().RequestCancel();
+  std::signal(SIGINT, SIG_DFL);  // second ^C kills for real
+}
+}  // namespace internal
+
+/// Installs the handlers above. Call once at the top of main(); the
+/// token and flag must be touched once beforehand so their lazy
+/// construction never races the first signal.
+inline void InstallSignalHygiene() {
+  (void)InterruptToken();
+  (void)Interrupted();
+  std::signal(SIGPIPE, SIG_IGN);
+  std::signal(SIGINT, internal::HandleInterrupt);
+}
 
 /// Prints a relation as an aligned text table (up to `max_rows` rows).
 inline void PrintRelation(const Relation& relation, size_t max_rows = 20) {

@@ -13,6 +13,10 @@
 //       [--l 3] [--t 0.4] [--constraints sigma.txt]
 //       [--original raw.csv] [--expected-stars N] [--threads N]
 //       [--deadline-ms N] [--trace-out trace.json]
+//   verify_cli --list-failpoints
+//
+// --list-failpoints prints every fault-injection site compiled into the
+// library (one per line) and exits — the names DIVA_FAILPOINTS accepts.
 //
 // --trace-out FILE enables span tracing for the verification run and
 // writes Chrome-trace JSON (audit sub-checks, pool chunks); open in
@@ -35,10 +39,12 @@
 
 #include "anon/privacy.h"
 #include "common/deadline.h"
+#include "common/failpoint.h"
 #include "common/parallel.h"
 #include "common/string_util.h"
 #include "common/trace.h"
 #include "constraint/parser.h"
+#include "examples/example_util.h"
 #include "metrics/metrics.h"
 #include "relation/csv.h"
 #include "relation/qi_groups.h"
@@ -47,7 +53,8 @@
 
 namespace {
 
-using namespace diva;  // NOLINT: example brevity
+using namespace diva;            // NOLINT: example brevity
+using namespace diva::examples;  // NOLINT
 
 int Fail(const std::string& message) {
   std::fprintf(stderr, "error: %s\n", message.c_str());
@@ -60,9 +67,21 @@ Result<std::shared_ptr<const Schema>> LoadSchemaFile(const std::string& path);
 }  // namespace
 
 int main(int argc, char** argv) {
+  // ^C mid-verification skips remaining checks and exits 3 (incomplete)
+  // with everything already checked flushed; a dead pager is a write
+  // error, not SIGPIPE.
+  InstallSignalHygiene();
   std::map<std::string, std::string> args;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
+    if (arg == "--list-failpoints") {
+      // The live fault-injection site table, for composing
+      // DIVA_FAILPOINTS specs (misspelled sites are rejected at parse).
+      for (const std::string& name : failpoint::KnownFailpoints()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    }
     if (!StartsWith(arg, "--")) return Fail("unexpected argument " + arg);
     size_t eq = arg.find('=');
     if (eq != std::string::npos) {
@@ -109,9 +128,11 @@ int main(int argc, char** argv) {
   // its true verdict, or is skipped entirely. Exit 3 = incomplete.
   bool incomplete = false;
   auto out_of_time = [&]() {
-    if (!deadline.Expired()) return false;
+    const bool interrupted = Interrupted();
+    if (!deadline.Expired() && !interrupted) return false;
     if (!incomplete) {
-      std::printf("deadline exceeded: remaining checks skipped\n");
+      std::printf("%s: remaining checks skipped\n",
+                  interrupted ? "interrupted" : "deadline exceeded");
     }
     incomplete = true;
     return true;

@@ -1,0 +1,114 @@
+#ifndef DIVA_COMMON_BACKOFF_H_
+#define DIVA_COMMON_BACKOFF_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+
+#include "common/mutex.h"
+#include "common/rng.h"
+#include "common/thread_annotations.h"
+
+namespace diva {
+
+/// Retry pacing for clients of an overloadable service (diva_serverd):
+/// jittered exponential backoff per request plus a process-wide retry
+/// budget, so a shed storm decays into spread-out retries instead of a
+/// synchronized thundering herd. Deterministic given the seed — the
+/// loadgen replay driver reproduces byte-identical schedules.
+struct BackoffOptions {
+  /// Base delay before the first retry.
+  double initial_ms = 10.0;
+  /// Cap on any single delay.
+  double max_ms = 2000.0;
+  /// Growth factor per retry (>= 1).
+  double multiplier = 2.0;
+  /// Jitter fraction in [0, 1]: each delay is drawn uniformly from
+  /// [(1 - jitter) * d, d]. 0 = fully deterministic ladder, 1 = "full
+  /// jitter" (uniform over (0, d]).
+  double jitter = 0.5;
+  /// Retries allowed per logical request before giving up.
+  size_t max_retries = 8;
+};
+
+/// Per-request backoff state. Not thread-safe: one Backoff belongs to one
+/// client worker at a time.
+class Backoff {
+ public:
+  Backoff(const BackoffOptions& options, uint64_t seed)
+      : options_(options), rng_(seed) {}
+
+  /// Delay to sleep before the next retry, or nullopt once the retry
+  /// allowance is spent. Consumes one retry.
+  std::optional<double> NextDelayMs() {
+    if (retries_ >= options_.max_retries) return std::nullopt;
+    double ceiling = options_.initial_ms;
+    for (size_t i = 0; i < retries_; ++i) {
+      ceiling = std::min(ceiling * options_.multiplier, options_.max_ms);
+    }
+    ceiling = std::min(ceiling, options_.max_ms);
+    ++retries_;
+    const double floor = ceiling * (1.0 - options_.jitter);
+    return floor + (ceiling - floor) * rng_.UniformDouble();
+  }
+
+  /// Retries consumed since construction / the last Reset.
+  size_t retries() const { return retries_; }
+
+  /// Starts the ladder over (a fresh logical request on this client).
+  void Reset() { retries_ = 0; }
+
+ private:
+  BackoffOptions options_;
+  Rng rng_;
+  size_t retries_ = 0;
+};
+
+/// A shared retry *budget* (after Finagle): every first attempt deposits
+/// a fraction of a token, every retry withdraws a whole one. When more
+/// than `deposit_per_call` of the traffic is retries, the budget drains
+/// and further retries are refused — clients shed instead of amplifying
+/// an overloaded server's pain. Thread-safe: one budget is shared by all
+/// client workers of a process.
+class RetryBudget {
+ public:
+  /// `deposit_per_call` is the sustainable retry ratio (e.g. 0.2 = up to
+  /// 20% retries on top of first attempts); `initial_tokens` seeds the
+  /// bucket so startup bursts can retry; `max_tokens` caps accumulation.
+  RetryBudget(double deposit_per_call, double initial_tokens,
+              double max_tokens)
+      : deposit_per_call_(deposit_per_call),
+        max_tokens_(max_tokens),
+        tokens_(std::min(initial_tokens, max_tokens)) {}
+
+  /// Records a first attempt (not a retry), growing the budget.
+  void RecordCall() {
+    MutexLock lock(mutex_);
+    tokens_ = std::min(tokens_ + deposit_per_call_, max_tokens_);
+  }
+
+  /// Withdraws one retry from the budget. False = budget exhausted; the
+  /// caller must give up instead of retrying.
+  bool TryWithdrawRetry() {
+    MutexLock lock(mutex_);
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  /// Current balance (diagnostics / tests).
+  double tokens() const {
+    MutexLock lock(mutex_);
+    return tokens_;
+  }
+
+ private:
+  const double deposit_per_call_;
+  const double max_tokens_;
+  mutable Mutex mutex_;
+  double tokens_ DIVA_GUARDED_BY(mutex_);
+};
+
+}  // namespace diva
+
+#endif  // DIVA_COMMON_BACKOFF_H_

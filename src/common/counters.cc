@@ -30,7 +30,7 @@ std::map<std::string, Entry>& Registry() DIVA_REQUIRES(g_mutex) {
 
 }  // namespace
 
-thread_local Buffer* tl_deterministic_buffer = nullptr;
+constinit thread_local Buffer* tl_deterministic_buffer = nullptr;
 
 void Buffer::Add(Cell* cell, uint64_t delta) {
   // Coalesce counter bumps per cell: a speculative attempt touches only

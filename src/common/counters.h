@@ -95,7 +95,10 @@ class Buffer {
 
 /// Thread-local redirect consulted by the deterministic-scope macros.
 /// Null (the default) means updates go straight to the global cells.
-extern thread_local Buffer* tl_deterministic_buffer;
+/// constinit matters: without it every cross-TU read goes through the
+/// dynamic-init thread wrapper, which GCC's ubsan misreports as a null
+/// load on threads that read before they ever write (serve sessions).
+extern constinit thread_local Buffer* tl_deterministic_buffer;
 
 /// RAII: while alive, deterministic-scope updates made on the current
 /// thread accumulate in `buffer` instead of the registry. Execution-

@@ -30,6 +30,9 @@ double Deadline::RemainingSeconds() const {
 struct CancellationToken::State {
   std::atomic<bool> cancelled{false};
   Deadline deadline;
+  /// Optional upstream signal: when the parent trips, this token reads as
+  /// cancelled too (latched locally so later polls skip the chain).
+  CancellationToken parent;
 };
 
 CancellationToken CancellationToken::WithDeadline(Deadline deadline) {
@@ -40,6 +43,14 @@ CancellationToken CancellationToken::WithDeadline(Deadline deadline) {
 
 CancellationToken CancellationToken::Manual() {
   return CancellationToken(std::make_shared<State>());
+}
+
+CancellationToken CancellationToken::WithDeadlineAndParent(
+    Deadline deadline, CancellationToken parent) {
+  auto state = std::make_shared<State>();
+  state->deadline = deadline;
+  state->parent = std::move(parent);
+  return CancellationToken(std::move(state));
 }
 
 void CancellationToken::RequestCancel() const {
@@ -54,8 +65,8 @@ bool CancellationToken::Cancelled() const {
   // timing, not on the algorithm's decisions.
   DIVA_COUNTER_ADD_EXEC("deadline.polls", 1);
   if (state_->cancelled.load(std::memory_order_relaxed)) return true;
-  if (state_->deadline.Expired()) {
-    // Latch: later polls skip the clock read entirely.
+  if (state_->deadline.Expired() || state_->parent.Cancelled()) {
+    // Latch: later polls skip the clock read and the parent chain.
     state_->cancelled.store(true, std::memory_order_relaxed);
     return true;
   }

@@ -5,7 +5,9 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
@@ -35,6 +37,17 @@ const char* const kKnownSites[] = {
     "privacy.ldiversity",   // anon/privacy.cc: l-diversity merging
     "privacy.tcloseness",   // anon/privacy.cc: t-closeness merging
     "relation.append_row",  // relation/relation.cc: row ingestion
+    // serve/ sites: swept by the chaos suite in tests/serve_chaos_test.cc
+    // (the pipeline sweep in tests/fault_injection_test.cc skips the
+    // "serve." prefix — a pipeline run never opens a socket).
+    "serve.accept",         // serve/server.cc: accepted connection intake
+    "serve.admission",      // serve/server.cc: admission-control decision
+    "serve.enqueue",        // serve/server.cc: bounded queue hand-off
+    "serve.execute",        // serve/server.cc: before the pipeline run
+    "serve.frame.read",     // serve/protocol.cc: request frame read
+    "serve.publish",        // serve/snapshot.cc: snapshot publication
+    "serve.request.parse",  // serve/protocol.cc: request decoding
+    "serve.respond",        // serve/server.cc: response frame write
 };
 
 struct Site {
@@ -83,6 +96,7 @@ bool ParseStatusCode(const std::string& text, StatusCode* code) {
       {"ioerror", StatusCode::kIoError},
       {"io", StatusCode::kIoError},
       {"deadlineexceeded", StatusCode::kDeadlineExceeded},
+      {"unavailable", StatusCode::kUnavailable},
   };
   std::string normalized = NormalizeCode(text);
   for (const auto& [name, value] : kCodes) {
@@ -94,20 +108,46 @@ bool ParseStatusCode(const std::string& text, StatusCode* code) {
   return false;
 }
 
-/// Arms every entry of `spec` into an already-locked registry.
+/// Prefix every spec-parse error with the 1-based entry index, its column
+/// in the spec string, and the offending entry text, so a chaos run's
+/// DIVA_FAILPOINTS typo points at the exact field that is wrong.
+Status SpecEntryError(size_t entry_index, size_t column,
+                      const std::string& entry, const std::string& detail) {
+  return Status::InvalidArgument(
+      "DIVA_FAILPOINTS entry " + std::to_string(entry_index) + " (col " +
+      std::to_string(column + 1) + ", '" + entry + "'): " + detail +
+      "; expected name=code[@hit:N]");
+}
+
+/// Arms every entry of `spec` into an already-locked registry. The whole
+/// spec is validated before anything is armed: a half-armed chaos spec
+/// would silently test nothing, so a malformed entry arms none of them.
 Status ArmFromSpecLocked(Registry& registry, const std::string& spec)
     DIVA_REQUIRES(registry.mutex) {
+  struct Parsed {
+    std::string name;
+    StatusCode code;
+    uint64_t trigger_hit;
+  };
+  std::vector<Parsed> parsed;
   size_t pos = 0;
+  size_t entry_index = 0;
   while (pos < spec.size()) {
     size_t comma = spec.find(',', pos);
     if (comma == std::string::npos) comma = spec.size();
+    const size_t column = pos;
     std::string entry = spec.substr(pos, comma - pos);
     pos = comma + 1;
     if (entry.empty()) continue;
+    ++entry_index;
     size_t eq = entry.find('=');
-    if (eq == std::string::npos || eq == 0) {
-      return Status::InvalidArgument("failpoint spec entry '" + entry +
-                                     "' is not name=code[@hit:N]");
+    if (eq == std::string::npos) {
+      return SpecEntryError(entry_index, column, entry,
+                            "missing '=' between name and code");
+    }
+    if (eq == 0) {
+      return SpecEntryError(entry_index, column, entry,
+                            "empty site name before '='");
     }
     std::string name = entry.substr(0, eq);
     std::string code_text = entry.substr(eq + 1);
@@ -117,28 +157,51 @@ Status ArmFromSpecLocked(Registry& registry, const std::string& spec)
       std::string trigger = code_text.substr(at + 1);
       code_text = code_text.substr(0, at);
       if (trigger.rfind("hit:", 0) != 0) {
-        return Status::InvalidArgument("failpoint trigger '" + trigger +
-                                       "' is not hit:N");
+        return SpecEntryError(entry_index, column, entry,
+                              "trigger '" + trigger +
+                                  "' is not of the form hit:N");
       }
       char* end = nullptr;
       unsigned long long n = std::strtoull(trigger.c_str() + 4, &end, 10);
       if (end == trigger.c_str() + 4 || *end != '\0' || n == 0) {
-        return Status::InvalidArgument("failpoint trigger '" + trigger +
-                                       "' needs a positive hit count");
+        return SpecEntryError(entry_index, column, entry,
+                              "hit count '" + trigger.substr(4) +
+                                  "' must be a positive integer");
       }
       trigger_hit = static_cast<uint64_t>(n);
     }
+    if (code_text.empty()) {
+      return SpecEntryError(entry_index, column, entry,
+                            "empty status code after '='");
+    }
     StatusCode code;
     if (!ParseStatusCode(code_text, &code)) {
-      return Status::InvalidArgument("unknown failpoint status code '" +
-                                     code_text + "'");
+      return SpecEntryError(entry_index, column, entry,
+                            "unknown status code '" + code_text + "'");
     }
-    Site& site = registry.sites[name];
+    // A misspelled site name would arm a failpoint nothing ever hits —
+    // the chaos run would silently test nothing. Spec-armed names must
+    // exist (the programmatic Arm() API stays unchecked for tests).
+    if (!std::binary_search(std::begin(kKnownSites), std::end(kKnownSites),
+                            name,
+                            [](const auto& a, const auto& b) {
+                              return std::string_view(a) <
+                                     std::string_view(b);
+                            })) {
+      return SpecEntryError(entry_index, column, entry,
+                            "unknown failpoint site '" + name +
+                                "' (list live sites with "
+                                "verify_cli --list-failpoints)");
+    }
+    parsed.push_back({std::move(name), code, trigger_hit});
+  }
+  for (Parsed& p : parsed) {
+    Site& site = registry.sites[p.name];
     site.armed = true;
     site.fired = false;
     site.hits = 0;
-    site.code = code;
-    site.trigger_hit = trigger_hit;
+    site.code = p.code;
+    site.trigger_hit = p.trigger_hit;
     g_active.fetch_add(1, std::memory_order_relaxed);
   }
   return Status::OK();

@@ -44,6 +44,10 @@ void Arm(const std::string& name, StatusCode code, uint64_t trigger_hit = 1);
 /// Parses a DIVA_FAILPOINTS-style spec ("name=code[@hit:N],...") and arms
 /// every entry. Codes match StatusCodeToString case-insensitively, with
 /// '-'/'_' ignored ("io-error", "IoError" and "io" all mean kIoError).
+/// Validation is strict and all-or-nothing: a malformed field or a site
+/// name absent from KnownFailpoints() returns kInvalidArgument naming the
+/// entry index, its column in the spec, and the offending field — and
+/// arms nothing (a half-armed chaos spec would silently test nothing).
 [[nodiscard]] Status ArmFromSpec(const std::string& spec);
 
 /// Disarms every site, zeroes hit counters, and disables counting.

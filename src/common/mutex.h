@@ -1,6 +1,7 @@
 #ifndef DIVA_COMMON_MUTEX_H_
 #define DIVA_COMMON_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -76,6 +77,17 @@ class CondVar {
   CondVar& operator=(const CondVar&) = delete;
 
   void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  /// Timed Wait: blocks for at most `seconds` (relative). Returns false
+  /// on timeout, true when notified. This is also the codebase's one
+  /// interruptible sleep — loops that must wake early (a server's
+  /// watchdog noticing a drain request) wait on the condition they poll
+  /// instead of calling a raw sleep the notifier cannot interrupt.
+  bool WaitFor(MutexLock& lock, double seconds) {
+    return cv_.wait_for(lock.lock_, std::chrono::duration<double>(seconds)) ==
+           std::cv_status::no_timeout;
+  }
+
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }
 

@@ -27,6 +27,11 @@ enum class StatusCode {
   /// expired before the operation finished. In non-strict pipelines this
   /// degrades to a best-effort result instead of surfacing as an error.
   kDeadlineExceeded,
+  /// The service cannot take the request right now (admission control
+  /// predicted a deadline overrun, the queue is full, or the server is
+  /// draining). Transient by definition: retrying after a backoff is the
+  /// expected client response (see common/backoff.h).
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name such as "InvalidArgument".
@@ -71,6 +76,9 @@ class [[nodiscard]] Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

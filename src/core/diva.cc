@@ -140,12 +140,18 @@ Result<DivaResult> RunDiva(const Relation& relation,
   report.total_constraints = constraints.size();
 
   // The run's wall budget: one token shared by every phase. A null token
-  // (no deadline) never trips and costs one pointer test per poll.
+  // (no deadline, no external cancel) never trips and costs one pointer
+  // test per poll. An external options.cancel composes as the parent, so
+  // either signal degrades the run — and we never trip the caller's own
+  // token.
   const CancellationToken token =
       options.deadline_ms > 0
-          ? CancellationToken::WithDeadline(
-                Deadline::AfterMillis(options.deadline_ms))
-          : CancellationToken();
+          ? CancellationToken::WithDeadlineAndParent(
+                Deadline::AfterMillis(options.deadline_ms), options.cancel)
+          : (options.cancel.CanBeCancelled()
+                 ? CancellationToken::WithDeadlineAndParent(
+                       Deadline::Infinite(), options.cancel)
+                 : CancellationToken());
 
   // Configure the process-global pool before the first hot loop runs.
   // Every parallel algorithm downstream is bit-identical across widths,

@@ -113,6 +113,16 @@ struct DivaOptions {
   /// was cut short (deadline_exceeded and the per-phase degradation
   /// flags). Under `strict`, expiry is an error (kDeadlineExceeded).
   int64_t deadline_ms = EnvDeadlineMillis();
+
+  /// Optional external cancellation signal, composed with `deadline_ms`:
+  /// the run degrades (or errors, under `strict`) when either trips.
+  /// This is how a caller that owns the run's lifetime — the serve
+  /// layer's watchdog, a CLI's SIGINT handler — interrupts a pipeline
+  /// mid-flight. Tripping it yields the same anytime-degradation path as
+  /// a deadline: the published relation stays k-anonymous,
+  /// suppression-only and audited. A default (null) token changes
+  /// nothing.
+  CancellationToken cancel;
 };
 
 /// Everything DIVA measured about one run.

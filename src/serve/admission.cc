@@ -1,0 +1,35 @@
+#include "serve/admission.h"
+
+namespace diva {
+namespace serve {
+
+AdmissionDecision DecideAdmission(size_t queued, size_t inflight,
+                                  size_t max_queue, double cost_estimate_ms,
+                                  int64_t deadline_ms, bool draining) {
+  AdmissionDecision decision;
+  decision.predicted_wait_ms =
+      static_cast<double>(queued + inflight) * cost_estimate_ms;
+  if (draining) {
+    decision.admit = false;
+    decision.reason = "server is draining";
+    return decision;
+  }
+  if (queued >= max_queue) {
+    decision.admit = false;
+    decision.reason = "queue full (" + std::to_string(queued) + "/" +
+                      std::to_string(max_queue) + ")";
+    return decision;
+  }
+  if (deadline_ms >= 0 &&
+      decision.predicted_wait_ms > static_cast<double>(deadline_ms)) {
+    decision.admit = false;
+    decision.reason =
+        "predicted wait " + std::to_string(decision.predicted_wait_ms) +
+        "ms exceeds the " + std::to_string(deadline_ms) + "ms deadline";
+    return decision;
+  }
+  return decision;
+}
+
+}  // namespace serve
+}  // namespace diva

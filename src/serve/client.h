@@ -1,0 +1,46 @@
+#ifndef DIVA_SERVE_CLIENT_H_
+#define DIVA_SERVE_CLIENT_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "serve/protocol.h"
+
+namespace diva {
+namespace serve {
+
+/// Minimal blocking client for diva_serverd's framed protocol: one
+/// connection, one request in flight at a time. Used by diva_loadgen and
+/// the serve tests; not thread-safe (give each worker its own Client).
+class Client {
+ public:
+  /// Connects to `host:port`. The connection stays open until
+  /// destruction.
+  [[nodiscard]] static Result<Client> Connect(const std::string& host,
+                                              int port);
+
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Sends one request and blocks for its response. A server that sheds
+  /// the connection (clean close before responding) surfaces as
+  /// kUnavailable — the retryable code — so callers treat "closed on us"
+  /// and "told us unavailable" identically.
+  [[nodiscard]] Result<Response> Call(const Request& request);
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+}  // namespace serve
+}  // namespace diva
+
+#endif  // DIVA_SERVE_CLIENT_H_

@@ -1,0 +1,657 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <sstream>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include "common/failpoint.h"
+#include "common/timer.h"
+#include "relation/csv.h"
+#include "verify/auditor.h"
+
+namespace diva {
+namespace serve {
+
+namespace {
+
+/// Recv/send stall guard on accepted sockets: a peer that goes silent
+/// mid-frame (or stops reading responses) unblocks the session worker
+/// after this long instead of wedging it past the drain grace.
+constexpr double kSocketTimeoutSeconds = 1.0;
+
+void SetSocketTimeouts(int fd) {
+  timeval tv;
+  tv.tv_sec = static_cast<long>(kSocketTimeoutSeconds);
+  tv.tv_usec = static_cast<long>(
+      (kSocketTimeoutSeconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+Result<BaselineAlgorithm> ParseBaseline(const std::string& name) {
+  if (name == "kmember") return BaselineAlgorithm::kKMember;
+  if (name == "oka") return BaselineAlgorithm::kOka;
+  if (name == "mondrian") return BaselineAlgorithm::kMondrian;
+  return Status::InvalidArgument("unknown baseline '" + name +
+                                 "' (kmember|oka|mondrian)");
+}
+
+std::string FormatMs(double ms) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.1f", ms);
+  return buffer;
+}
+
+}  // namespace
+
+Server::Server(Relation base, ConstraintSet constraints, ServerOptions options)
+    : base_(std::move(base)),
+      constraints_(std::move(constraints)),
+      options_(std::move(options)),
+      snapshots_(options_.snapshot_capacity),
+      cost_tracker_(options_.initial_cost_ms, options_.ewma_alpha) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (threads_ != nullptr) return Status::Internal("server already started");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket failed: ") +
+                           std::strerror(errno));
+  }
+  int reuse = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad listen host '" + options_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status status = Status::IoError(std::string("bind failed: ") +
+                                    std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, static_cast<int>(options_.queue_capacity) + 8) <
+      0) {
+    Status status = Status::IoError(std::string("listen failed: ") +
+                                    std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = static_cast<int>(ntohs(bound.sin_port));
+  }
+
+  // Each loop catches everything: TaskGroup::Wait rethrows a loop's
+  // exception into Stop(), which must never fail to join the others.
+  auto fenced = [this](void (Server::*loop)()) {
+    return [this, loop] {
+      try {
+        (this->*loop)();
+      } catch (const std::exception& e) {
+        Log(std::string("service loop died: ") + e.what());
+      } catch (...) {
+        Log("service loop died: unknown exception");
+      }
+    };
+  };
+  threads_ = std::make_unique<TaskGroup>(options_.sessions + 2);
+  tickets_.push_back(threads_->Submit(fenced(&Server::AcceptLoop)));
+  for (size_t i = 0; i < options_.sessions; ++i) {
+    tickets_.push_back(threads_->Submit(fenced(&Server::SessionLoop)));
+  }
+  tickets_.push_back(threads_->Submit(fenced(&Server::WatchdogLoop)));
+  Log("listening on " + options_.host + ":" + std::to_string(port_));
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (stopped_) return;
+  RequestDrain();
+  double expected = 0.0;
+  drain_started_at_.compare_exchange_strong(expected, MonotonicSeconds(),
+                                            std::memory_order_relaxed);
+  queue_cv_.NotifyAll();
+
+  if (threads_ != nullptr) {
+    // Give queued and in-flight work the drain grace to finish cleanly.
+    const double grace_seconds = options_.drain_grace_ms * 1e-3;
+    StopWatch watch;
+    Mutex nap_mutex;
+    CondVar nap_cv;
+    while (watch.ElapsedSeconds() < grace_seconds) {
+      if (queued() == 0 && inflight() == 0) break;
+      MutexLock lock(nap_mutex);
+      nap_cv.WaitFor(lock, 0.01);
+    }
+    // Force-cancel whatever is still running; the anytime pipeline
+    // returns promptly and the session still writes an audited
+    // (degraded) terminal response.
+    {
+      MutexLock lock(inflight_mutex_);
+      for (auto& [id, entry] : inflight_) {
+        if (entry.cancelled) continue;
+        entry.token.RequestCancel();
+        entry.cancelled = true;
+        MutexLock stats_lock(stats_mutex_);
+        ++stats_.watchdog_cancels;
+      }
+    }
+    stopping_.store(true, std::memory_order_relaxed);
+    queue_cv_.NotifyAll();
+    for (uint64_t ticket : tickets_) threads_->Wait(ticket);
+    threads_.reset();
+    tickets_.clear();
+  }
+
+  // Connections accepted but never claimed by a session: close them
+  // cleanly so nothing leaks.
+  {
+    MutexLock lock(queue_mutex_);
+    for (int fd : queue_) ::close(fd);
+    queue_.clear();
+  }
+  CloseListener();
+  stopped_ = true;
+  Log("stopped");
+}
+
+ServerStats Server::stats() const {
+  MutexLock lock(stats_mutex_);
+  return stats_;
+}
+
+size_t Server::inflight() const {
+  MutexLock lock(inflight_mutex_);
+  return inflight_.size();
+}
+
+size_t Server::queued() const {
+  MutexLock lock(queue_mutex_);
+  return queue_.size();
+}
+
+void Server::Log(const std::string& message) const {
+  if (options_.logger) options_.logger("diva_serverd: " + message);
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed) && !draining()) {
+    pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    int ready = ::poll(&pfd, 1, 50);
+    if (ready <= 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    SetSocketTimeouts(fd);
+    {
+      MutexLock lock(stats_mutex_);
+      ++stats_.accepted_connections;
+    }
+    Status accept_fault = DIVA_FAIL("serve.accept");
+    if (!accept_fault.ok()) {
+      // Injected intake failure: the connection dies before any request
+      // exists, so a clean close keeps the accounting invariant.
+      Log("accept fault: " + accept_fault.ToString());
+      ::close(fd);
+      continue;
+    }
+    Status enqueue_fault = DIVA_FAIL("serve.enqueue");
+    bool overflow = false;
+    if (enqueue_fault.ok()) {
+      MutexLock lock(queue_mutex_);
+      if (queue_.size() >= options_.queue_capacity) {
+        overflow = true;
+      } else {
+        queue_.push_back(fd);
+        queue_cv_.NotifyOne();
+        fd = -1;  // ownership moved to the queue
+      }
+    }
+    if (fd >= 0) {
+      if (overflow) {
+        MutexLock lock(stats_mutex_);
+        ++stats_.connection_overflow;
+      } else {
+        Log("enqueue fault: " + enqueue_fault.ToString());
+      }
+      ::close(fd);
+    }
+  }
+  // Handshakes the kernel already completed sit in the listen backlog;
+  // with the acceptor gone no session will ever serve them, and their
+  // peers would block forever waiting for a response. Accept and close
+  // each one, then close the listener itself so later connects are
+  // refused outright — both surface as retryable shed at the client.
+  for (;;) {
+    pollfd pending;
+    pending.fd = listen_fd_;
+    pending.events = POLLIN;
+    pending.revents = 0;
+    if (::poll(&pending, 1, 0) <= 0) break;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) break;
+    {
+      MutexLock lock(stats_mutex_);
+      ++stats_.accepted_connections;
+      ++stats_.connection_overflow;
+    }
+    ::close(fd);
+  }
+  CloseListener();
+}
+
+void Server::CloseListener() {
+  int fd = listen_fd_.exchange(-1, std::memory_order_relaxed);
+  if (fd >= 0) ::close(fd);
+}
+
+void Server::SessionLoop() {
+  while (true) {
+    int fd = -1;
+    {
+      MutexLock lock(queue_mutex_);
+      while (queue_.empty() && !stopping_.load(std::memory_order_relaxed) &&
+             !draining()) {
+        queue_cv_.WaitFor(lock, 0.05);
+      }
+      if (!queue_.empty()) {
+        fd = queue_.front();
+        queue_.pop_front();
+      } else {
+        return;  // terminal (stop or drain) with nothing queued
+      }
+    }
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ::close(fd);  // hard stop: clean close
+      continue;
+    }
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void Server::HandleConnection(int fd) {
+  while (true) {
+    if (stopping_.load(std::memory_order_relaxed)) return;
+    if (draining()) {
+      const double started = drain_started_at_.load(std::memory_order_relaxed);
+      if (started > 0.0 && (MonotonicSeconds() - started) * 1e3 >
+                               options_.drain_grace_ms) {
+        return;  // drain grace over: close instead of serving more
+      }
+    }
+    pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    int ready = ::poll(&pfd, 1, 50);
+    if (ready < 0) return;
+    if (ready == 0) continue;
+    auto frame = ReadFrame(fd, options_.max_frame_bytes);
+    if (!frame.ok()) {
+      // NotFound = the peer closed between frames (normal); anything
+      // else is a transport fault — either way the connection is done
+      // and no request was admitted, so closing is clean.
+      if (frame.status().code() != StatusCode::kNotFound) {
+        Log("frame read failed: " + frame.status().ToString());
+      }
+      return;
+    }
+    auto request = ParseRequest(*frame);
+    if (!request.ok()) {
+      {
+        MutexLock lock(stats_mutex_);
+        ++stats_.protocol_errors;
+      }
+      if (!Respond(fd, Response::Error(request.status()))) return;
+      continue;
+    }
+    {
+      MutexLock lock(stats_mutex_);
+      ++stats_.requests;
+    }
+    if (!HandleRequest(fd, *request)) return;
+  }
+}
+
+bool Server::HandleRequest(int fd, const Request& request) {
+  Response response;
+  if (request.verb == "ping") {
+    response.fields["server"] = "diva";
+  } else if (request.verb == "stats") {
+    response = HandleStats(request);
+  } else if (request.verb == "fetch") {
+    response = HandleFetch(request);
+  } else if (request.verb == "anonymize") {
+    response = HandleAnonymize(request);
+  } else if (request.verb == "verify") {
+    response = HandleVerify(request);
+  } else {
+    response = Response::Error(Status::InvalidArgument(
+        "unknown verb '" + request.verb +
+        "' (ping|stats|fetch|anonymize|verify)"));
+  }
+  // A failed write ends the connection (the caller closes it): the peer
+  // is left with a hangup instead of a silent socket, which its client
+  // maps to a retryable shed.
+  return Respond(fd, response);
+}
+
+bool Server::Respond(int fd, const Response& response) {
+  Status fault = DIVA_FAIL("serve.respond");
+  Status written =
+      fault.ok() ? WriteFrame(fd, EncodeResponse(response)) : fault;
+  MutexLock lock(stats_mutex_);
+  if (written.ok()) {
+    ++stats_.responses;
+    return true;
+  }
+  ++stats_.response_failures;
+  return false;
+}
+
+uint64_t Server::RegisterInflight(int64_t deadline_ms,
+                                  CancellationToken* token) {
+  MutexLock lock(inflight_mutex_);
+  const uint64_t id = next_request_id_++;
+  Inflight entry;
+  entry.token = CancellationToken::Manual();
+  entry.started_at = MonotonicSeconds();
+  entry.budget_ms = deadline_ms >= 0 ? static_cast<double>(deadline_ms) +
+                                           options_.deadline_grace_ms
+                                     : options_.wedge_timeout_ms;
+  *token = entry.token;
+  inflight_.emplace(id, std::move(entry));
+  return id;
+}
+
+void Server::UnregisterInflight(uint64_t id) {
+  MutexLock lock(inflight_mutex_);
+  inflight_.erase(id);
+}
+
+Response Server::AdmitAndRun(
+    const Request& request,
+    const std::function<Response(CancellationToken)>& run) {
+  auto deadline_ms = request.IntParam("deadline_ms", -1);
+  if (!deadline_ms.ok()) return Response::Error(deadline_ms.status());
+
+  Status admission_fault = DIVA_FAIL("serve.admission");
+  AdmissionDecision decision;
+  if (!admission_fault.ok()) {
+    decision.admit = false;
+    decision.reason = "admission check failed: " + admission_fault.message();
+  } else {
+    decision =
+        DecideAdmission(queued(), inflight(), options_.queue_capacity,
+                        cost_tracker_.EstimateMs(), *deadline_ms, draining());
+  }
+  if (!decision.admit) {
+    {
+      MutexLock lock(stats_mutex_);
+      ++stats_.shed;
+    }
+    Response response = Response::Error(Status::Unavailable(decision.reason));
+    response.fields["predicted_wait_ms"] = FormatMs(decision.predicted_wait_ms);
+    return response;
+  }
+  {
+    MutexLock lock(stats_mutex_);
+    ++stats_.admitted;
+  }
+
+  CancellationToken watchdog_token;
+  const uint64_t id = RegisterInflight(*deadline_ms, &watchdog_token);
+  // The watchdog (or a force-drain) may trip the token in the window
+  // between admission and dispatch; skip the run entirely — the entry is
+  // unregistered, so no counter leaks and inflight() returns to zero.
+  if (watchdog_token.Cancelled()) {
+    UnregisterInflight(id);
+    MutexLock lock(stats_mutex_);
+    ++stats_.shed;
+    return Response::Error(
+        Status::Unavailable("request cancelled before dispatch"));
+  }
+  Status execute_fault = DIVA_FAIL("serve.execute");
+  if (!execute_fault.ok()) {
+    UnregisterInflight(id);
+    return Response::Error(execute_fault);
+  }
+  const Deadline deadline = *deadline_ms >= 0
+                                ? Deadline::AfterMillis(*deadline_ms)
+                                : Deadline::Infinite();
+  CancellationToken request_token =
+      CancellationToken::WithDeadlineAndParent(deadline, watchdog_token);
+  StopWatch watch;
+  Response response = run(request_token);
+  cost_tracker_.Record(watch.ElapsedMillis());
+  UnregisterInflight(id);
+  return response;
+}
+
+Response Server::HandleAnonymize(const Request& request) {
+  return AdmitAndRun(request, [&](CancellationToken token) -> Response {
+    DivaOptions diva_options;
+    auto k = request.IntParam("k", static_cast<int64_t>(diva_options.k));
+    if (!k.ok()) return Response::Error(k.status());
+    if (*k < 1) {
+      return Response::Error(Status::InvalidArgument("k must be >= 1"));
+    }
+    auto l = request.IntParam("l", 0);
+    if (!l.ok()) return Response::Error(l.status());
+    auto t = request.DoubleParam("t", 1.0);
+    if (!t.ok()) return Response::Error(t.status());
+    auto seed = request.IntParam("seed",
+                                 static_cast<int64_t>(options_.seed));
+    if (!seed.ok()) return Response::Error(seed.status());
+    auto baseline = ParseBaseline(request.Param("baseline", "kmember"));
+    if (!baseline.ok()) return Response::Error(baseline.status());
+
+    diva_options.k = static_cast<size_t>(*k);
+    diva_options.l_diversity = static_cast<size_t>(*l);
+    diva_options.t_closeness = *t;
+    diva_options.seed = static_cast<uint64_t>(*seed);
+    diva_options.baseline = *baseline;
+    diva_options.threads = options_.pipeline_threads;
+    // The serving contract: results are audited before they leave the
+    // process, degraded or not. The self-audit is never skipped by a
+    // deadline (core/diva.cc), so a cancelled run still re-proves its
+    // output before we publish and respond.
+    diva_options.audit = true;
+    diva_options.strict = false;
+    diva_options.deadline_ms = 0;  // the request token carries the budget
+    diva_options.cancel = token;
+
+    auto result = RunDiva(base_, constraints_, diva_options);
+    if (!result.ok()) return Response::Error(result.status());
+
+    const DivaReport& report = result->report;
+    const bool degraded = report.deadline_exceeded ||
+                          report.baseline_degraded ||
+                          report.integrate_skipped || report.privacy_truncated;
+    Snapshot snapshot(std::move(result->relation));
+    snapshot.label = request.verb + " k=" + std::to_string(*k);
+    snapshot.k = static_cast<size_t>(*k);
+    snapshot.waived_constraints = report.unsatisfied;
+    std::sort(snapshot.waived_constraints.begin(),
+              snapshot.waived_constraints.end());
+    snapshot.audited = report.audited;
+    snapshot.degraded = degraded;
+    const size_t rows = snapshot.relation.NumRows();
+    auto published = snapshots_.Publish(std::move(snapshot));
+    if (!published.ok()) return Response::Error(published.status());
+
+    {
+      MutexLock lock(stats_mutex_);
+      ++stats_.snapshots_published;
+      if (degraded) ++stats_.degraded;
+    }
+    Response response;
+    response.fields["snapshot"] = std::to_string(*published);
+    response.fields["rows"] = std::to_string(rows);
+    response.fields["audited"] = report.audited ? "1" : "0";
+    response.fields["degraded"] = degraded ? "1" : "0";
+    response.fields["deadline_exceeded"] =
+        report.deadline_exceeded ? "1" : "0";
+    response.fields["baseline_degraded"] =
+        report.baseline_degraded ? "1" : "0";
+    response.fields["integrate_skipped"] =
+        report.integrate_skipped ? "1" : "0";
+    response.fields["privacy_truncated"] =
+        report.privacy_truncated ? "1" : "0";
+    response.fields["unsatisfied"] =
+        std::to_string(report.unsatisfied.size());
+    response.fields["suppressed_cells"] =
+        std::to_string(report.repair_cells);
+    return response;
+  });
+}
+
+Response Server::HandleVerify(const Request& request) {
+  return AdmitAndRun(request, [&](CancellationToken) -> Response {
+    auto id = request.IntParam(
+        "snapshot", static_cast<int64_t>(snapshots_.latest_id()));
+    if (!id.ok()) return Response::Error(id.status());
+    auto snapshot = snapshots_.Find(static_cast<uint64_t>(*id));
+    if (snapshot == nullptr) {
+      return Response::Error(Status::NotFound(
+          "no snapshot " + std::to_string(*id) +
+          " (latest=" + std::to_string(snapshots_.latest_id()) + ")"));
+    }
+    auto k = request.IntParam("k", static_cast<int64_t>(snapshot->k));
+    if (!k.ok()) return Response::Error(k.status());
+
+    AuditOptions audit_options;
+    audit_options.waived_constraints = snapshot->waived_constraints;
+    auto audit = AuditAnonymization(base_, snapshot->relation,
+                                    static_cast<size_t>(*k), constraints_,
+                                    audit_options);
+    if (!audit.ok()) return Response::Error(audit.status());
+
+    Response response;
+    response.fields["snapshot"] = std::to_string(snapshot->id);
+    response.fields["verdict"] = audit->ok() ? "pass" : "fail";
+    response.fields["violations"] = std::to_string(audit->violations.size());
+    response.fields["groups"] = std::to_string(audit->stats.num_groups);
+    response.fields["min_group"] =
+        std::to_string(audit->stats.min_group_size);
+    response.fields["added_stars"] = std::to_string(audit->stats.added_stars);
+    response.fields["degraded"] = snapshot->degraded ? "1" : "0";
+    return response;
+  });
+}
+
+Response Server::HandleFetch(const Request& request) {
+  auto id = request.IntParam("snapshot",
+                             static_cast<int64_t>(snapshots_.latest_id()));
+  if (!id.ok()) return Response::Error(id.status());
+  auto snapshot = snapshots_.Find(static_cast<uint64_t>(*id));
+  if (snapshot == nullptr) {
+    return Response::Error(
+        Status::NotFound("no snapshot " + std::to_string(*id)));
+  }
+  std::ostringstream csv;
+  Status written = WriteCsv(snapshot->relation, csv);
+  if (!written.ok()) return Response::Error(written);
+  Response response;
+  response.fields["snapshot"] = std::to_string(snapshot->id);
+  response.fields["rows"] = std::to_string(snapshot->relation.NumRows());
+  response.fields["audited"] = snapshot->audited ? "1" : "0";
+  response.fields["degraded"] = snapshot->degraded ? "1" : "0";
+  response.body = csv.str();
+  return response;
+}
+
+Response Server::HandleStats(const Request&) {
+  ServerStats snapshot = stats();
+  Response response;
+  response.fields["accepted_connections"] =
+      std::to_string(snapshot.accepted_connections);
+  response.fields["connection_overflow"] =
+      std::to_string(snapshot.connection_overflow);
+  response.fields["requests"] = std::to_string(snapshot.requests);
+  response.fields["protocol_errors"] =
+      std::to_string(snapshot.protocol_errors);
+  response.fields["admitted"] = std::to_string(snapshot.admitted);
+  response.fields["shed"] = std::to_string(snapshot.shed);
+  response.fields["responses"] = std::to_string(snapshot.responses);
+  response.fields["response_failures"] =
+      std::to_string(snapshot.response_failures);
+  response.fields["degraded"] = std::to_string(snapshot.degraded);
+  response.fields["watchdog_cancels"] =
+      std::to_string(snapshot.watchdog_cancels);
+  response.fields["snapshots_published"] =
+      std::to_string(snapshot.snapshots_published);
+  response.fields["snapshots"] = std::to_string(snapshots_.size());
+  response.fields["queued"] = std::to_string(queued());
+  response.fields["inflight"] = std::to_string(inflight());
+  response.fields["cost_estimate_ms"] =
+      FormatMs(cost_tracker_.EstimateMs());
+  response.fields["draining"] = draining() ? "1" : "0";
+  return response;
+}
+
+void Server::WatchdogLoop() {
+  Mutex nap_mutex;
+  CondVar nap_cv;
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    {
+      MutexLock lock(nap_mutex);
+      nap_cv.WaitFor(lock, options_.watchdog_poll_ms * 1e-3);
+    }
+    const double now = MonotonicSeconds();
+    if (draining()) {
+      double expected = 0.0;
+      drain_started_at_.compare_exchange_strong(expected, now,
+                                                std::memory_order_relaxed);
+    }
+    const double drain_started =
+        drain_started_at_.load(std::memory_order_relaxed);
+    const bool force_drain =
+        draining() && drain_started > 0.0 &&
+        (now - drain_started) * 1e3 > options_.drain_grace_ms;
+    MutexLock lock(inflight_mutex_);
+    for (auto& [id, entry] : inflight_) {
+      if (entry.cancelled) continue;
+      const double elapsed_ms = (now - entry.started_at) * 1e3;
+      if (force_drain || elapsed_ms > entry.budget_ms) {
+        entry.token.RequestCancel();
+        entry.cancelled = true;
+        MutexLock stats_lock(stats_mutex_);
+        ++stats_.watchdog_cancels;
+        Log("watchdog cancelled request " + std::to_string(id) + " after " +
+            FormatMs(elapsed_ms) + "ms (budget " + FormatMs(entry.budget_ms) +
+            "ms" + (force_drain ? ", drain" : "") + ")");
+      }
+    }
+  }
+}
+
+}  // namespace serve
+}  // namespace diva

@@ -1,0 +1,228 @@
+#ifndef DIVA_SERVE_SERVER_H_
+#define DIVA_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/mutex.h"
+#include "common/parallel.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "constraint/diversity_constraint.h"
+#include "core/diva.h"
+#include "relation/relation.h"
+#include "serve/admission.h"
+#include "serve/protocol.h"
+#include "serve/snapshot.h"
+
+namespace diva {
+namespace serve {
+
+/// Knobs of diva_serverd. Defaults favor tests (ephemeral port, small
+/// queue); the daemon maps its command line onto this struct.
+struct ServerOptions {
+  /// TCP listen address. Loopback by default: the protocol has no auth.
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral (read the bound port back via Server::port()).
+  int port = 0;
+  /// Session workers — concurrent connections being served.
+  size_t sessions = 2;
+  /// Accepted connections allowed to wait for a session; beyond this the
+  /// acceptor sheds by closing the connection cleanly.
+  size_t queue_capacity = 16;
+  /// Published results retained (publishing past this is refused).
+  size_t snapshot_capacity = 64;
+  /// Admission cost model: prior estimate and EWMA weight of new samples.
+  double initial_cost_ms = 50.0;
+  double ewma_alpha = 0.3;
+  /// Watchdog sweep interval.
+  double watchdog_poll_ms = 20.0;
+  /// A request with no deadline is considered wedged after this long and
+  /// its token is tripped (the anytime pipeline then degrades and
+  /// returns; the response is still audited).
+  double wedge_timeout_ms = 10000.0;
+  /// Slack a deadlined request gets past its own deadline before the
+  /// watchdog trips it — covers the gap between "token expired" and "the
+  /// pipeline noticed".
+  double deadline_grace_ms = 500.0;
+  /// How long a drain (SIGTERM/Stop) waits for queued and in-flight work
+  /// before force-cancelling what remains.
+  double drain_grace_ms = 2000.0;
+  /// Frames larger than this are rejected as corrupt.
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// DivaOptions::threads for request pipelines. The deterministic pool
+  /// is process-global, so every request runs at one width; 1 keeps
+  /// concurrent sessions from thrashing SetParallelThreads.
+  size_t pipeline_threads = 1;
+  /// Default seed for request pipelines (requests may override per call).
+  uint64_t seed = 42;
+  /// Optional sink for one-line operational messages. Null = silent.
+  /// Called from server threads; must be thread-safe.
+  std::function<void(const std::string&)> logger;
+};
+
+/// Monotone request accounting, copyable snapshot. The chaos-suite
+/// invariant is `requests == responses + response_failures` after
+/// quiesce: every parsed request ends in a terminal response or a clean
+/// close, no matter which failpoint fired.
+struct ServerStats {
+  uint64_t accepted_connections = 0;
+  /// Connections shed before any read because the wait queue was full.
+  uint64_t connection_overflow = 0;
+  /// Frames parsed into a request (any verb).
+  uint64_t requests = 0;
+  /// Unparsable frames answered with an error response.
+  uint64_t protocol_errors = 0;
+  uint64_t admitted = 0;
+  /// Requests refused by admission control (kUnavailable response).
+  uint64_t shed = 0;
+  /// Terminal responses successfully written.
+  uint64_t responses = 0;
+  /// Responses whose write failed; the connection was closed instead.
+  uint64_t response_failures = 0;
+  /// Responses that carried a degradation flag.
+  uint64_t degraded = 0;
+  /// In-flight tokens tripped by the watchdog.
+  uint64_t watchdog_cancels = 0;
+  uint64_t snapshots_published = 0;
+};
+
+/// The anonymization service: loads one relation at construction, serves
+/// anonymize / verify / fetch / stats / ping requests over the framed
+/// protocol (serve/protocol.h), with admission control ahead of the
+/// queue, per-request deadlines degrading through the anytime pipeline
+/// (every response still audited), a watchdog for wedged requests, and
+/// graceful drain. Threading: one acceptor, `sessions` session workers
+/// and one watchdog, all hosted on a TaskGroup (common/parallel.h).
+class Server {
+ public:
+  Server(Relation base, ConstraintSet constraints, ServerOptions options);
+
+  /// Stops the server (drain + force-cancel past the grace) if still
+  /// running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and spawns the service threads.
+  [[nodiscard]] Status Start();
+
+  /// The bound TCP port (after Start); 0 before.
+  int port() const { return port_; }
+
+  /// Async-signal-safe drain request: one relaxed atomic store, nothing
+  /// else — callable from a SIGTERM/SIGINT handler. Service loops notice
+  /// within one poll interval: the acceptor stops accepting, queued and
+  /// in-flight work gets ServerOptions::drain_grace_ms to finish, new
+  /// requests are refused with kUnavailable.
+  void RequestDrain() { draining_.store(true, std::memory_order_relaxed); }
+
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+
+  /// Drains (if not already draining), waits out the grace, force-cancels
+  /// stragglers and joins every service thread. Idempotent.
+  void Stop();
+
+  ServerStats stats() const;
+
+  /// Requests currently being executed (0 after quiesce — the chaos
+  /// suite's leak check).
+  size_t inflight() const;
+
+  /// Connections waiting for a session worker.
+  size_t queued() const;
+
+  const SnapshotStore& snapshots() const { return snapshots_; }
+
+ private:
+  struct Inflight {
+    CancellationToken token;  // manual; the watchdog trips it
+    double started_at = 0.0;
+    double budget_ms = 0.0;  // wall budget before the watchdog steps in
+    bool cancelled = false;  // watchdog already tripped it
+  };
+
+  void AcceptLoop();
+  void SessionLoop();
+  void WatchdogLoop();
+
+  /// Serves one connection until the peer closes, a fatal frame error, a
+  /// hard stop, or the drain grace runs out.
+  void HandleConnection(int fd);
+
+  /// Dispatches one parsed request and writes its terminal response.
+  /// Returns false when the response write failed — the connection must
+  /// be closed (a peer left on a silent socket would wait out its whole
+  /// timeout for a response that is never coming).
+  bool HandleRequest(int fd, const Request& request);
+
+  Response HandleAnonymize(const Request& request);
+  Response HandleVerify(const Request& request);
+  Response HandleFetch(const Request& request);
+  Response HandleStats(const Request& request);
+
+  /// Admission + execution wrapper shared by the work verbs.
+  Response AdmitAndRun(const Request& request,
+                       const std::function<Response(CancellationToken)>& run);
+
+  /// Writes `response` and returns whether the write succeeded. A failed
+  /// write is recorded (response_failures) and the caller must close the
+  /// connection. Failpoint: serve.respond.
+  bool Respond(int fd, const Response& response);
+
+  uint64_t RegisterInflight(int64_t deadline_ms, CancellationToken* token);
+  void UnregisterInflight(uint64_t id);
+
+  /// Idempotent close of the listen socket (see listen_fd_).
+  void CloseListener();
+
+  void Log(const std::string& message) const;
+
+  const Relation base_;
+  const ConstraintSet constraints_;
+  const ServerOptions options_;
+  SnapshotStore snapshots_;
+  CostTracker cost_tracker_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopping_{false};
+  /// MonotonicSeconds when a loop first observed draining_ (0 = not yet);
+  /// the drain grace counts from here.
+  std::atomic<double> drain_started_at_{0.0};
+
+  /// Closed by whichever of AcceptLoop (drain/stop exit) or Stop gets
+  /// there first; the exchange makes the close idempotent. Closing the
+  /// listener at drain resets backlogged handshakes and refuses new
+  /// connects immediately, instead of letting peers wait on a socket no
+  /// session will ever serve.
+  std::atomic<int> listen_fd_{-1};
+  int port_ = 0;
+
+  mutable Mutex queue_mutex_;
+  CondVar queue_cv_;
+  std::deque<int> queue_ DIVA_GUARDED_BY(queue_mutex_);
+
+  mutable Mutex inflight_mutex_;
+  uint64_t next_request_id_ DIVA_GUARDED_BY(inflight_mutex_) = 1;
+  std::map<uint64_t, Inflight> inflight_ DIVA_GUARDED_BY(inflight_mutex_);
+
+  mutable Mutex stats_mutex_;
+  ServerStats stats_ DIVA_GUARDED_BY(stats_mutex_);
+
+  std::unique_ptr<TaskGroup> threads_;
+  std::vector<uint64_t> tickets_;
+  bool stopped_ = false;  // Stop() ran to completion (main thread only)
+};
+
+}  // namespace serve
+}  // namespace diva
+
+#endif  // DIVA_SERVE_SERVER_H_

@@ -71,6 +71,9 @@ TEST(FaultInjectionTest, SweepEveryKnownSiteFailsCleanly) {
   ConstraintSet constraints = MedicalConstraints(*schema);
 
   for (const std::string& name : failpoint::KnownFailpoints()) {
+    // serve.* sites sit on the socket path, which a pipeline run never
+    // touches; tests/serve_chaos_test.cc sweeps that domain.
+    if (name.rfind("serve.", 0) == 0) continue;
     SCOPED_TRACE(name);
     failpoint::Reset();
     failpoint::Arm(name, StatusCode::kInternal);
@@ -101,6 +104,7 @@ TEST(FaultInjectionTest, KnownSitesTableMatchesInstrumentedSites) {
 
   std::vector<std::string> known = failpoint::KnownFailpoints();
   for (const std::string& name : known) {
+    if (name.rfind("serve.", 0) == 0) continue;  // serve_chaos_test's domain
     EXPECT_GE(failpoint::HitCount(name), 1u)
         << "stale kKnownSites entry (never hit by the pipeline): " << name;
   }
@@ -189,6 +193,45 @@ TEST(FaultInjectionTest, ArmFromSpecRejectsMalformedEntries) {
   EXPECT_EQ(failpoint::ArmFromSpec("a.site=io@whenever").code(),
             StatusCode::kInvalidArgument);
   EXPECT_TRUE(failpoint::ArmFromSpec("").ok());  // empty spec is a no-op
+  failpoint::Reset();
+}
+
+TEST(FaultInjectionTest, ArmFromSpecErrorsNameTheEntryAndField) {
+  failpoint::Reset();
+  // The second entry is broken: the error must carry its ordinal, its
+  // column, the entry text, and which field is wrong.
+  Status bad_trigger =
+      failpoint::ArmFromSpec("audit.run=io,csv.open.read=io@whenever");
+  ASSERT_EQ(bad_trigger.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad_trigger.message().find("entry 2"), std::string::npos)
+      << bad_trigger.ToString();
+  EXPECT_NE(bad_trigger.message().find("col 14"), std::string::npos)
+      << bad_trigger.ToString();
+  EXPECT_NE(bad_trigger.message().find("csv.open.read=io@whenever"),
+            std::string::npos)
+      << bad_trigger.ToString();
+  EXPECT_NE(bad_trigger.message().find("hit:N"), std::string::npos)
+      << bad_trigger.ToString();
+
+  Status bad_code = failpoint::ArmFromSpec("audit.run=no-such-code");
+  ASSERT_EQ(bad_code.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad_code.message().find("unknown status code 'no-such-code'"),
+            std::string::npos)
+      << bad_code.ToString();
+  failpoint::Reset();
+}
+
+TEST(FaultInjectionTest, ArmFromSpecRejectsUnknownSitesAndArmsNothing) {
+  failpoint::Reset();
+  // A typo'd site would arm a failpoint nothing ever hits — the spec is
+  // rejected, and the valid first entry must NOT have been armed either.
+  Status status = failpoint::ArmFromSpec("audit.run=io,audit.rnu=io");
+  ASSERT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("unknown failpoint site 'audit.rnu'"),
+            std::string::npos)
+      << status.ToString();
+  EXPECT_TRUE(failpoint::Check("audit.run").ok())
+      << "a rejected spec must be all-or-nothing";
   failpoint::Reset();
 }
 

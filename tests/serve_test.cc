@@ -1,0 +1,470 @@
+// Tests for the serving subsystem (src/serve/): protocol framing and
+// encoding, the pure admission policy, crash-safe snapshot publication,
+// client retry pacing (common/backoff.h), and the server end to end over
+// a loopback socket — including the deadline edge cases: a 0 ms deadline
+// admitted on an idle server still yields an audited degraded response,
+// and a wedged request tripped by the watchdog degrades instead of
+// hanging. Fault-injection sweeps live in serve_chaos_test.cc.
+
+#include <string>
+#include <vector>
+
+#include "common/backoff.h"
+#include "common/failpoint.h"
+#include "common/status.h"
+#include "gtest/gtest.h"
+#include "serve/admission.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+#include "tests/test_util.h"
+
+namespace diva {
+namespace serve {
+namespace {
+
+using diva::testing::MedicalConstraints;
+using diva::testing::MedicalRelation;
+using diva::testing::MedicalSchema;
+
+// ---------------------------------------------------------------- protocol
+
+TEST(ServeProtocolTest, RequestRoundTripsThroughEncodeAndParse) {
+  Request request;
+  request.verb = "anonymize";
+  request.params["k"] = "4";
+  request.params["deadline_ms"] = "250";
+  request.body = "line one\nline two\n";
+
+  auto parsed = ParseRequest(EncodeRequest(request));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->verb, "anonymize");
+  EXPECT_EQ(parsed->Param("k", ""), "4");
+  EXPECT_EQ(parsed->Param("deadline_ms", ""), "250");
+  EXPECT_EQ(parsed->Param("missing", "fallback"), "fallback");
+  EXPECT_EQ(parsed->body, request.body);
+
+  auto deadline = parsed->IntParam("deadline_ms", -1);
+  ASSERT_TRUE(deadline.ok());
+  EXPECT_EQ(*deadline, 250);
+  auto fallback = parsed->IntParam("nope", -1);
+  ASSERT_TRUE(fallback.ok());
+  EXPECT_EQ(*fallback, -1);
+}
+
+TEST(ServeProtocolTest, UnparsableIntParamIsAnErrorNotAFallback) {
+  Request request;
+  request.verb = "anonymize";
+  request.params["k"] = "four";
+  EXPECT_FALSE(request.IntParam("k", 1).ok());
+}
+
+TEST(ServeProtocolTest, ErrorResponseRoundTripsStatusWithSpaces) {
+  Response error = Response::Error(
+      Status::Unavailable("queue full (16/16), try again later"));
+  auto parsed = ParseResponse(EncodeResponse(error));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_FALSE(parsed->ok);
+  EXPECT_EQ(parsed->code, StatusCode::kUnavailable);
+  Status status = parsed->ToStatus();
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(status.message().find("queue full (16/16)"), std::string::npos);
+}
+
+TEST(ServeProtocolTest, OkResponseCarriesFieldsAndBody) {
+  Response response;
+  response.fields["snapshot"] = "7";
+  response.fields["audited"] = "1";
+  response.body = "GEN,AGE\nFemale,30\n";
+  auto parsed = ParseResponse(EncodeResponse(response));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->ok);
+  EXPECT_EQ(parsed->Field("snapshot", ""), "7");
+  EXPECT_EQ(parsed->Field("audited", "0"), "1");
+  EXPECT_EQ(parsed->body, response.body);
+}
+
+TEST(ServeProtocolTest, StatusCodeNamesRoundTripAndUnknownMapsToInternal) {
+  EXPECT_EQ(ParseStatusCodeName("Unavailable"), StatusCode::kUnavailable);
+  EXPECT_EQ(ParseStatusCodeName("IoError"), StatusCode::kIoError);
+  EXPECT_EQ(ParseStatusCodeName("NoSuchCode"), StatusCode::kInternal);
+}
+
+// ---------------------------------------------------------------- admission
+
+TEST(ServeAdmissionTest, IdleServerAdmitsEvenAnExpiredDeadline) {
+  // predicted wait excludes the request's own service time: an empty
+  // server must admit a 0 ms deadline and let the anytime pipeline
+  // produce the audited degraded response.
+  AdmissionDecision decision = DecideAdmission(
+      /*queued=*/0, /*inflight=*/0, /*max_queue=*/4,
+      /*cost_estimate_ms=*/50.0, /*deadline_ms=*/0, /*draining=*/false);
+  EXPECT_TRUE(decision.admit);
+  EXPECT_EQ(decision.predicted_wait_ms, 0.0);
+}
+
+TEST(ServeAdmissionTest, BacklogTimesCostShedsDoomedDeadlines) {
+  AdmissionDecision decision = DecideAdmission(
+      /*queued=*/2, /*inflight=*/1, /*max_queue=*/8,
+      /*cost_estimate_ms=*/100.0, /*deadline_ms=*/250, /*draining=*/false);
+  EXPECT_FALSE(decision.admit);
+  EXPECT_DOUBLE_EQ(decision.predicted_wait_ms, 300.0);
+  EXPECT_NE(decision.reason.find("deadline"), std::string::npos);
+
+  // The same backlog admits a request with budget to spare.
+  EXPECT_TRUE(DecideAdmission(2, 1, 8, 100.0, 1000, false).admit);
+  // ... and one with no deadline at all.
+  EXPECT_TRUE(DecideAdmission(2, 1, 8, 100.0, -1, false).admit);
+}
+
+TEST(ServeAdmissionTest, DrainingAndQueueFullTakePrecedence) {
+  AdmissionDecision draining = DecideAdmission(0, 0, 4, 1.0, -1, true);
+  EXPECT_FALSE(draining.admit);
+  EXPECT_NE(draining.reason.find("drain"), std::string::npos);
+
+  AdmissionDecision full = DecideAdmission(4, 0, 4, 1.0, -1, false);
+  EXPECT_FALSE(full.admit);
+  EXPECT_NE(full.reason.find("queue full"), std::string::npos);
+}
+
+TEST(ServeAdmissionTest, CostTrackerConvergesOnObservedCost) {
+  CostTracker tracker(/*initial_ms=*/50.0, /*alpha=*/0.5);
+  EXPECT_DOUBLE_EQ(tracker.EstimateMs(), 50.0);
+  tracker.Record(150.0);
+  EXPECT_DOUBLE_EQ(tracker.EstimateMs(), 100.0);
+  for (int i = 0; i < 32; ++i) tracker.Record(10.0);
+  EXPECT_NEAR(tracker.EstimateMs(), 10.0, 1.0);
+}
+
+// ---------------------------------------------------------------- snapshots
+
+TEST(ServeSnapshotTest, PublishAssignsDenseIdsAndFindsBack) {
+  SnapshotStore store(/*capacity=*/4);
+  Snapshot first(MedicalRelation());
+  first.k = 2;
+  first.audited = true;
+  auto id1 = store.Publish(std::move(first));
+  ASSERT_TRUE(id1.ok());
+  EXPECT_EQ(*id1, 1u);
+
+  Snapshot second(MedicalRelation());
+  second.audited = true;
+  auto id2 = store.Publish(std::move(second));
+  ASSERT_TRUE(id2.ok());
+  EXPECT_EQ(*id2, 2u);
+  EXPECT_EQ(store.latest_id(), 2u);
+  EXPECT_EQ(store.size(), 2u);
+
+  auto found = store.Find(1);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->k, 2u);
+  EXPECT_TRUE(found->audited);
+  EXPECT_EQ(store.Find(99), nullptr);
+}
+
+TEST(ServeSnapshotTest, FullStoreRefusesWithUnavailable) {
+  SnapshotStore store(/*capacity=*/1);
+  Snapshot first(MedicalRelation());
+  first.audited = true;
+  ASSERT_TRUE(store.Publish(std::move(first)).ok());
+  Snapshot second(MedicalRelation());
+  second.audited = true;
+  auto refused = store.Publish(std::move(second));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.latest_id(), 1u);
+}
+
+TEST(ServeSnapshotTest, InjectedPublishFaultLeavesStoreUntouched) {
+  SnapshotStore store(/*capacity=*/4);
+  Snapshot first(MedicalRelation());
+  first.audited = true;
+  ASSERT_TRUE(store.Publish(std::move(first)).ok());
+
+  failpoint::Reset();
+  failpoint::Arm("serve.publish", StatusCode::kIoError);
+  Snapshot doomed(MedicalRelation());
+  doomed.audited = true;
+  auto failed = store.Publish(std::move(doomed));
+  failpoint::Reset();
+
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kIoError);
+  // Crash-safe publication: the fault fired before any mutation, so the
+  // store is exactly as it was — same size, same latest id, and the next
+  // publish continues the dense id sequence.
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.latest_id(), 1u);
+  Snapshot next(MedicalRelation());
+  next.audited = true;
+  auto id = store.Publish(std::move(next));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 2u);
+}
+
+// ---------------------------------------------------------------- backoff
+
+TEST(ServeBackoffTest, LadderIsDeterministicJitteredAndCapped) {
+  BackoffOptions options;
+  options.initial_ms = 10.0;
+  options.max_ms = 80.0;
+  options.multiplier = 2.0;
+  options.jitter = 0.5;
+  options.max_retries = 6;
+
+  Backoff a(options, /*seed=*/7);
+  Backoff b(options, /*seed=*/7);
+  std::vector<double> delays;
+  double ceiling = 10.0;
+  for (size_t i = 0; i < options.max_retries; ++i) {
+    auto delay_a = a.NextDelayMs();
+    auto delay_b = b.NextDelayMs();
+    ASSERT_TRUE(delay_a.has_value());
+    ASSERT_TRUE(delay_b.has_value());
+    // Same seed, same schedule — the loadgen's replays are reproducible.
+    EXPECT_DOUBLE_EQ(*delay_a, *delay_b);
+    EXPECT_GE(*delay_a, ceiling * (1.0 - options.jitter));
+    EXPECT_LE(*delay_a, ceiling);
+    delays.push_back(*delay_a);
+    ceiling = std::min(ceiling * options.multiplier, options.max_ms);
+  }
+  // The allowance is spent; Reset starts the ladder over.
+  EXPECT_FALSE(a.NextDelayMs().has_value());
+  EXPECT_EQ(a.retries(), options.max_retries);
+  a.Reset();
+  auto fresh = a.NextDelayMs();
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_LE(*fresh, options.initial_ms);
+}
+
+TEST(ServeBackoffTest, RetryBudgetDrainsAndRefills) {
+  RetryBudget budget(/*deposit_per_call=*/0.5, /*initial_tokens=*/1.0,
+                     /*max_tokens=*/2.0);
+  EXPECT_TRUE(budget.TryWithdrawRetry());   // spends the initial token
+  EXPECT_FALSE(budget.TryWithdrawRetry());  // empty: retries refused
+  budget.RecordCall();
+  EXPECT_FALSE(budget.TryWithdrawRetry());  // 0.5 < 1 whole token
+  budget.RecordCall();
+  EXPECT_TRUE(budget.TryWithdrawRetry());
+  for (int i = 0; i < 100; ++i) budget.RecordCall();
+  EXPECT_DOUBLE_EQ(budget.tokens(), 2.0);  // capped
+}
+
+// ---------------------------------------------------------------- server e2e
+
+ServerOptions TestOptions() {
+  ServerOptions options;
+  options.port = 0;  // ephemeral
+  options.sessions = 2;
+  options.queue_capacity = 4;
+  options.drain_grace_ms = 2000.0;
+  return options;
+}
+
+TEST(ServeServerTest, ServesPingAnonymizeVerifyFetchAndStats) {
+  Server server(MedicalRelation(), MedicalConstraints(*MedicalSchema()),
+                TestOptions());
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  Request ping;
+  ping.verb = "ping";
+  auto pong = client->Call(ping);
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_TRUE(pong->ok);
+
+  Request anonymize;
+  anonymize.verb = "anonymize";
+  anonymize.params["k"] = "2";
+  auto published = client->Call(anonymize);
+  ASSERT_TRUE(published.ok()) << published.status().ToString();
+  ASSERT_TRUE(published->ok) << published->ToStatus().ToString();
+  EXPECT_EQ(published->Field("audited", "0"), "1");
+  EXPECT_EQ(published->Field("snapshot", ""), "1");
+  EXPECT_EQ(published->Field("rows", ""), "10");
+
+  Request verify;
+  verify.verb = "verify";
+  verify.params["snapshot"] = "1";
+  auto verdict = client->Call(verify);
+  ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+  ASSERT_TRUE(verdict->ok) << verdict->ToStatus().ToString();
+  // The server's own audit passed pre-publish, so the replay must too.
+  EXPECT_EQ(verdict->Field("verdict", ""), "pass");
+
+  Request fetch;
+  fetch.verb = "fetch";
+  fetch.params["snapshot"] = "1";
+  auto fetched = client->Call(fetch);
+  ASSERT_TRUE(fetched.ok()) << fetched.status().ToString();
+  ASSERT_TRUE(fetched->ok) << fetched->ToStatus().ToString();
+  EXPECT_FALSE(fetched->body.empty());
+
+  Request stats;
+  stats.verb = "stats";
+  auto report = client->Call(stats);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report->ok);
+  EXPECT_EQ(report->Field("snapshots_published", ""), "1");
+  EXPECT_EQ(report->Field("protocol_errors", ""), "0");
+  EXPECT_EQ(report->Field("draining", ""), "0");
+
+  server.Stop();
+  EXPECT_EQ(server.inflight(), 0u);
+  ServerStats final_stats = server.stats();
+  EXPECT_EQ(final_stats.requests + final_stats.protocol_errors,
+            final_stats.responses + final_stats.response_failures);
+}
+
+TEST(ServeServerTest, UnknownVerbAndBadParamsAreErrorsNotDisconnects) {
+  Server server(MedicalRelation(), MedicalConstraints(*MedicalSchema()),
+                TestOptions());
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  Request bogus;
+  bogus.verb = "transmogrify";
+  auto response = client->Call(bogus);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_FALSE(response->ok);
+
+  Request bad_k;
+  bad_k.verb = "anonymize";
+  bad_k.params["k"] = "banana";
+  auto rejected = client->Call(bad_k);
+  ASSERT_TRUE(rejected.ok()) << rejected.status().ToString();
+  EXPECT_FALSE(rejected->ok);
+
+  // The connection survived both errors.
+  Request ping;
+  ping.verb = "ping";
+  auto pong = client->Call(ping);
+  ASSERT_TRUE(pong.ok());
+  EXPECT_TRUE(pong->ok);
+  server.Stop();
+}
+
+TEST(ServeServerTest, FetchOfUnknownSnapshotIsNotFound) {
+  Server server(MedicalRelation(), MedicalConstraints(*MedicalSchema()),
+                TestOptions());
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  Request fetch;
+  fetch.verb = "fetch";
+  fetch.params["snapshot"] = "42";
+  auto response = client->Call(fetch);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_FALSE(response->ok);
+  EXPECT_EQ(response->code, StatusCode::kNotFound);
+  server.Stop();
+}
+
+TEST(ServeServerTest, ZeroDeadlineOnIdleServerIsAuditedAndDegraded) {
+  // The deadline edge case of the serving contract: deadline_ms=0 is
+  // admitted (nothing is ahead of it), the pipeline degrades through the
+  // anytime path, and the response is still audited before it leaves.
+  Server server(MedicalRelation(), MedicalConstraints(*MedicalSchema()),
+                TestOptions());
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  Request anonymize;
+  anonymize.verb = "anonymize";
+  anonymize.params["k"] = "2";
+  anonymize.params["deadline_ms"] = "0";
+  auto response = client->Call(anonymize);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_TRUE(response->ok) << response->ToStatus().ToString();
+  EXPECT_EQ(response->Field("audited", "0"), "1");
+  EXPECT_EQ(response->Field("degraded", "0"), "1");
+  EXPECT_EQ(response->Field("deadline_exceeded", "0"), "1");
+
+  // The published snapshot records the degradation and the audit.
+  auto snapshot = server.snapshots().Find(1);
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_TRUE(snapshot->audited);
+  EXPECT_TRUE(snapshot->degraded);
+
+  server.Stop();
+  EXPECT_EQ(server.inflight(), 0u);
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.degraded, 1u);
+  EXPECT_EQ(stats.requests + stats.protocol_errors,
+            stats.responses + stats.response_failures);
+}
+
+TEST(ServeServerTest, WatchdogTripsWedgedRequestIntoAuditedDegradation) {
+  // A request with no deadline is "wedged" once it overruns the wedge
+  // timeout; the watchdog trips its token, the pipeline degrades, and
+  // the response still arrives audited — no counter leaks either way.
+  // The base relation is big enough that the run cannot beat the 1 ms
+  // watchdog poll to the finish line.
+  diva::testing::FuzzWorkload workload = diva::testing::MakeWorkload(11);
+  ServerOptions options = TestOptions();
+  options.watchdog_poll_ms = 1.0;
+  options.wedge_timeout_ms = -1.0;  // born over budget: trips immediately
+  Server server(workload.relation, workload.constraints, options);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  Request anonymize;
+  anonymize.verb = "anonymize";
+  anonymize.params["k"] = "2";
+  auto response = client->Call(anonymize);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  server.Stop();
+
+  ServerStats stats = server.stats();
+  if (response->ok) {
+    // The watchdog tripped mid-run (the common case — the run cannot
+    // finish inside one poll): the response is still audited, and a trip
+    // that landed while the run was in flight shows up as degradation.
+    EXPECT_EQ(response->Field("audited", "0"), "1");
+    if (stats.watchdog_cancels > 0) {
+      EXPECT_EQ(response->Field("degraded", "0"), "1");
+    }
+  } else {
+    // The trip landed in the admission-to-dispatch window and the run
+    // was skipped entirely; the request was shed, nothing leaked.
+    EXPECT_EQ(response->code, StatusCode::kUnavailable);
+  }
+  EXPECT_EQ(server.inflight(), 0u);
+  EXPECT_EQ(stats.requests + stats.protocol_errors,
+            stats.responses + stats.response_failures);
+}
+
+TEST(ServeServerTest, DrainRefusesNewWorkAndStopIsIdempotent) {
+  Server server(MedicalRelation(), MedicalConstraints(*MedicalSchema()),
+                TestOptions());
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  server.RequestDrain();
+  EXPECT_TRUE(server.draining());
+  Request anonymize;
+  anonymize.verb = "anonymize";
+  anonymize.params["k"] = "2";
+  auto response = client->Call(anonymize);
+  // Refused by admission (kUnavailable) or the connection was retired —
+  // either way the drain never produced unanonymized output.
+  if (response.ok() && !response->ok) {
+    EXPECT_EQ(response->code, StatusCode::kUnavailable);
+  } else if (!response.ok()) {
+    EXPECT_EQ(response.status().code(), StatusCode::kUnavailable);
+  }
+  server.Stop();
+  server.Stop();  // idempotent
+  EXPECT_EQ(server.inflight(), 0u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace diva

@@ -16,17 +16,25 @@ keys starting with "_" are metadata and ignored). Two metric classes:
   machinery regresses (e.g. target_sorts scaling with steps again) and
   never when the runner is merely slow.
 
-* Timing metrics (wall_seconds, memo_off_seconds, steps_per_sec,
-  memo_speedup): machine-dependent. Reported in the delta table for
-  humans, but only gated under --strict-timing (for use on quiet,
-  calibrated hardware — refresh the baseline on the same machine first).
-  Only worse-direction drift fails: faster is never a regression.
+* Timing metrics: machine-dependent. Classified by suffix — any key
+  ending in "_ms" or "_seconds" (lower is better) or "_per_sec" (higher
+  is better) — plus the legacy names in TIMING_KEYS (memo_speedup has no
+  suffix). Reported in the delta table for humans, but only gated under
+  --strict-timing (for use on quiet, calibrated hardware — refresh the
+  baseline on the same machine first). Only worse-direction drift fails:
+  faster is never a regression.
 
 * Execution-scope metrics (any key starting with "exec_", e.g.
   exec_spec_adopted): describe how work was *scheduled* — speculative
   adoptions, probe counts — and legitimately vary with thread width and
   timing. Always informational, never gated, not even by
   --strict-timing.
+
+Key-set drift is reported explicitly in both directions: a baseline
+metric missing from the current report FAILS (the bench stopped
+measuring something it promised), while a current-only metric is
+surfaced as "extra" info (a new bench metric whose baseline hasn't been
+refreshed yet — harmless, but visible so it doesn't rot unrecorded).
 
 Exit code 0 = within tolerance, 1 = regression, 2 = usage/format error.
 """
@@ -38,12 +46,24 @@ import json
 import sys
 from pathlib import Path
 
-# Machine-dependent metrics: informational unless --strict-timing.
+# Legacy machine-dependent metrics without a classifying suffix.
 TIMING_KEYS = {"wall_seconds", "memo_off_seconds", "steps_per_sec",
                "memo_speedup"}
 
-# Timing metrics where smaller is better; the rest improve upward.
+# Legacy timing metrics where smaller is better; the rest improve upward.
 LOWER_IS_BETTER = {"wall_seconds", "memo_off_seconds"}
+
+
+def is_timing(metric: str) -> bool:
+    """Machine-dependent metric: suffix-classified, plus legacy names."""
+    return (metric.endswith(("_ms", "_seconds", "_per_sec"))
+            or metric in TIMING_KEYS)
+
+
+def lower_is_better(metric: str) -> bool:
+    """Durations regress upward; rates (_per_sec) regress downward."""
+    return (metric.endswith(("_ms", "_seconds"))
+            or metric in LOWER_IS_BETTER)
 
 
 def load(path: Path) -> dict:
@@ -95,12 +115,12 @@ def main() -> int:
                 failures.append(f"{shape}.{metric}: missing from current")
                 continue
             delta = relative_delta(float(base), float(cur))
-            timing = metric in TIMING_KEYS
+            timing = is_timing(metric)
             execution = metric.startswith("exec_")
             gated = (not timing or args.strict_timing) and not execution
             if timing:
                 # Only worse-direction drift can regress.
-                worse = -delta if metric in LOWER_IS_BETTER else delta
+                worse = -delta if lower_is_better(metric) else delta
                 regressed = gated and -worse > args.tolerance
             else:
                 regressed = gated and abs(delta) > args.tolerance
@@ -117,13 +137,35 @@ def main() -> int:
                 else "new"
             rows.append((shape, metric, base, cur, delta_str, status))
 
+    # Current-only shapes/metrics: never a failure (the baseline simply
+    # predates them), but reported so new bench output is visibly
+    # unrecorded until someone refreshes the baseline.
+    extras = []
+    for shape, cur_metrics in sorted(current.items()):
+        if not isinstance(cur_metrics, dict):
+            continue
+        base_metrics = baseline.get(shape)
+        if not isinstance(base_metrics, dict):
+            base_metrics = {}
+            extras.append(f"{shape}: shape missing from baseline")
+        for metric, cur in sorted(cur_metrics.items()):
+            if not isinstance(cur, (int, float)):
+                continue
+            if metric not in base_metrics:
+                rows.append((shape, metric, float("nan"), cur, "-",
+                             "extra"))
+
     name_width = max((len(f"{s}.{m}") for s, m, *_ in rows), default=20)
     print(f"{'metric':<{name_width}}  {'baseline':>12}  {'current':>12}  "
           f"{'delta':>8}  status")
     print("-" * (name_width + 46))
     for shape, metric, base, cur, delta_str, status in rows:
-        print(f"{shape + '.' + metric:<{name_width}}  {base:>12g}  "
+        base_str = f"{base:>12g}" if base == base else f"{'-':>12}"
+        print(f"{shape + '.' + metric:<{name_width}}  {base_str}  "
               f"{cur:>12g}  {delta_str:>8}  {status}")
+    for note in extras:
+        print(f"note: {note} (current-only; refresh the baseline to "
+              f"record it)")
 
     if failures:
         print(f"\nbench_diff: {len(failures)} regression(s):",
