@@ -19,7 +19,11 @@
 #      and counters.* (skipped with a notice when gcovr is not installed)
 #   8. bench gate: bench_coloring vs bench/baselines/BENCH_coloring.json
 #      via tools/bench_diff.py (deterministic metrics, 10% tolerance)
-#   9. serve gate: diva_loadgen (steady + overload replay against an
+#   9. scale gate: bench_scale (pinned 1M-row / 64-component shape, end
+#      to end) vs bench/baselines/BENCH_scale.json, plus the
+#      shard-equivalence cross-width diff at tolerance 0 — the shard
+#      on/off output-hash equality is asserted inside the bench itself
+#  10. serve gate: diva_loadgen (steady + overload replay against an
 #      in-process server) vs bench/baselines/BENCH_serve.json — the
 #      crash-tolerance invariants gate, latency keys stay informational
 #
@@ -109,6 +113,24 @@ DIVA_THREADS=8 \
 python3 tools/bench_diff.py --tolerance 0 \
   /tmp/BENCH_coloring_t1.$$.json /tmp/BENCH_coloring_t8.$$.json
 rm -f /tmp/BENCH_coloring_t1.$$.json /tmp/BENCH_coloring_t8.$$.json
+
+step "scale gate: bench_scale vs bench/baselines/BENCH_scale.json"
+cmake --build --preset release -j "$JOBS" --target bench_scale
+DIVA_THREADS=1 \
+  ./build/release/bench/bench_scale /tmp/BENCH_scale_t1.$$.json
+python3 tools/bench_diff.py \
+  bench/baselines/BENCH_scale.json /tmp/BENCH_scale_t1.$$.json
+
+# Shard equivalence at width: the sharded pipeline's deterministic shape
+# metrics are exact at every pool width (the published-bytes hash
+# equality across shard on/off is a DIVA_CHECK inside the bench); the
+# end-to-end t1/t8 payoff ratio is gated in CI, where real cores exist.
+step "scale gate: cross-width determinism (DIVA_THREADS=1 vs 8, tolerance 0)"
+DIVA_THREADS=8 \
+  ./build/release/bench/bench_scale /tmp/BENCH_scale_t8.$$.json
+python3 tools/bench_diff.py --tolerance 0 \
+  /tmp/BENCH_scale_t1.$$.json /tmp/BENCH_scale_t8.$$.json
+rm -f /tmp/BENCH_scale_t1.$$.json /tmp/BENCH_scale_t8.$$.json
 
 step "serve gate: diva_loadgen vs bench/baselines/BENCH_serve.json"
 cmake --build --preset release -j "$JOBS" --target diva_loadgen

@@ -23,6 +23,9 @@
 //   --deadline-grace-ms X watchdog slack past a request deadline
 //   --drain-grace-ms X    drain wait before force-cancel
 //   --pipeline-threads N  DivaOptions::threads per request
+//   --shard on|off        component-sharded coloring per request
+//                         (execution knob, default on; requests may
+//                         override with a shard= param)
 //   --seed N              default pipeline seed
 //   --run-seconds N       self-drain after N seconds (0 = until signal)
 //   --quiet               suppress per-event log lines
@@ -242,6 +245,16 @@ int main(int argc, char** argv) {
     auto value = int_arg(knob.key, static_cast<int64_t>(*knob.out), 1);
     if (!value.ok()) return Fail(value.status().ToString());
     *knob.out = static_cast<size_t>(*value);
+  }
+  if (args.count("shard")) {
+    std::string shard = ToLowerAscii(args["shard"]);
+    if (shard == "on" || shard == "1" || shard == "true") {
+      options.pipeline_shard = true;
+    } else if (shard == "off" || shard == "0" || shard == "false") {
+      options.pipeline_shard = false;
+    } else {
+      return Fail("--shard must be on or off");
+    }
   }
   struct DoubleKnob {
     const char* key;

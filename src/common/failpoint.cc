@@ -48,6 +48,12 @@ const char* const kKnownSites[] = {
     "serve.publish",        // serve/snapshot.cc: snapshot publication
     "serve.request.parse",  // serve/protocol.cc: request decoding
     "serve.respond",        // serve/server.cc: response frame write
+    // shard.* sites fire on the component-sharded coloring path
+    // (core/shard.cc); shard.run/shard.merge need a multi-component
+    // instance, which the pipeline sweep's disjoint-target run provides.
+    "shard.merge",          // core/shard.cc: outcome merge hand-off
+    "shard.partition",      // core/diva.cc: component plan computation
+    "shard.run",            // core/shard.cc: per-shard coloring task
 };
 
 struct Site {

@@ -12,6 +12,8 @@
 #include "common/trace.h"
 #include "core/constraint_graph.h"
 #include "core/integrate.h"
+#include "core/shard.h"
+#include "relation/columnar.h"
 #include "verify/auditor.h"
 
 namespace diva {
@@ -194,18 +196,44 @@ Result<DivaResult> RunDiva(const Relation& relation,
     coloring_options.step_budget = options.coloring_budget;
     coloring_options.enumeration = TuneEnumeration(options);
     coloring_options.deadline = token;
+
+    // The component partition of the conflict graph (core/shard.h): a
+    // pure function of the instance, computed in both execution modes so
+    // the report's shard figures never depend on the shard flag.
+    DIVA_RETURN_IF_ERROR(DIVA_FAIL("shard.partition"));
+    const ShardPlan plan = ComputeShardPlan(graph, relation.NumRows());
+    report.shards = plan.shards.size();
+    report.residual_rows = plan.residual_rows;
+    DIVA_COUNTER_ADD("shard.count", plan.shards.size());
+    DIVA_COUNTER_ADD("shard.max_rows", plan.MaxShardRows());
+    DIVA_COUNTER_ADD("shard.residual_rows", plan.residual_rows);
+
     // The search tolerates truncated candidate enumeration (it just sees
     // fewer candidates), so the pool-level token is installed for this
     // phase: when the deadline trips, enumeration loops stop claiming
     // chunks instead of finishing a doomed sweep.
     ScopedLoopCancellation loop_cancel(token);
-    coloring =
-        options.portfolio_threads > 1
-            ? ColorConstraintsPortfolio(relation, constraints, graph,
-                                        coloring_options,
-                                        options.portfolio_threads)
-            : ColorConstraints(relation, constraints, graph,
-                               coloring_options);
+    if (plan.Effective()) {
+      // >= 2 independent components: the plan drives the search in both
+      // modes; options.shard only picks concurrent vs sequential
+      // execution (the shard fan-out replaces the attempt portfolio).
+      // Shards materialize as column slices of one arena-backed
+      // snapshot instead of row-major copies of the whole relation.
+      const ColumnStore store = ColumnStore::FromRelation(relation);
+      const size_t workers =
+          options.shard ? ResolveThreadCount(options.threads) : 1;
+      DIVA_ASSIGN_OR_RETURN(
+          coloring, RunShardedColoring(store, constraints, graph, plan,
+                                       coloring_options, workers));
+    } else {
+      coloring =
+          options.portfolio_threads > 1
+              ? ColorConstraintsPortfolio(relation, constraints, graph,
+                                          coloring_options,
+                                          options.portfolio_threads)
+              : ColorConstraints(relation, constraints, graph,
+                                 coloring_options);
+    }
   }
   report.clustering_complete = coloring.complete;
   report.budget_exhausted = coloring.budget_exhausted;

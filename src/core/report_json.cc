@@ -25,6 +25,8 @@ std::string ReportToJson(const DivaReport& report) {
   out += ",\"total_constraints\":" + std::to_string(report.total_constraints);
   out += ",\"coloring_steps\":" + std::to_string(report.coloring_steps);
   out += ",\"backtracks\":" + std::to_string(report.backtracks);
+  out += ",\"shards\":" + std::to_string(report.shards);
+  out += ",\"residual_rows\":" + std::to_string(report.residual_rows);
   out += ",\"sigma_rows\":" + std::to_string(report.sigma_rows);
   out += ",\"repair_cells\":" + std::to_string(report.repair_cells);
   out += ",\"unsatisfied\":[";

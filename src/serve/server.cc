@@ -472,6 +472,9 @@ Response Server::HandleAnonymize(const Request& request) {
     if (!seed.ok()) return Response::Error(seed.status());
     auto baseline = ParseBaseline(request.Param("baseline", "kmember"));
     if (!baseline.ok()) return Response::Error(baseline.status());
+    auto shard =
+        request.IntParam("shard", options_.pipeline_shard ? 1 : 0);
+    if (!shard.ok()) return Response::Error(shard.status());
 
     diva_options.k = static_cast<size_t>(*k);
     diva_options.l_diversity = static_cast<size_t>(*l);
@@ -479,6 +482,9 @@ Response Server::HandleAnonymize(const Request& request) {
     diva_options.seed = static_cast<uint64_t>(*seed);
     diva_options.baseline = *baseline;
     diva_options.threads = options_.pipeline_threads;
+    // Execution knob only (core/shard.h): a request gets byte-identical
+    // bytes with sharding on or off, so per-request overrides are safe.
+    diva_options.shard = *shard != 0;
     // The serving contract: results are audited before they leave the
     // process, degraded or not. The self-audit is never skipped by a
     // deadline (core/diva.cc), so a cancelled run still re-proves its

@@ -59,10 +59,11 @@ std::vector<std::string> DeterministicCounters(
 
 RunFingerprint FingerprintRun(const Relation& relation,
                               const ConstraintSet& constraints, size_t k,
-                              size_t threads) {
+                              size_t threads, bool shard = true) {
   DivaOptions options;
   options.k = k;
   options.threads = threads;
+  options.shard = shard;
   options.audit = true;
   auto result = RunDiva(relation, constraints, options);
   EXPECT_TRUE(result.ok()) << result.status().ToString();
@@ -116,6 +117,14 @@ TEST(DeterminismTest, ProfileWorkloadIsByteIdenticalAcrossThreadCounts) {
     RunFingerprint parallel =
         FingerprintRun(*relation, *constraints, 4, threads);
     EXPECT_EQ(parallel, baseline) << "threads = " << threads;
+  }
+  // Component sharding is an execution knob like the pool width: turning
+  // it off (the same per-shard computations, run inline) must reproduce
+  // the identical fingerprint at every width (see core/shard.h).
+  for (size_t threads : {1u, 8u}) {
+    RunFingerprint unsharded =
+        FingerprintRun(*relation, *constraints, 4, threads, /*shard=*/false);
+    EXPECT_EQ(unsharded, baseline) << "shard off, threads = " << threads;
   }
   SetParallelThreads(1);
 }

@@ -133,6 +133,65 @@ TEST(EdgeCaseTest, AllRowsIdentical) {
   EXPECT_EQ(CountStars(result->relation), 0u);  // nothing to suppress
 }
 
+TEST(EdgeCaseTest, ZeroConstraintRunIsPureResidual) {
+  // No constraints: the shard plan has zero shards and every row is
+  // residual — the whole relation flows to the baseline phase, and the
+  // shard flag has nothing to change.
+  Relation r = MedicalRelation();
+  std::string bytes_without;
+  for (bool shard : {false, true}) {
+    DivaOptions options;
+    options.k = 2;
+    options.shard = shard;
+    auto result = RunDiva(r, {}, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->report.shards, 0u);
+    EXPECT_EQ(result->report.residual_rows, r.NumRows());
+    EXPECT_TRUE(IsKAnonymous(result->relation, 2));
+    std::ostringstream out;
+    ASSERT_TRUE(WriteCsv(result->relation, out).ok());
+    if (!shard) {
+      bytes_without = out.str();
+    } else {
+      EXPECT_EQ(out.str(), bytes_without);
+    }
+  }
+}
+
+TEST(EdgeCaseTest, EveryRowViolatingSigmaSuppressesAcrossAllShards) {
+  // Three forbid-constraints cover every ETH value: every row violates
+  // Sigma, the plan has three components and an empty residual, and the
+  // pipeline must suppress every occurrence in every shard — in both
+  // execution modes, byte for byte.
+  Relation r = MedicalRelation();
+  ConstraintSet constraints = {
+      MustParse(*MedicalSchema(), "ETH[Caucasian] in [0,0]"),
+      MustParse(*MedicalSchema(), "ETH[African] in [0,0]"),
+      MustParse(*MedicalSchema(), "ETH[Asian] in [0,0]"),
+  };
+  std::string bytes_without;
+  for (bool shard : {false, true}) {
+    DivaOptions options;
+    options.k = 2;
+    options.shard = shard;
+    auto result = RunDiva(r, constraints, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->report.shards, 3u);
+    EXPECT_EQ(result->report.residual_rows, 0u);
+    for (const DiversityConstraint& constraint : constraints) {
+      EXPECT_EQ(constraint.CountOccurrences(result->relation), 0u);
+    }
+    EXPECT_TRUE(IsKAnonymous(result->relation, 2));
+    std::ostringstream out;
+    ASSERT_TRUE(WriteCsv(result->relation, out).ok());
+    if (!shard) {
+      bytes_without = out.str();
+    } else {
+      EXPECT_EQ(out.str(), bytes_without);
+    }
+  }
+}
+
 TEST(EdgeCaseTest, DiscernibilityOverflowSafety) {
   // 100k identical rows: disc = N^2 = 1e10 exceeds 32 bits; the metric
   // must not overflow.

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/failpoint.h"
+#include "constraint/parser.h"
 #include "core/diva.h"
 #include "relation/csv.h"
 #include "relation/qi_groups.h"
@@ -45,6 +46,18 @@ Status RunPipeline(const Relation& relation,
   options.baseline = BaselineAlgorithm::kKMember;
   auto diva = RunDiva(*read, constraints, options);
   if (!diva.ok()) return diva.status();
+
+  // A disjoint-target Sigma decomposes into two conflict-graph
+  // components (ETH[Asian] targets t8-t10, PRV[AB] targets t1-t3), so
+  // this run takes the component-sharded coloring path and reaches the
+  // shard.run / shard.merge sites (shard.partition fires on every run).
+  auto sharded_constraints = ParseConstraintSet(
+      *schema, "ETH[Asian] in [2,5]\nPRV[AB] in [1,3]\n");
+  if (!sharded_constraints.ok()) return sharded_constraints.status();
+  DivaOptions sharded_options;
+  sharded_options.k = 2;
+  auto sharded = RunDiva(*read, *sharded_constraints, sharded_options);
+  if (!sharded.ok()) return sharded.status();
 
   // An empty Sigma leaves every row to the baseline, so each baseline's
   // failpoint is guaranteed reachable.
