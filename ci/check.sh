@@ -23,7 +23,12 @@
 #      to end) vs bench/baselines/BENCH_scale.json, plus the
 #      shard-equivalence cross-width diff at tolerance 0 — the shard
 #      on/off output-hash equality is asserted inside the bench itself
-#  10. serve gate: diva_loadgen (steady + overload replay against an
+#  10. incremental gate: bench_incremental (the bench_scale shape under
+#      a 1% churn, cold re-run vs ApplyDelta replay; output-hash
+#      equality asserted inside the bench) vs
+#      bench/baselines/BENCH_incremental.json, plus the cross-width
+#      diff at tolerance 0 — the >=5x payoff ratio is gated in CI
+#  11. serve gate: diva_loadgen (steady + overload replay against an
 #      in-process server) vs bench/baselines/BENCH_serve.json — the
 #      crash-tolerance invariants gate, latency keys stay informational
 #
@@ -131,6 +136,24 @@ DIVA_THREADS=8 \
 python3 tools/bench_diff.py --tolerance 0 \
   /tmp/BENCH_scale_t1.$$.json /tmp/BENCH_scale_t8.$$.json
 rm -f /tmp/BENCH_scale_t1.$$.json /tmp/BENCH_scale_t8.$$.json
+
+step "incremental gate: bench_incremental vs bench/baselines/BENCH_incremental.json"
+cmake --build --preset release -j "$JOBS" --target bench_incremental
+DIVA_THREADS=1 \
+  ./build/release/bench/bench_incremental /tmp/BENCH_incremental_t1.$$.json
+python3 tools/bench_diff.py \
+  bench/baselines/BENCH_incremental.json /tmp/BENCH_incremental_t1.$$.json
+
+# The cold-vs-incremental output-hash equality is a DIVA_CHECK inside
+# the bench; the deterministic metrics (including the hash halves and
+# the reused-shard count) are exact at every pool width. The >=5x
+# cold/incremental payoff ratio is gated in CI, where real cores exist.
+step "incremental gate: cross-width determinism (DIVA_THREADS=1 vs 8, tolerance 0)"
+DIVA_THREADS=8 \
+  ./build/release/bench/bench_incremental /tmp/BENCH_incremental_t8.$$.json
+python3 tools/bench_diff.py --tolerance 0 \
+  /tmp/BENCH_incremental_t1.$$.json /tmp/BENCH_incremental_t8.$$.json
+rm -f /tmp/BENCH_incremental_t1.$$.json /tmp/BENCH_incremental_t8.$$.json
 
 step "serve gate: diva_loadgen vs bench/baselines/BENCH_serve.json"
 cmake --build --preset release -j "$JOBS" --target diva_loadgen

@@ -10,7 +10,17 @@
 //       [--strategy basic|minchoice|maxfanout] [--seed N] [--shard on|off]
 //       [--taxonomy ATTR=taxonomy.txt]... [--json]
 //       [--strict] [--deadline-ms N] [--trace-out trace.json]
-//       [--output out.csv]
+//       [--apply-delta delta.txt] [--output out.csv]
+//
+// --apply-delta FILE (DIVA only) re-anonymizes incrementally: the run on
+// --input captures a reusable snapshot, FILE's row delta is applied to
+// it, and only the conflict-graph components the delta touches are
+// re-colored — clean components adopt the prior run's clusterings. The
+// published output is byte-identical to a cold run on the post-delta
+// relation (core/incremental.h). Delta file format: one directive per
+// line — "- <row_id>" deletes a row of the input CSV (0-based),
+// "+ v1,v2,..." inserts a row ("*" = suppressed cell); '#' comments and
+// blank lines are ignored.
 //
 // --shard on|off (default on) selects how multi-component instances
 // execute: on runs each conflict-graph component as a concurrent work
@@ -52,6 +62,7 @@
 #include "constraint/analysis.h"
 #include "constraint/parser.h"
 #include "core/diva.h"
+#include "core/incremental.h"
 #include "core/report_json.h"
 #include "hierarchy/generalize.h"
 #include "examples/example_util.h"
@@ -248,8 +259,29 @@ int main(int argc, char** argv) {
     } else {
       return Fail("unknown --strategy '" + strategy + "'");
     }
+    options.incremental = args.count("apply-delta") != 0;
     auto result = RunDiva(*relation, constraints, options);
     if (!result.ok()) return Fail(result.status().ToString());
+    if (args.count("apply-delta")) {
+      std::ifstream delta_file(args["apply-delta"]);
+      if (!delta_file) {
+        return Fail("cannot open delta file '" + args["apply-delta"] + "'");
+      }
+      std::ostringstream delta_text;
+      delta_text << delta_file.rdbuf();
+      auto delta = ParseDeltaFile(delta_text.str());
+      if (!delta.ok()) return Fail(delta.status().ToString());
+      if (result->snapshot == nullptr) {
+        return Fail(
+            "the prior run captured no reusable snapshot (single-component, "
+            "generalized, or degraded runs cannot replay deltas)");
+      }
+      auto replayed = ApplyDelta(*result->snapshot, *delta, options);
+      if (!replayed.ok()) return Fail(replayed.status().ToString());
+      std::fprintf(stderr, "applied delta: -%zu +%zu rows\n",
+                   delta->deleted.size(), delta->inserted.size());
+      result = std::move(replayed);
+    }
     if (args.count("json")) {
       std::printf("%s\n", ReportToJson(result->report).c_str());
     } else {

@@ -1,7 +1,7 @@
 // diva_serverd — the crash-tolerant anonymization service. Loads (or
 // generates) one relation and its diversity constraints at startup, then
-// serves anonymize / verify / fetch / stats / ping requests over the
-// length-prefixed protocol in serve/protocol.h until drained by SIGTERM
+// serves anonymize / verify / fetch / stats / ping / update requests over
+// the length-prefixed protocol in serve/protocol.h until drained by SIGTERM
 // or SIGINT. See docs/serving.md for the wire protocol, the admission
 // formula and the degradation ladder.
 //
@@ -16,7 +16,11 @@
 //   --port P              listen port         (default 0 = ephemeral)
 //   --sessions N          session workers
 //   --queue N             accepted-connection queue capacity
-//   --snapshot-capacity N published results retained
+//   --snapshot-capacity N published results retained (oldest unpinned
+//                         evicted past this; refused only when every
+//                         snapshot is pinned by an in-flight request)
+//   --snapshot-max-age N  evict snapshots N or more publishes old
+//                         (0 = no age bound)
 //   --initial-cost-ms X   admission cost prior
 //   --ewma-alpha X        admission cost EWMA weight
 //   --wedge-timeout-ms X  watchdog budget for deadline-less requests
@@ -246,6 +250,10 @@ int main(int argc, char** argv) {
     if (!value.ok()) return Fail(value.status().ToString());
     *knob.out = static_cast<size_t>(*value);
   }
+  auto max_age = int_arg("snapshot-max-age",
+                         static_cast<int64_t>(options.snapshot_max_age), 0);
+  if (!max_age.ok()) return Fail(max_age.status().ToString());
+  options.snapshot_max_age = static_cast<uint64_t>(*max_age);
   if (args.count("shard")) {
     std::string shard = ToLowerAscii(args["shard"]);
     if (shard == "on" || shard == "1" || shard == "true") {

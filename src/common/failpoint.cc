@@ -26,6 +26,12 @@ const char* const kKnownSites[] = {
     "csv.open.write",       // relation/csv.cc: WriteCsvFile open
     "csv.read.record",      // relation/csv.cc: per parsed record
     "csv.write.row",        // relation/csv.cc: per written row
+    // delta.* sites fire on the incremental re-anonymization path
+    // (core/incremental.cc); a mid-delta fault surfaces a clean Status
+    // and never a partially merged output.
+    "delta.apply",          // core/incremental.cc: before delta validation
+    "delta.merge",          // core/incremental.cc: before result hand-off
+    "delta.recolor",        // core/incremental.cc: before the re-color run
     "diva.coloring.begin",  // core/diva.cc: before the coloring search
     "diva.graph.build",     // core/diva.cc: constraint-graph construction
     "diva.integrate",       // core/diva.cc: upper-bound repair phase

@@ -1,5 +1,6 @@
 #include "constraint/diversity_constraint.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "common/parallel.h"
@@ -164,11 +165,113 @@ bool SatisfiesAll(const Relation& relation,
 
 std::vector<size_t> ViolatedConstraints(const Relation& relation,
                                         const ConstraintSet& constraints) {
+  std::vector<size_t> counts = CountAllOccurrences(relation, constraints);
   std::vector<size_t> violated;
   for (size_t i = 0; i < constraints.size(); ++i) {
-    if (!constraints[i].IsSatisfiedBy(relation)) violated.push_back(i);
+    if (counts[i] < constraints[i].lower() || counts[i] > constraints[i].upper())
+      violated.push_back(i);
   }
   return violated;
+}
+
+std::vector<size_t> CountAllOccurrences(const Relation& relation,
+                                        const ConstraintSet& constraints) {
+  std::vector<size_t> counts(constraints.size(), 0);
+  if (constraints.empty() || relation.NumRows() == 0) return counts;
+
+  // Resolve every constraint once. Unresolved constraints (some target
+  // value absent from the dictionary) keep count 0, exactly like
+  // CountOccurrences.
+  struct Resolved {
+    size_t index;
+    std::vector<ValueCode> codes;
+  };
+  std::vector<Resolved> single;
+  std::vector<Resolved> multi;
+  std::vector<ValueCode> codes;
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    if (!ResolveCodes(constraints[i], relation, &codes)) continue;
+    if (codes.size() == 1) {
+      single.push_back({i, codes});
+    } else {
+      multi.push_back({i, codes});
+    }
+  }
+
+  // Single-attribute constraints read per-attribute code histograms built
+  // in one scan. Histogram cells are exact integer sums, so the merged
+  // totals equal the sequential scan at every thread width.
+  if (!single.empty()) {
+    std::vector<size_t> attrs;
+    for (const Resolved& r : single)
+      attrs.push_back(constraints[r.index].attribute_indices().front());
+    std::sort(attrs.begin(), attrs.end());
+    attrs.erase(std::unique(attrs.begin(), attrs.end()), attrs.end());
+    std::vector<size_t> slot_of(relation.NumAttributes(), attrs.size());
+    for (size_t s = 0; s < attrs.size(); ++s) slot_of[attrs[s]] = s;
+
+    using Histograms = std::vector<std::vector<size_t>>;
+    Histograms zero(attrs.size());
+    for (size_t s = 0; s < attrs.size(); ++s)
+      zero[s].assign(relation.dictionary(attrs[s]).size(), 0);
+    Histograms hist = ParallelReduce<Histograms>(
+        relation.NumRows(), /*grain=*/0, zero,
+        [&](size_t begin, size_t end) {
+          Histograms local = zero;
+          for (size_t row = begin; row < end; ++row) {
+            for (size_t s = 0; s < attrs.size(); ++s) {
+              ValueCode code = relation.At(static_cast<RowId>(row), attrs[s]);
+              if (code >= 0 &&
+                  static_cast<size_t>(code) < local[s].size()) {
+                ++local[s][static_cast<size_t>(code)];
+              }
+            }
+          }
+          return local;
+        },
+        [](Histograms acc, Histograms chunk) {
+          for (size_t s = 0; s < acc.size(); ++s)
+            for (size_t v = 0; v < acc[s].size(); ++v) acc[s][v] += chunk[s][v];
+          return acc;
+        });
+    for (const Resolved& r : single) {
+      size_t attr = constraints[r.index].attribute_indices().front();
+      counts[r.index] = hist[slot_of[attr]][static_cast<size_t>(r.codes[0])];
+    }
+  }
+
+  // Multi-attribute constraints share one additional row scan, each row
+  // checked against every such constraint.
+  if (!multi.empty()) {
+    std::vector<size_t> totals = ParallelReduce<std::vector<size_t>>(
+        relation.NumRows(), /*grain=*/0,
+        std::vector<size_t>(multi.size(), 0),
+        [&](size_t begin, size_t end) {
+          std::vector<size_t> local(multi.size(), 0);
+          for (size_t row = begin; row < end; ++row) {
+            for (size_t m = 0; m < multi.size(); ++m) {
+              const auto& attrs = constraints[multi[m].index].attribute_indices();
+              bool match = true;
+              for (size_t i = 0; i < attrs.size(); ++i) {
+                if (relation.At(static_cast<RowId>(row), attrs[i]) !=
+                    multi[m].codes[i]) {
+                  match = false;
+                  break;
+                }
+              }
+              if (match) ++local[m];
+            }
+          }
+          return local;
+        },
+        [](std::vector<size_t> acc, std::vector<size_t> chunk) {
+          for (size_t m = 0; m < acc.size(); ++m) acc[m] += chunk[m];
+          return acc;
+        });
+    for (size_t m = 0; m < multi.size(); ++m)
+      counts[multi[m].index] = totals[m];
+  }
+  return counts;
 }
 
 }  // namespace diva

@@ -86,6 +86,16 @@ bool SatisfiesAll(const Relation& relation, const ConstraintSet& constraints);
 std::vector<size_t> ViolatedConstraints(const Relation& relation,
                                         const ConstraintSet& constraints);
 
+/// Occurrence counts of every constraint in one pass over the relation:
+/// counts[i] == constraints[i].CountOccurrences(relation), exactly.
+/// Single-attribute constraints (the common case) read per-attribute code
+/// histograms built in one parallel scan, so the cost is O(|R| * |QI|)
+/// instead of O(|R| * |Sigma|); multi-attribute constraints share one
+/// additional row scan. Exact integer sums, so the result is identical
+/// at every thread width.
+std::vector<size_t> CountAllOccurrences(const Relation& relation,
+                                        const ConstraintSet& constraints);
+
 }  // namespace diva
 
 #endif  // DIVA_CONSTRAINT_DIVERSITY_CONSTRAINT_H_

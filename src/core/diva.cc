@@ -11,6 +11,7 @@
 #include "common/timer.h"
 #include "common/trace.h"
 #include "core/constraint_graph.h"
+#include "core/incremental.h"
 #include "core/integrate.h"
 #include "core/shard.h"
 #include "relation/columnar.h"
@@ -118,11 +119,157 @@ void MergeLeftoverRows(Relation* out, Clustering* clusters,
   }
 }
 
+/// Per-shard baseline phase (effective plan): shard s's uncovered rows
+/// are clustered over a gathered sub-relation with local ids, in shard
+/// order; shards left with fewer than k uncovered rows pool together
+/// with the residual rows into one trailing baseline run, and a pool
+/// still smaller than k is returned in `leftover` for the caller to
+/// fold into existing clusters. Each shard's clustering is a pure
+/// function of its uncovered contents, so clean shards adopt prior
+/// records (telemetry replayed at the same shard-order slot) and the
+/// merged result is byte-identical at every thread width and with
+/// reuse on or off. A deadline hitting any shard falls back to the
+/// anytime single-pass Mondrian over all remaining rows, exactly like
+/// the unsharded path, and invalidates the capture.
+Status BuildShardedBaseline(const Relation& relation, const Bitset& covered,
+                            const std::vector<RowId>& remaining,
+                            const ShardPlan& plan, const DivaOptions& options,
+                            const CancellationToken& token,
+                            const PipelineHooks& hooks, Clustering* rk_clusters,
+                            std::vector<RowId>* leftover, DivaReport* report) {
+  const size_t num_shards = plan.shards.size();
+  std::vector<std::vector<RowId>> uncovered(num_shards);
+  Bitset targeted(relation.NumRows());
+  for (size_t s = 0; s < num_shards; ++s) {
+    for (RowId row : plan.shards[s].rows) {
+      targeted.Set(static_cast<size_t>(row));
+      if (!covered.Test(row)) uncovered[s].push_back(row);
+    }
+  }
+  // The pool: residual (untargeted) remaining rows plus every
+  // undersized shard's uncovered rows, in ascending row order.
+  std::vector<RowId> pool;
+  for (RowId row : remaining) {
+    if (!targeted.Test(static_cast<size_t>(row))) pool.push_back(row);
+  }
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (!uncovered[s].empty() && uncovered[s].size() < options.k) {
+      pool.insert(pool.end(), uncovered[s].begin(), uncovered[s].end());
+    }
+  }
+  std::sort(pool.begin(), pool.end());
+
+  std::vector<ShardBaselineRecord>* capture =
+      hooks.capture != nullptr ? &hooks.capture->baseline : nullptr;
+  if (capture != nullptr) {
+    capture->clear();
+    capture->resize(num_shards);
+  }
+
+  DivaOptions baseline_options = options;
+  baseline_options.anonymizer.cancel = token;
+  std::unique_ptr<Anonymizer> baseline =
+      MakeBaselineAnonymizer(baseline_options);
+
+  auto build_local = [&](const std::vector<RowId>& rows) -> Result<Clustering> {
+    // The iterative baselines discard their half-built state on expiry,
+    // so truncated inner scans cannot leak into the output; installing
+    // the loop token just makes them stop sooner.
+    ScopedLoopCancellation loop_cancel(token);
+    Relation sub = relation.SelectRows(rows);
+    std::vector<RowId> local(rows.size());
+    for (size_t i = 0; i < local.size(); ++i) local[i] = static_cast<RowId>(i);
+    return baseline->BuildClusters(sub, local, options.k);
+  };
+
+  Status deadline_status = Status::OK();
+  Clustering built_all;
+  for (size_t s = 0; s < num_shards && deadline_status.ok(); ++s) {
+    const std::vector<RowId>& rows = uncovered[s];
+    if (rows.size() < options.k) continue;  // empty or pooled above
+    const ShardBaselineRecord* record =
+        s < hooks.adopt_baseline.size() ? hooks.adopt_baseline[s] : nullptr;
+    if (record != nullptr && record->used) {
+      // Clean shard: replay the recorded counter ops at this slot and
+      // remap the local clusters through the current uncovered list.
+      if (capture != nullptr) (*capture)[s] = *record;
+      counters::Buffer replay = record->telemetry;
+      replay.Commit();
+      for (const Cluster& cluster : record->clusters) {
+        Cluster global;
+        global.reserve(cluster.size());
+        for (RowId row : cluster) {
+          global.push_back(rows[static_cast<size_t>(row)]);
+        }
+        built_all.push_back(std::move(global));
+      }
+      continue;
+    }
+    counters::Buffer buffer;
+    Result<Clustering> built = [&]() -> Result<Clustering> {
+      counters::ScopedBufferedCounters buffered(&buffer);
+      return build_local(rows);
+    }();
+    if (!built.ok()) {
+      buffer.Discard();
+      if (built.status().code() != StatusCode::kDeadlineExceeded) {
+        return built.status();
+      }
+      deadline_status = built.status();
+      break;
+    }
+    Clustering local_clusters = std::move(built).value();
+    if (capture != nullptr) {
+      (*capture)[s].used = true;
+      (*capture)[s].clusters = local_clusters;
+      (*capture)[s].telemetry = buffer;  // the uncommitted op sequence
+    }
+    buffer.Commit();
+    for (Cluster& cluster : local_clusters) {
+      for (RowId& row : cluster) row = rows[static_cast<size_t>(row)];
+      built_all.push_back(std::move(cluster));
+    }
+  }
+
+  if (deadline_status.ok() && pool.size() >= options.k) {
+    // The pool is never adopted: its membership mixes shards, so it is
+    // recomputed by cold and incremental runs alike.
+    Result<Clustering> built = build_local(pool);
+    if (!built.ok()) {
+      if (built.status().code() != StatusCode::kDeadlineExceeded) {
+        return built.status();
+      }
+      deadline_status = built.status();
+    } else {
+      for (Cluster& cluster : std::move(built).value()) {
+        for (RowId& row : cluster) row = pool[static_cast<size_t>(row)];
+        built_all.push_back(std::move(cluster));
+      }
+    }
+  }
+
+  if (!deadline_status.ok()) {
+    if (options.strict) return deadline_status;
+    // Anytime fallback: the single-pass Mondrian always finishes.
+    report->baseline_degraded = true;
+    if (capture != nullptr) capture->clear();
+    std::unique_ptr<Anonymizer> mondrian = MakeMondrian(options.anonymizer);
+    DIVA_ASSIGN_OR_RETURN(
+        *rk_clusters, mondrian->BuildClusters(relation, remaining, options.k));
+    return Status::OK();
+  }
+
+  if (pool.size() < options.k && !pool.empty()) *leftover = std::move(pool);
+  *rk_clusters = std::move(built_all);
+  return Status::OK();
+}
+
 }  // namespace
 
-Result<DivaResult> RunDiva(const Relation& relation,
-                           const ConstraintSet& constraints,
-                           const DivaOptions& options) {
+Result<DivaResult> RunDivaPipeline(const Relation& relation,
+                                   const ConstraintSet& constraints,
+                                   const DivaOptions& options,
+                                   const PipelineHooks& hooks) {
   if (options.k == 0) {
     return Status::InvalidArgument("k must be >= 1");
   }
@@ -164,11 +311,18 @@ Result<DivaResult> RunDiva(const Relation& relation,
   // per-node candidate clusterings are enumerated dynamically inside the
   // search, over the target rows still unclaimed).
   ColoringOutcome coloring;
+  ConstraintGraph built_graph;
+  const ConstraintGraph* graph = hooks.graph;
+  ShardPlan built_plan;
+  const ShardPlan* plan = hooks.plan;
   {
     DIVA_TRACE_SPAN("diva/clustering");
     PhaseTimer phase_timer(&report.clustering_seconds);
-    DIVA_RETURN_IF_ERROR(DIVA_FAIL("diva.graph.build"));
-    ConstraintGraph graph = BuildConstraintGraph(relation, constraints);
+    if (graph == nullptr) {
+      DIVA_RETURN_IF_ERROR(DIVA_FAIL("diva.graph.build"));
+      built_graph = BuildConstraintGraph(relation, constraints);
+      graph = &built_graph;
+    }
 
     for (size_t i = 0; i < constraints.size(); ++i) {
       // Static infeasibility: a lower bound can only be met by clusters of
@@ -177,7 +331,7 @@ Result<DivaResult> RunDiva(const Relation& relation,
       const DiversityConstraint& constraint = constraints[i];
       bool feasible =
           constraint.lower() == 0 ||
-          (constraint.lower() <= graph.targets[i].size() &&
+          (constraint.lower() <= graph->targets[i].size() &&
            std::max<size_t>(options.k, constraint.lower()) <=
                constraint.upper());
       if (!feasible && options.strict) {
@@ -200,20 +354,23 @@ Result<DivaResult> RunDiva(const Relation& relation,
     // The component partition of the conflict graph (core/shard.h): a
     // pure function of the instance, computed in both execution modes so
     // the report's shard figures never depend on the shard flag.
-    DIVA_RETURN_IF_ERROR(DIVA_FAIL("shard.partition"));
-    const ShardPlan plan = ComputeShardPlan(graph, relation.NumRows());
-    report.shards = plan.shards.size();
-    report.residual_rows = plan.residual_rows;
-    DIVA_COUNTER_ADD("shard.count", plan.shards.size());
-    DIVA_COUNTER_ADD("shard.max_rows", plan.MaxShardRows());
-    DIVA_COUNTER_ADD("shard.residual_rows", plan.residual_rows);
+    if (plan == nullptr) {
+      DIVA_RETURN_IF_ERROR(DIVA_FAIL("shard.partition"));
+      built_plan = ComputeShardPlan(*graph, relation.NumRows());
+      plan = &built_plan;
+    }
+    report.shards = plan->shards.size();
+    report.residual_rows = plan->residual_rows;
+    DIVA_COUNTER_ADD("shard.count", plan->shards.size());
+    DIVA_COUNTER_ADD("shard.max_rows", plan->MaxShardRows());
+    DIVA_COUNTER_ADD("shard.residual_rows", plan->residual_rows);
 
     // The search tolerates truncated candidate enumeration (it just sees
     // fewer candidates), so the pool-level token is installed for this
     // phase: when the deadline trips, enumeration loops stop claiming
     // chunks instead of finishing a doomed sweep.
     ScopedLoopCancellation loop_cancel(token);
-    if (plan.Effective()) {
+    if (plan->Effective()) {
       // >= 2 independent components: the plan drives the search in both
       // modes; options.shard only picks concurrent vs sequential
       // execution (the shard fan-out replaces the attempt portfolio).
@@ -222,16 +379,22 @@ Result<DivaResult> RunDiva(const Relation& relation,
       const ColumnStore store = ColumnStore::FromRelation(relation);
       const size_t workers =
           options.shard ? ResolveThreadCount(options.threads) : 1;
+      const std::vector<const ShardColoringRecord*>* adopt =
+          hooks.adopt_coloring.empty() ? nullptr : &hooks.adopt_coloring;
+      std::vector<ShardColoringRecord>* capture_coloring =
+          hooks.capture != nullptr ? &hooks.capture->coloring : nullptr;
       DIVA_ASSIGN_OR_RETURN(
-          coloring, RunShardedColoring(store, constraints, graph, plan,
-                                       coloring_options, workers));
+          coloring,
+          RunShardedColoring(store, constraints, *graph, *plan,
+                             coloring_options, workers, adopt,
+                             capture_coloring));
     } else {
       coloring =
           options.portfolio_threads > 1
-              ? ColorConstraintsPortfolio(relation, constraints, graph,
+              ? ColorConstraintsPortfolio(relation, constraints, *graph,
                                           coloring_options,
                                           options.portfolio_threads)
-              : ColorConstraints(relation, constraints, graph,
+              : ColorConstraints(relation, constraints, *graph,
                                  coloring_options);
     }
   }
@@ -272,7 +435,12 @@ Result<DivaResult> RunDiva(const Relation& relation,
     DIVA_HISTOGRAM_RECORD("diva.cluster_size", cluster.size());
   }
 
-  // Phase 3: Anonymize the remaining tuples with the baseline.
+  // Phase 3: Anonymize the remaining tuples with the baseline. With an
+  // effective shard plan the baseline runs per component (uncovered rows
+  // of each shard clustered independently, undersized shards and the
+  // residual pooled), which keeps the phase a per-shard pure function —
+  // the reuse unit of incremental runs. Without one, the legacy global
+  // path runs byte-for-byte unchanged.
   Clustering rk_clusters;
   {
     DIVA_TRACE_SPAN("diva/anonymize");
@@ -287,7 +455,15 @@ Result<DivaResult> RunDiva(const Relation& relation,
       if (!covered.Test(row)) remaining.push_back(row);
     }
 
-    if (remaining.size() >= options.k) {
+    std::vector<RowId> leftover;
+    if (remaining.empty()) {
+      // Nothing to anonymize.
+    } else if (plan->Effective()) {
+      DIVA_RETURN_IF_ERROR(BuildShardedBaseline(relation, covered, remaining,
+                                                *plan, options, token, hooks,
+                                                &rk_clusters, &leftover,
+                                                &report));
+    } else if (remaining.size() >= options.k) {
       DivaOptions baseline_options = options;
       baseline_options.anonymizer.cancel = token;
       std::unique_ptr<Anonymizer> baseline =
@@ -313,17 +489,26 @@ Result<DivaResult> RunDiva(const Relation& relation,
         if (!built.ok()) return built.status();
         rk_clusters = std::move(built).value();
       }
+    } else {
+      leftover = remaining;
+    }
+
+    if (!rk_clusters.empty()) {
       DIVA_RETURN_IF_ERROR(Recode(options, &out, rk_clusters));
-    } else if (!remaining.empty()) {
+    }
+    if (!leftover.empty()) {
       // Fewer than k stragglers: fold them into the cheapest existing
       // cluster (there must be one, or the relation itself had < k rows,
       // rejected above — unless S_Sigma is empty too).
-      if (sigma_clusters.empty()) {
+      Clustering* host = !sigma_clusters.empty()   ? &sigma_clusters
+                         : !rk_clusters.empty()    ? &rk_clusters
+                                                   : nullptr;
+      if (host == nullptr) {
         return Status::Infeasible(
-            "cannot k-anonymize " + std::to_string(remaining.size()) +
+            "cannot k-anonymize " + std::to_string(leftover.size()) +
             " tuples with k = " + std::to_string(options.k));
       }
-      MergeLeftoverRows(&out, &sigma_clusters, remaining, constraints);
+      MergeLeftoverRows(&out, host, leftover, constraints);
     }
   }
 
@@ -423,9 +608,44 @@ Result<DivaResult> RunDiva(const Relation& relation,
   }
 
   DIVA_RETURN_IF_ERROR(DIVA_FAIL("diva.publish"));
+
+  // Reuse capture: only a fully sharded, undegraded, suppression-recoded
+  // run is a sound adoption source. The caller finishes the snapshot
+  // (relation, hashes, fingerprint) via FinalizeSnapshot.
+  if (hooks.capture != nullptr) {
+    PipelineSnapshot& snapshot = *hooks.capture;
+    snapshot.valid = plan->Effective() && options.generalization == nullptr &&
+                     !report.deadline_exceeded && !report.baseline_degraded &&
+                     !report.integrate_skipped && !report.privacy_truncated &&
+                     snapshot.coloring.size() == plan->shards.size();
+    if (snapshot.valid) {
+      snapshot.graph = *graph;
+      snapshot.plan = *plan;
+    }
+  }
+
   report.counters = counters::Delta(counters_before, counters::Snapshot());
   report.total_seconds = total_watch.ElapsedSeconds();
-  return DivaResult{std::move(out), std::move(report)};
+  return DivaResult{std::move(out), std::move(report), nullptr};
+}
+
+Result<DivaResult> RunDiva(const Relation& relation,
+                           const ConstraintSet& constraints,
+                           const DivaOptions& options) {
+  if (!options.incremental) {
+    return RunDivaPipeline(relation, constraints, options, PipelineHooks{});
+  }
+  auto snapshot = std::make_shared<PipelineSnapshot>();
+  PipelineHooks hooks;
+  hooks.capture = snapshot.get();
+  DIVA_ASSIGN_OR_RETURN(
+      DivaResult result,
+      RunDivaPipeline(relation, constraints, options, hooks));
+  if (snapshot->valid) {
+    FinalizeSnapshot(snapshot.get(), relation, constraints, options);
+    result.snapshot = std::move(snapshot);
+  }
+  return result;
 }
 
 }  // namespace diva

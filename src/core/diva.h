@@ -126,6 +126,17 @@ struct DivaOptions {
   /// flags). Under `strict`, expiry is an error (kDeadlineExceeded).
   int64_t deadline_ms = EnvDeadlineMillis();
 
+  /// Capture a reusable PipelineSnapshot (core/incremental.h) alongside
+  /// the result: the input relation, its conflict graph and shard plan,
+  /// per-row content hashes, and per-shard coloring/baseline reuse
+  /// records. ApplyDelta consumes the snapshot to re-anonymize a churned
+  /// relation re-coloring only the dirty components. Capture never
+  /// changes output bytes; it costs one relation copy plus O(rows)
+  /// hashing, and is skipped (snapshot left null) when the run is not
+  /// reusable — degraded by a deadline, generalization-recoded, or not
+  /// sharded (< 2 components).
+  bool incremental = false;
+
   /// Optional external cancellation signal, composed with `deadline_ms`:
   /// the run degrades (or errors, under `strict`) when either trips.
   /// This is how a caller that owns the run's lifetime — the serve
@@ -197,9 +208,16 @@ struct DivaReport {
   double total_seconds = 0.0;
 };
 
+struct PipelineSnapshot;
+
 struct DivaResult {
   Relation relation;
   DivaReport report;
+
+  /// Reuse state for incremental re-anonymization, captured when
+  /// DivaOptions::incremental was set and the run was reusable (see
+  /// core/incremental.h); null otherwise.
+  std::shared_ptr<const PipelineSnapshot> snapshot;
 };
 
 /// Runs DIVA (Algorithm 1): diverse clustering by graph coloring,

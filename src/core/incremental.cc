@@ -1,0 +1,353 @@
+#include "core/incremental.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string_view>
+
+#include "common/counters.h"
+#include "common/failpoint.h"
+#include "common/parallel.h"
+#include "common/string_util.h"
+#include "common/trace.h"
+#include "constraint/conflict.h"
+#include "relation/qi_groups.h"
+
+namespace diva {
+
+namespace {
+
+constexpr uint64_t kFnvBasis = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t FnvMix(uint64_t h, uint64_t v) {
+  h ^= v;
+  h *= kFnvPrime;
+  return h;
+}
+
+/// Fingerprint of every DivaOptions knob that steers a search decision.
+/// Execution-only knobs (threads, shard, audit, deadlines, incremental)
+/// are deliberately excluded: they never change output bytes, so they
+/// never invalidate reuse.
+uint64_t OptionsFingerprint(const DivaOptions& options) {
+  uint64_t h = kFnvBasis;
+  h = FnvMix(h, options.k);
+  h = FnvMix(h, static_cast<uint64_t>(options.strategy));
+  h = FnvMix(h, options.seed);
+  h = FnvMix(h, options.coloring_budget);
+  h = FnvMix(h, options.enumeration.max_clusterings);
+  h = FnvMix(h, options.enumeration.max_window_candidates);
+  h = FnvMix(h, options.enumeration.random_subsets);
+  h = FnvMix(h, options.enumeration.preserved_steps);
+  h = FnvMix(h, options.enumeration.single_block_variant ? 1 : 0);
+  h = FnvMix(h, options.enumeration.ordered ? 1 : 0);
+  h = FnvMix(h, options.enumeration.seed);
+  h = FnvMix(h, options.auto_tune_enumeration ? 1 : 0);
+  h = FnvMix(h, options.strict ? 1 : 0);
+  h = FnvMix(h, static_cast<uint64_t>(options.baseline));
+  h = FnvMix(h, options.anonymizer.seed);
+  h = FnvMix(h, options.anonymizer.sample_size);
+  h = FnvMix(h, options.l_diversity);
+  uint64_t t_bits = 0;
+  static_assert(sizeof(t_bits) == sizeof(options.t_closeness));
+  std::memcpy(&t_bits, &options.t_closeness, sizeof(t_bits));
+  h = FnvMix(h, t_bits);
+  h = FnvMix(h, options.portfolio_threads);
+  return h;
+}
+
+std::vector<uint64_t> ComputeRowHashes(const Relation& relation) {
+  return ParallelMap<uint64_t>(relation.NumRows(), /*grain=*/1024,
+                               [&](size_t row) {
+                                 return RowContentHash(
+                                     relation, static_cast<RowId>(row));
+                               });
+}
+
+std::vector<uint64_t> ComputeQiHashes(const Relation& relation) {
+  return ParallelMap<uint64_t>(relation.NumRows(), /*grain=*/1024,
+                               [&](size_t row) {
+                                 return QiProjectionHash(
+                                     relation, static_cast<RowId>(row));
+                               });
+}
+
+/// Sorted, deduplicated, validated copy of a delta's deleted row ids.
+Result<std::vector<RowId>> NormalizeDeletes(const Relation& input,
+                                            const DeltaBatch& delta) {
+  std::vector<RowId> deleted = delta.deleted;
+  std::sort(deleted.begin(), deleted.end());
+  deleted.erase(std::unique(deleted.begin(), deleted.end()), deleted.end());
+  if (!deleted.empty() &&
+      static_cast<size_t>(deleted.back()) >= input.NumRows()) {
+    return Status::InvalidArgument(
+        "delta deletes row " + std::to_string(deleted.back()) +
+        " of a relation with " + std::to_string(input.NumRows()) + " rows");
+  }
+  return deleted;
+}
+
+}  // namespace
+
+uint64_t RowContentHash(const Relation& relation, RowId row) {
+  uint64_t h = kFnvBasis;
+  for (size_t col = 0; col < relation.NumAttributes(); ++col) {
+    h = FnvMix(h, static_cast<uint64_t>(
+                      static_cast<uint32_t>(relation.At(row, col))));
+  }
+  return h;
+}
+
+uint64_t ShardFingerprint(const Shard& shard,
+                          const std::vector<uint64_t>& row_hashes) {
+  uint64_t h = kFnvBasis;
+  h = FnvMix(h, shard.constraints.size());
+  for (size_t c : shard.constraints) h = FnvMix(h, c);
+  h = FnvMix(h, shard.rows.size());
+  // Row *contents* in row-list order pin the whole local sub-instance:
+  // local target positions and local adjacency are derived from content,
+  // and the seed stream is positional (checked separately).
+  for (RowId row : shard.rows) h = FnvMix(h, row_hashes[row]);
+  return h;
+}
+
+void FinalizeSnapshot(PipelineSnapshot* snapshot, const Relation& input,
+                      const ConstraintSet& constraints,
+                      const DivaOptions& options,
+                      std::vector<uint64_t> row_hashes,
+                      std::vector<uint64_t> qi_hashes) {
+  if (!snapshot->valid) return;
+  snapshot->input.emplace(input);
+  snapshot->constraints = constraints;
+  snapshot->row_hashes = row_hashes.size() == input.NumRows()
+                             ? std::move(row_hashes)
+                             : ComputeRowHashes(input);
+  snapshot->qi_hashes = qi_hashes.size() == input.NumRows()
+                            ? std::move(qi_hashes)
+                            : ComputeQiHashes(input);
+  snapshot->dictionary_sizes.clear();
+  for (size_t col = 0; col < input.NumAttributes(); ++col) {
+    snapshot->dictionary_sizes.push_back(input.dictionary(col).size());
+  }
+  snapshot->options_fingerprint = OptionsFingerprint(options);
+}
+
+Result<Relation> ApplyDeltaToRelation(const Relation& input,
+                                      const DeltaBatch& delta) {
+  DIVA_ASSIGN_OR_RETURN(std::vector<RowId> deleted,
+                        NormalizeDeletes(input, delta));
+  std::vector<RowId> keep;
+  keep.reserve(input.NumRows() - deleted.size());
+  size_t next_delete = 0;
+  for (RowId row = 0; row < static_cast<RowId>(input.NumRows()); ++row) {
+    if (next_delete < deleted.size() && deleted[next_delete] == row) {
+      ++next_delete;
+      continue;
+    }
+    keep.push_back(row);
+  }
+  Relation post = input.SelectRows(keep);
+  for (const std::vector<std::string>& fields : delta.inserted) {
+    Result<RowId> appended = post.AppendRowStrings(fields);
+    if (!appended.ok()) return appended.status();
+  }
+  return post;
+}
+
+Result<DeltaBatch> ParseDeltaFile(const std::string& text) {
+  DeltaBatch delta;
+  size_t line_number = 0;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_number;
+    std::string_view line = Trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    const char directive = line[0];
+    std::string_view body = Trim(line.substr(1));
+    if (directive == '-') {
+      Result<int64_t> id = ParseInt64(body);
+      if (!id.ok() || *id < 0) {
+        return Status::InvalidArgument("delta line " +
+                                       std::to_string(line_number) +
+                                       ": expected '- <row_id>', got '" +
+                                       std::string(line) + "'");
+      }
+      delta.deleted.push_back(static_cast<RowId>(*id));
+    } else if (directive == '+') {
+      std::vector<std::string> fields = Split(body, ',');
+      for (std::string& field : fields) field = std::string(Trim(field));
+      delta.inserted.push_back(std::move(fields));
+    } else {
+      return Status::InvalidArgument(
+          "delta line " + std::to_string(line_number) +
+          ": expected '-' or '+' directive, got '" + std::string(line) + "'");
+    }
+  }
+  return delta;
+}
+
+Result<DivaResult> ApplyDelta(const PipelineSnapshot& prior,
+                              const DeltaBatch& delta,
+                              const DivaOptions& options) {
+  DIVA_TRACE_SPAN("diva/delta");
+  DIVA_RETURN_IF_ERROR(DIVA_FAIL("delta.apply"));
+  if (!prior.valid || !prior.input.has_value()) {
+    return Status::InvalidArgument(
+        "prior snapshot is not reusable (captured from a degraded or "
+        "unsharded run)");
+  }
+  const Relation& input = *prior.input;
+  const ConstraintSet& constraints = prior.constraints;
+  DIVA_ASSIGN_OR_RETURN(std::vector<RowId> deleted,
+                        NormalizeDeletes(input, delta));
+  DIVA_ASSIGN_OR_RETURN(Relation post, ApplyDeltaToRelation(input, delta));
+  const size_t num_old = input.NumRows();
+  const size_t num_kept = num_old - deleted.size();
+  const size_t num_new = post.NumRows();
+  DIVA_COUNTER_ADD_EXEC("incremental.rows_deleted", deleted.size());
+  DIVA_COUNTER_ADD_EXEC("incremental.rows_inserted", delta.inserted.size());
+
+  // Old -> new id map for survivors: deletions compact ids downward but
+  // preserve relative order.
+  constexpr RowId kGone = static_cast<RowId>(-1);
+  std::vector<RowId> new_id(num_old, kGone);
+  {
+    size_t next_delete = 0;
+    RowId next_id = 0;
+    for (RowId row = 0; row < static_cast<RowId>(num_old); ++row) {
+      if (next_delete < deleted.size() && deleted[next_delete] == row) {
+        ++next_delete;
+        continue;
+      }
+      new_id[row] = next_id++;
+    }
+  }
+
+  // Per-row hashes maintained under the delta: survivors keep their
+  // prior content/QI hashes (contents are untouched by compaction),
+  // inserted rows hash fresh.
+  std::vector<uint64_t> row_hashes(num_new);
+  std::vector<uint64_t> qi_hashes(num_new);
+  for (RowId row = 0; row < static_cast<RowId>(num_old); ++row) {
+    if (new_id[row] == kGone) continue;
+    row_hashes[new_id[row]] = prior.row_hashes[row];
+    qi_hashes[new_id[row]] = prior.qi_hashes[row];
+  }
+  for (RowId row = static_cast<RowId>(num_kept);
+       row < static_cast<RowId>(num_new); ++row) {
+    row_hashes[row] = RowContentHash(post, row);
+    qi_hashes[row] = QiProjectionHash(post, row);
+  }
+
+  // I_sigma maintenance: drop deleted rows from each target list and
+  // remap survivors (order-preserving, so the list stays ascending),
+  // then append matching inserted rows (ids ascend past every survivor).
+  // A constraint whose target value only now entered the dictionary has
+  // an empty prior list — correct, since no prior row could carry an
+  // un-interned value.
+  const size_t num_constraints = constraints.size();
+  ConstraintGraph graph;
+  graph.targets.resize(num_constraints);
+  std::vector<uint8_t> changed(num_constraints, 0);
+  for (size_t c = 0; c < num_constraints; ++c) {
+    const std::vector<RowId>& old_targets = prior.graph.targets[c];
+    std::vector<RowId>& targets = graph.targets[c];
+    targets.reserve(old_targets.size());
+    for (RowId row : old_targets) {
+      if (new_id[row] == kGone) {
+        changed[c] = 1;
+        continue;
+      }
+      targets.push_back(new_id[row]);
+    }
+    for (RowId row = static_cast<RowId>(num_kept);
+         row < static_cast<RowId>(num_new); ++row) {
+      if (constraints[c].MatchesRow(post, row)) {
+        targets.push_back(row);
+        changed[c] = 1;
+      }
+    }
+  }
+
+  // Conflict-edge maintenance: a pair's intersection emptiness is
+  // invariant under the order-preserving remap, so only pairs touching a
+  // changed constraint recompute their SortedIntersectionSize; the rest
+  // keep the prior edge bit.
+  graph.adjacency.assign(num_constraints, {});
+  for (size_t i = 0; i < num_constraints; ++i) {
+    for (size_t j = i + 1; j < num_constraints; ++j) {
+      bool edge;
+      if (!changed[i] && !changed[j]) {
+        const std::vector<size_t>& prior_adj = prior.graph.adjacency[i];
+        edge = std::binary_search(prior_adj.begin(), prior_adj.end(), j);
+      } else {
+        edge = SortedIntersectionSize(graph.targets[i], graph.targets[j]) > 0;
+      }
+      if (edge) {
+        graph.adjacency[i].push_back(j);
+        graph.adjacency[j].push_back(i);
+      }
+    }
+  }
+  graph.row_tags = MakeRowTags(num_new);
+
+  ShardPlan plan = ComputeShardPlan(graph, num_new);
+  DIVA_RETURN_IF_ERROR(DIVA_FAIL("delta.recolor"));
+
+  // Global reuse preconditions; any failure dirties every component
+  // (still byte-identical to cold, just without the speedup).
+  bool reusable = OptionsFingerprint(options) == prior.options_fingerprint &&
+                  post.NumAttributes() == prior.dictionary_sizes.size();
+  for (size_t col = 0; reusable && col < post.NumAttributes(); ++col) {
+    reusable = post.dictionary(col).size() == prior.dictionary_sizes[col];
+  }
+
+  // The dirty-component rule: a shard is clean iff it has the same
+  // member-constraint list at the same component index (the positional
+  // seed stream) and an identical row-content fingerprint.
+  PipelineHooks hooks;
+  hooks.graph = &graph;
+  hooks.plan = &plan;
+  hooks.adopt_coloring.assign(plan.shards.size(), nullptr);
+  hooks.adopt_baseline.assign(plan.shards.size(), nullptr);
+  size_t reused_shards = 0;
+  if (reusable && prior.coloring.size() == prior.plan.shards.size()) {
+    const size_t overlap =
+        std::min(plan.shards.size(), prior.plan.shards.size());
+    for (size_t s = 0; s < overlap; ++s) {
+      const Shard& shard = plan.shards[s];
+      const Shard& prior_shard = prior.plan.shards[s];
+      if (shard.constraints != prior_shard.constraints) continue;
+      if (ShardFingerprint(shard, row_hashes) !=
+          ShardFingerprint(prior_shard, prior.row_hashes)) {
+        continue;
+      }
+      hooks.adopt_coloring[s] = &prior.coloring[s];
+      if (s < prior.baseline.size() && prior.baseline[s].used) {
+        hooks.adopt_baseline[s] = &prior.baseline[s];
+      }
+      ++reused_shards;
+    }
+  }
+  DIVA_COUNTER_ADD_EXEC("incremental.shards_reused", reused_shards);
+  DIVA_COUNTER_ADD_EXEC("incremental.shards_recolored",
+                        plan.shards.size() - reused_shards);
+
+  auto snapshot = std::make_shared<PipelineSnapshot>();
+  hooks.capture = snapshot.get();
+  DIVA_ASSIGN_OR_RETURN(
+      DivaResult result,
+      RunDivaPipeline(post, constraints, options, hooks));
+
+  // All-or-nothing merge: a fault here discards the fully built result,
+  // so callers never observe partially merged output.
+  DIVA_RETURN_IF_ERROR(DIVA_FAIL("delta.merge"));
+
+  if (snapshot->valid) {
+    FinalizeSnapshot(snapshot.get(), post, constraints, options,
+                     std::move(row_hashes), std::move(qi_hashes));
+    result.snapshot = std::move(snapshot);
+  }
+  return result;
+}
+
+}  // namespace diva

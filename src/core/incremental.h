@@ -1,0 +1,187 @@
+#ifndef DIVA_CORE_INCREMENTAL_H_
+#define DIVA_CORE_INCREMENTAL_H_
+
+/// Incremental re-anonymization (ROADMAP item 4).
+///
+/// A row delta can only perturb the conflict-graph components whose
+/// I_sigma target sets it touches: a component's coloring and baseline
+/// clustering are pure functions of its local sub-instance (member
+/// constraints, row contents in row-list order, and the positionally
+/// derived per-shard seed stream). ApplyDelta therefore maintains the
+/// target indexes, QI-group hashes, and the conflict graph under the
+/// delta, diffs the resulting shard plan against the prior plan by
+/// component fingerprint (FNV over the shard's row-content hashes), and
+/// re-runs the pipeline adopting the prior per-shard coloring and
+/// baseline records for every *clean* component — producing output,
+/// counters, and audit byte-identical to a cold run on the post-delta
+/// relation at every thread width, in time proportional to the dirty
+/// fraction plus the cheap full-relation passes (suppress, integrate
+/// with batched counting, audit).
+///
+/// Reuse invariants (all must hold, else the shard is re-colored live):
+///  - same DivaOptions fingerprint (k, strategy, seed, budgets,
+///    enumeration, baseline + anonymizer knobs, privacy layers) and no
+///    generalization context;
+///  - unchanged per-attribute dictionary sizes (Mondrian's Spread scans
+///    the global dictionary domain, so interning a new value dirties
+///    every shard);
+///  - same member-constraint index list at the same component index
+///    (positional match keeps the splitmix seed stream aligned);
+///  - identical row contents over the shard's row list (content hashes;
+///    local target positions and adjacency follow from content).
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/result.h"
+#include "constraint/diversity_constraint.h"
+#include "core/constraint_graph.h"
+#include "core/diva.h"
+#include "core/shard.h"
+#include "relation/relation.h"
+
+namespace diva {
+
+/// A batch of row changes against a snapshot's input relation: `deleted`
+/// are row ids of that relation (any order, duplicates tolerated),
+/// `inserted` rows are appended in order after the survivors, encoded
+/// through the shared dictionaries ("*" cells stay suppressed).
+struct DeltaBatch {
+  std::vector<RowId> deleted;
+  std::vector<std::vector<std::string>> inserted;
+
+  bool Empty() const { return deleted.empty() && inserted.empty(); }
+};
+
+/// One shard's baseline-phase reuse record: the clusters built over the
+/// shard's uncovered rows in *local* coordinates (positions into the
+/// uncovered-row list, which is itself a pure function of the shard's
+/// contents and its adopted coloring), plus the buffered deterministic
+/// counter ops. `used` is false for shards whose uncovered rows were
+/// pooled (fewer than k of them) — the pool is always recomputed.
+struct ShardBaselineRecord {
+  bool used = false;
+  Clustering clusters;
+  counters::Buffer telemetry;
+};
+
+/// Everything an incremental run needs to reuse a prior run: the input
+/// relation (pre-anonymization), its index structures, per-row content
+/// and QI-projection hashes, and the per-shard coloring/baseline
+/// records. Snapshots chain: ApplyDelta emits a fresh snapshot for the
+/// post-delta relation, with clean shards' records copied forward.
+struct PipelineSnapshot {
+  bool valid = false;
+
+  /// Null until FinalizeSnapshot runs (Relation has no empty state).
+  std::optional<Relation> input;
+  ConstraintSet constraints;
+  ConstraintGraph graph;
+  ShardPlan plan;
+
+  /// FNV-1a over each row's codes (all attributes): the unit of the
+  /// component fingerprints.
+  std::vector<uint64_t> row_hashes;
+  /// QI-projection hash per row (relation/qi_groups.h), maintained under
+  /// deltas alongside the content hashes.
+  std::vector<uint64_t> qi_hashes;
+  /// Per-attribute dictionary sizes at capture time.
+  std::vector<size_t> dictionary_sizes;
+  /// Fingerprint of every DivaOptions knob that steers the search.
+  uint64_t options_fingerprint = 0;
+
+  std::vector<ShardColoringRecord> coloring;
+  std::vector<ShardBaselineRecord> baseline;
+};
+
+/// Caller-supplied precomputations and reuse directives for one pipeline
+/// run. Everything is optional; an empty hooks struct is a cold run.
+struct PipelineHooks {
+  /// Precomputed conflict graph + shard plan for the input relation
+  /// (both or neither): the pipeline skips BuildConstraintGraph /
+  /// ComputeShardPlan, which an incremental caller has already
+  /// maintained under the delta.
+  const ConstraintGraph* graph = nullptr;
+  const ShardPlan* plan = nullptr;
+
+  /// Per-shard adoption (empty, or one entry per shard, nullptr = run
+  /// live). Records must come from an identical local sub-instance.
+  std::vector<const ShardColoringRecord*> adopt_coloring;
+  std::vector<const ShardBaselineRecord*> adopt_baseline;
+
+  /// When non-null, the pipeline fills the per-shard reuse records and
+  /// the `valid` eligibility flag; the caller finishes the snapshot
+  /// (relation/graph/plan/hashes) with FinalizeSnapshot.
+  PipelineSnapshot* capture = nullptr;
+};
+
+/// The five-phase pipeline behind RunDiva, with incremental hooks.
+/// RunDiva(relation, constraints, options) == RunDivaPipeline(...) with
+/// empty hooks; adoption and capture never change output bytes.
+[[nodiscard]] Result<DivaResult> RunDivaPipeline(const Relation& relation,
+                                                 const ConstraintSet& constraints,
+                                                 const DivaOptions& options,
+                                                 const PipelineHooks& hooks);
+
+/// Completes a pipeline-captured snapshot (the pipeline already stored
+/// the graph, plan, and reuse records): copies the input relation and
+/// constraints in, and fills the per-row hashes, dictionary sizes, and
+/// options fingerprint. Precomputed hash vectors (an incremental
+/// caller's maintained ones) are used verbatim when supplied, computed
+/// from the relation otherwise. No-op when the pipeline marked the
+/// capture invalid.
+void FinalizeSnapshot(PipelineSnapshot* snapshot, const Relation& input,
+                      const ConstraintSet& constraints,
+                      const DivaOptions& options,
+                      std::vector<uint64_t> row_hashes = {},
+                      std::vector<uint64_t> qi_hashes = {});
+
+/// Applies the delta to `input` alone: survivors keep their relative
+/// order (ids compact downward), inserted rows append after them,
+/// sharing the input's schema and dictionaries. Fails on out-of-range
+/// deletes or malformed inserted rows.
+[[nodiscard]] Result<Relation> ApplyDeltaToRelation(const Relation& input,
+                                                    const DeltaBatch& delta);
+
+/// Incremental re-anonymization: applies `delta` to the snapshot's
+/// input, maintains the target indexes / QI hashes / conflict graph /
+/// shard plan under it, re-colors only the dirty components (clean ones
+/// adopt the snapshot's records), and runs the downstream phases. The
+/// result — relation bytes, report counters, audit — is byte-identical
+/// to RunDiva on the post-delta relation with the same options, at
+/// every thread width. The returned DivaResult carries a fresh snapshot
+/// for the post-delta relation, so deltas chain.
+///
+/// `options` must describe the same run configuration the snapshot was
+/// captured under (fingerprint-checked); on mismatch every component is
+/// treated as dirty — still correct, just a cold-cost run.
+/// Faults at the delta.apply / delta.recolor / delta.merge sites (and
+/// any pipeline-internal site) surface a clean Status; no partially
+/// merged output is ever returned.
+[[nodiscard]] Result<DivaResult> ApplyDelta(const PipelineSnapshot& prior,
+                                            const DeltaBatch& delta,
+                                            const DivaOptions& options);
+
+/// Parses the anonymize_cli delta file format: one directive per line,
+/// `- <row_id>` deletes a row of the snapshot relation, `+ <csv row>`
+/// inserts a row (comma-separated, no quoting, "*" = suppressed cell).
+/// Blank lines and `#` comments are ignored.
+[[nodiscard]] Result<DeltaBatch> ParseDeltaFile(const std::string& text);
+
+/// The component fingerprint of the dirty-component rule: FNV-1a over
+/// the shard's member-constraint indices and its rows' content hashes.
+/// Two shards with equal fingerprints present identical local
+/// sub-instances to the search. Exposed for tests.
+uint64_t ShardFingerprint(const Shard& shard,
+                          const std::vector<uint64_t>& row_hashes);
+
+/// FNV-1a over one row's codes across all attributes. Exposed for tests.
+uint64_t RowContentHash(const Relation& relation, RowId row);
+
+}  // namespace diva
+
+#endif  // DIVA_CORE_INCREMENTAL_H_

@@ -34,6 +34,43 @@ size_t QiTargetAttribute(const Relation& relation,
   return constraint.attribute_indices().front();
 }
 
+/// Per-constraint occurrence counts computed once up front (one batched
+/// pass) and decremented exactly under every repair suppression, so each
+/// lookup equals what CountOccurrences would return on the live relation
+/// without rescanning it per constraint.
+class MaintainedCounts {
+ public:
+  MaintainedCounts(const Relation& relation, const ConstraintSet& constraints)
+      : constraints_(constraints),
+        counts_(CountAllOccurrences(relation, constraints)),
+        by_attr_(relation.NumAttributes()) {
+    for (size_t c = 0; c < constraints.size(); ++c) {
+      for (size_t attr : constraints[c].attribute_indices()) {
+        by_attr_[attr].push_back(c);
+      }
+    }
+  }
+
+  size_t count(size_t constraint_index) const {
+    return counts_[constraint_index];
+  }
+
+  /// Suppresses cell (row, attr) in *relation. A cell can only stop
+  /// matching (target codes are never kSuppressed), so the count of every
+  /// constraint the row matched on `attr` drops by exactly one.
+  void Suppress(Relation* relation, RowId row, size_t attr) {
+    for (size_t c : by_attr_[attr]) {
+      if (constraints_[c].MatchesRow(*relation, row)) --counts_[c];
+    }
+    relation->Set(row, attr, kSuppressed);
+  }
+
+ private:
+  const ConstraintSet& constraints_;
+  std::vector<size_t> counts_;
+  std::vector<std::vector<size_t>> by_attr_;
+};
+
 }  // namespace
 
 IntegrateStats IntegrateRepair(Relation* relation,
@@ -41,9 +78,11 @@ IntegrateStats IntegrateRepair(Relation* relation,
                                const Clustering& rk_clusters) {
   DIVA_TRACE_SPAN("integrate/repair");
   IntegrateStats stats;
+  MaintainedCounts counts(*relation, constraints);
 
-  for (const DiversityConstraint& constraint : constraints) {
-    size_t count = constraint.CountOccurrences(*relation);
+  for (size_t ci = 0; ci < constraints.size(); ++ci) {
+    const DiversityConstraint& constraint = constraints[ci];
+    size_t count = counts.count(ci);
     if (count <= constraint.upper()) continue;
     size_t excess = count - constraint.upper();
     ++stats.repaired_constraints;
@@ -58,7 +97,7 @@ IntegrateStats IntegrateRepair(Relation* relation,
         for (RowId row : cluster) {
           if (excess == 0) break;
           if (constraint.MatchesRow(*relation, row)) {
-            relation->Set(row, *sensitive_attr, kSuppressed);
+            counts.Suppress(relation, row, *sensitive_attr);
             ++stats.suppressed_cells;
             --excess;
           }
@@ -113,7 +152,7 @@ IntegrateStats IntegrateRepair(Relation* relation,
 
       const Cluster& cluster = rk_clusters[cluster_index];
       for (RowId row : cluster) {
-        relation->Set(row, repair_attr, kSuppressed);
+        counts.Suppress(relation, row, repair_attr);
       }
       stats.suppressed_cells += cluster.size();
       excess -= std::min(excess, cluster.size());

@@ -2,12 +2,19 @@
 #define DIVA_RELATION_QI_GROUPS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "relation/relation.h"
 
 namespace diva {
+
+/// FNV-1a over the QI codes of a row — the hash GroupRows buckets by.
+/// Exposed so incremental re-anonymization (core/incremental.h) can
+/// maintain per-row QI hashes under a delta instead of rehashing the
+/// whole relation.
+uint64_t QiProjectionHash(const Relation& relation, RowId row);
 
 /// Partition of (a subset of) a relation's rows into QI-groups: maximal
 /// sets of rows that agree on every quasi-identifier attribute

@@ -15,8 +15,10 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include "common/counters.h"
 #include "common/failpoint.h"
 #include "common/timer.h"
+#include "core/incremental.h"
 #include "relation/csv.h"
 #include "verify/auditor.h"
 
@@ -56,10 +58,10 @@ std::string FormatMs(double ms) {
 }  // namespace
 
 Server::Server(Relation base, ConstraintSet constraints, ServerOptions options)
-    : base_(std::move(base)),
-      constraints_(std::move(constraints)),
+    : constraints_(std::move(constraints)),
       options_(std::move(options)),
-      snapshots_(options_.snapshot_capacity),
+      base_(std::make_shared<const Relation>(std::move(base))),
+      snapshots_(options_.snapshot_capacity, options_.snapshot_max_age),
       cost_tracker_(options_.initial_cost_ms, options_.ewma_alpha) {}
 
 Server::~Server() { Stop(); }
@@ -352,10 +354,12 @@ bool Server::HandleRequest(int fd, const Request& request) {
     response = HandleAnonymize(request);
   } else if (request.verb == "verify") {
     response = HandleVerify(request);
+  } else if (request.verb == "update") {
+    response = HandleUpdate(request);
   } else {
     response = Response::Error(Status::InvalidArgument(
         "unknown verb '" + request.verb +
-        "' (ping|stats|fetch|anonymize|verify)"));
+        "' (ping|stats|fetch|anonymize|verify|update)"));
   }
   // A failed write ends the connection (the caller closes it): the peer
   // is left with a hangup instead of a silent socket, which its client
@@ -455,6 +459,44 @@ Response Server::AdmitAndRun(
   return response;
 }
 
+Result<Server::ReadLease> Server::BeginRead(const CancellationToken& token) {
+  MutexLock lock(state_mutex_);
+  while (update_active_) {
+    if (token.Cancelled()) {
+      return Status::Unavailable(
+          "cancelled while waiting for an update to finish");
+    }
+    state_cv_.WaitFor(lock, 0.01);
+  }
+  ++active_leases_;
+  return ReadLease(this, base_);
+}
+
+void Server::EndRead() {
+  MutexLock lock(state_mutex_);
+  --active_leases_;
+  state_cv_.NotifyAll();
+}
+
+Status Server::BeginUpdate(const CancellationToken& token) {
+  MutexLock lock(state_mutex_);
+  while (update_active_ || active_leases_ > 0) {
+    if (token.Cancelled()) {
+      return Status::Unavailable(
+          "cancelled while waiting for exclusive served-state access");
+    }
+    state_cv_.WaitFor(lock, 0.01);
+  }
+  update_active_ = true;
+  return Status::OK();
+}
+
+void Server::EndUpdate() {
+  MutexLock lock(state_mutex_);
+  update_active_ = false;
+  state_cv_.NotifyAll();
+}
+
 Response Server::HandleAnonymize(const Request& request) {
   return AdmitAndRun(request, [&](CancellationToken token) -> Response {
     DivaOptions diva_options;
@@ -494,7 +536,11 @@ Response Server::HandleAnonymize(const Request& request) {
     diva_options.deadline_ms = 0;  // the request token carries the budget
     diva_options.cancel = token;
 
-    auto result = RunDiva(base_, constraints_, diva_options);
+    // The lease keeps `update` from swapping the base (or interning into
+    // its shared dictionaries) while this run reads it.
+    auto lease = BeginRead(token);
+    if (!lease.ok()) return Response::Error(lease.status());
+    auto result = RunDiva(lease->relation(), constraints_, diva_options);
     if (!result.ok()) return Response::Error(result.status());
 
     const DivaReport& report = result->report;
@@ -503,6 +549,7 @@ Response Server::HandleAnonymize(const Request& request) {
                           report.integrate_skipped || report.privacy_truncated;
     Snapshot snapshot(std::move(result->relation));
     snapshot.label = request.verb + " k=" + std::to_string(*k);
+    snapshot.source = lease->shared();
     snapshot.k = static_cast<size_t>(*k);
     snapshot.waived_constraints = report.unsatisfied;
     std::sort(snapshot.waived_constraints.begin(),
@@ -540,12 +587,13 @@ Response Server::HandleAnonymize(const Request& request) {
 }
 
 Response Server::HandleVerify(const Request& request) {
-  return AdmitAndRun(request, [&](CancellationToken) -> Response {
+  return AdmitAndRun(request, [&](CancellationToken token) -> Response {
     auto id = request.IntParam(
         "snapshot", static_cast<int64_t>(snapshots_.latest_id()));
     if (!id.ok()) return Response::Error(id.status());
-    auto snapshot = snapshots_.Find(static_cast<uint64_t>(*id));
-    if (snapshot == nullptr) {
+    // The pin keeps retention from evicting the snapshot mid-audit.
+    auto snapshot = snapshots_.Acquire(static_cast<uint64_t>(*id));
+    if (!snapshot) {
       return Response::Error(Status::NotFound(
           "no snapshot " + std::to_string(*id) +
           " (latest=" + std::to_string(snapshots_.latest_id()) + ")"));
@@ -553,9 +601,17 @@ Response Server::HandleVerify(const Request& request) {
     auto k = request.IntParam("k", static_cast<int64_t>(snapshot->k));
     if (!k.ok()) return Response::Error(k.status());
 
+    // The audit replays against the base the snapshot was produced from
+    // (it may predate an update); the lease still blocks concurrent
+    // dictionary interning, which old bases share with the live one.
+    auto lease = BeginRead(token);
+    if (!lease.ok()) return Response::Error(lease.status());
+    const Relation& original = snapshot->source != nullptr
+                                   ? *snapshot->source
+                                   : lease->relation();
     AuditOptions audit_options;
     audit_options.waived_constraints = snapshot->waived_constraints;
-    auto audit = AuditAnonymization(base_, snapshot->relation,
+    auto audit = AuditAnonymization(original, snapshot->relation,
                                     static_cast<size_t>(*k), constraints_,
                                     audit_options);
     if (!audit.ok()) return Response::Error(audit.status());
@@ -577,11 +633,17 @@ Response Server::HandleFetch(const Request& request) {
   auto id = request.IntParam("snapshot",
                              static_cast<int64_t>(snapshots_.latest_id()));
   if (!id.ok()) return Response::Error(id.status());
-  auto snapshot = snapshots_.Find(static_cast<uint64_t>(*id));
-  if (snapshot == nullptr) {
+  // Pinned fetch: retention cannot evict this snapshot while its CSV is
+  // being written out.
+  auto snapshot = snapshots_.Acquire(static_cast<uint64_t>(*id));
+  if (!snapshot) {
     return Response::Error(
         Status::NotFound("no snapshot " + std::to_string(*id)));
   }
+  // Published relations share dictionaries with the served base; the
+  // lease keeps an update from interning into them mid-encode.
+  auto lease = BeginRead(CancellationToken());
+  if (!lease.ok()) return Response::Error(lease.status());
   std::ostringstream csv;
   Status written = WriteCsv(snapshot->relation, csv);
   if (!written.ok()) return Response::Error(written);
@@ -591,6 +653,160 @@ Response Server::HandleFetch(const Request& request) {
   response.fields["audited"] = snapshot->audited ? "1" : "0";
   response.fields["degraded"] = snapshot->degraded ? "1" : "0";
   response.body = csv.str();
+  return response;
+}
+
+Response Server::HandleUpdate(const Request& request) {
+  return AdmitAndRun(request, [&](CancellationToken token) -> Response {
+    if (request.body.empty()) {
+      return Response::Error(Status::InvalidArgument(
+          "update needs a delta body: `- <row>` / `+ <csv row>` lines "
+          "(docs/serving.md)"));
+    }
+    auto delta = ParseDeltaFile(request.body);
+    if (!delta.ok()) return Response::Error(delta.status());
+
+    DivaOptions diva_options;
+    auto k = request.IntParam("k", static_cast<int64_t>(diva_options.k));
+    if (!k.ok()) return Response::Error(k.status());
+    if (*k < 1) {
+      return Response::Error(Status::InvalidArgument("k must be >= 1"));
+    }
+    auto l = request.IntParam("l", 0);
+    if (!l.ok()) return Response::Error(l.status());
+    auto t = request.DoubleParam("t", 1.0);
+    if (!t.ok()) return Response::Error(t.status());
+    auto seed = request.IntParam("seed",
+                                 static_cast<int64_t>(options_.seed));
+    if (!seed.ok()) return Response::Error(seed.status());
+    auto baseline = ParseBaseline(request.Param("baseline", "kmember"));
+    if (!baseline.ok()) return Response::Error(baseline.status());
+
+    diva_options.k = static_cast<size_t>(*k);
+    diva_options.l_diversity = static_cast<size_t>(*l);
+    diva_options.t_closeness = *t;
+    diva_options.seed = static_cast<uint64_t>(*seed);
+    diva_options.baseline = *baseline;
+    diva_options.threads = options_.pipeline_threads;
+    // Sharded + incremental so the run captures a pipeline snapshot the
+    // next delta can chain from (neither changes response bytes). An
+    // update whose params differ from the prior update's simply finds
+    // every component dirty — correct, just cold-cost.
+    diva_options.shard = true;
+    diva_options.incremental = true;
+    diva_options.audit = true;
+    diva_options.strict = false;
+    diva_options.deadline_ms = 0;  // the request token carries the budget
+    diva_options.cancel = token;
+
+    Status exclusive = BeginUpdate(token);
+    if (!exclusive.ok()) return Response::Error(exclusive);
+    Response response = RunUpdate(*delta, diva_options);
+    EndUpdate();
+    return response;
+  });
+}
+
+Response Server::RunUpdate(const DeltaBatch& delta, DivaOptions& options) {
+  std::shared_ptr<const Relation> base;
+  std::shared_ptr<const PipelineSnapshot> prior;
+  {
+    MutexLock lock(state_mutex_);
+    base = base_;
+    prior = prior_;
+  }
+
+  // Incremental when the last update's snapshot chains; cold otherwise
+  // (first update, or the chain was reset by a degraded run). Either
+  // path produces bytes identical to a cold run on the post-delta
+  // relation (core/incremental.h).
+  const bool incremental = prior != nullptr;
+  std::shared_ptr<const Relation> post;
+  uint64_t shards_reused = 0;
+  Result<DivaResult> run = [&]() -> Result<DivaResult> {
+    if (incremental) {
+      std::vector<counters::Sample> before = counters::Snapshot();
+      auto replayed = ApplyDelta(*prior, delta, options);
+      if (replayed.ok()) {
+        for (const counters::Sample& sample :
+             counters::Delta(before, counters::Snapshot())) {
+          if (sample.name == "incremental.shards_reused") {
+            shards_reused = sample.value;
+          }
+        }
+      }
+      return replayed;
+    }
+    DIVA_ASSIGN_OR_RETURN(Relation applied, ApplyDeltaToRelation(*base, delta));
+    post = std::make_shared<const Relation>(std::move(applied));
+    return RunDiva(*post, constraints_, options);
+  }();
+  if (!run.ok()) return Response::Error(run.status());
+
+  // The base the swapped state serves next: the captured snapshot's
+  // input when the run produced one (aliased, not copied), recomputed
+  // otherwise — ApplyDeltaToRelation is deterministic, so both name the
+  // same relation.
+  if (post == nullptr) {
+    if (run->snapshot != nullptr && run->snapshot->input.has_value()) {
+      post = std::shared_ptr<const Relation>(run->snapshot,
+                                             &*run->snapshot->input);
+    } else {
+      auto applied = ApplyDeltaToRelation(*base, delta);
+      if (!applied.ok()) return Response::Error(applied.status());
+      post = std::make_shared<const Relation>(std::move(*applied));
+    }
+  }
+
+  // Publish-or-refuse: nothing below mutates served state until the
+  // audited snapshot is actually in the store. Any failure — audit,
+  // publication fault, a fully pinned store — leaves the old base (and
+  // the old reuse chain) serving.
+  const DivaReport& report = run->report;
+  if (!report.audited) {
+    return Response::Error(
+        Status::Internal("refusing to publish an unaudited update"));
+  }
+  const bool degraded = report.deadline_exceeded || report.baseline_degraded ||
+                        report.integrate_skipped || report.privacy_truncated;
+  const size_t rows = run->relation.NumRows();
+  Snapshot snapshot(std::move(run->relation));
+  snapshot.label = "update -" + std::to_string(delta.deleted.size()) + " +" +
+                   std::to_string(delta.inserted.size()) +
+                   " k=" + std::to_string(options.k);
+  snapshot.source = post;
+  snapshot.k = options.k;
+  snapshot.waived_constraints = report.unsatisfied;
+  std::sort(snapshot.waived_constraints.begin(),
+            snapshot.waived_constraints.end());
+  snapshot.audited = report.audited;
+  snapshot.degraded = degraded;
+  auto published = snapshots_.Publish(std::move(snapshot));
+  if (!published.ok()) return Response::Error(published.status());
+
+  {
+    MutexLock lock(state_mutex_);
+    base_ = std::move(post);
+    prior_ = run->snapshot;  // null resets the chain to cold
+  }
+  {
+    MutexLock lock(stats_mutex_);
+    ++stats_.snapshots_published;
+    ++stats_.updates;
+    if (degraded) ++stats_.degraded;
+  }
+
+  Response response;
+  response.fields["snapshot"] = std::to_string(*published);
+  response.fields["rows"] = std::to_string(rows);
+  response.fields["rows_deleted"] = std::to_string(delta.deleted.size());
+  response.fields["rows_inserted"] = std::to_string(delta.inserted.size());
+  response.fields["incremental"] = incremental ? "1" : "0";
+  response.fields["shards_reused"] = std::to_string(shards_reused);
+  response.fields["audited"] = report.audited ? "1" : "0";
+  response.fields["degraded"] = degraded ? "1" : "0";
+  response.fields["unsatisfied"] = std::to_string(report.unsatisfied.size());
+  response.fields["suppressed_cells"] = std::to_string(report.repair_cells);
   return response;
 }
 
@@ -614,7 +830,9 @@ Response Server::HandleStats(const Request&) {
       std::to_string(snapshot.watchdog_cancels);
   response.fields["snapshots_published"] =
       std::to_string(snapshot.snapshots_published);
+  response.fields["updates"] = std::to_string(snapshot.updates);
   response.fields["snapshots"] = std::to_string(snapshots_.size());
+  response.fields["snapshots_evicted"] = std::to_string(snapshots_.evicted());
   response.fields["queued"] = std::to_string(queued());
   response.fields["inflight"] = std::to_string(inflight());
   response.fields["cost_estimate_ms"] =

@@ -17,6 +17,7 @@
 #include "common/thread_annotations.h"
 #include "constraint/diversity_constraint.h"
 #include "core/diva.h"
+#include "core/incremental.h"
 #include "relation/relation.h"
 #include "serve/admission.h"
 #include "serve/protocol.h"
@@ -37,8 +38,14 @@ struct ServerOptions {
   /// Accepted connections allowed to wait for a session; beyond this the
   /// acceptor sheds by closing the connection cleanly.
   size_t queue_capacity = 16;
-  /// Published results retained (publishing past this is refused).
+  /// Published results retained. Publishing past this evicts the oldest
+  /// unpinned snapshot (serve/snapshot.h); a publish is refused only
+  /// when every retained snapshot is pinned by an in-flight request.
   size_t snapshot_capacity = 64;
+  /// Age bound on retained snapshots, in publish generations: after each
+  /// publish, unpinned snapshots published this many (or more) publishes
+  /// ago are evicted. 0 = no age bound (count-only retention).
+  uint64_t snapshot_max_age = 0;
   /// Admission cost model: prior estimate and EWMA weight of new samples.
   double initial_cost_ms = 50.0;
   double ewma_alpha = 0.3;
@@ -97,15 +104,26 @@ struct ServerStats {
   /// In-flight tokens tripped by the watchdog.
   uint64_t watchdog_cancels = 0;
   uint64_t snapshots_published = 0;
+  /// `update` requests that published (the served base was swapped).
+  uint64_t updates = 0;
 };
 
 /// The anonymization service: loads one relation at construction, serves
-/// anonymize / verify / fetch / stats / ping requests over the framed
-/// protocol (serve/protocol.h), with admission control ahead of the
-/// queue, per-request deadlines degrading through the anytime pipeline
-/// (every response still audited), a watchdog for wedged requests, and
-/// graceful drain. Threading: one acceptor, `sessions` session workers
-/// and one watchdog, all hosted on a TaskGroup (common/parallel.h).
+/// anonymize / verify / fetch / stats / ping / update requests over the
+/// framed protocol (serve/protocol.h), with admission control ahead of
+/// the queue, per-request deadlines degrading through the anytime
+/// pipeline (every response still audited), a watchdog for wedged
+/// requests, and graceful drain. Threading: one acceptor, `sessions`
+/// session workers and one watchdog, all hosted on a TaskGroup
+/// (common/parallel.h).
+///
+/// `update` mutates the served base through a row delta (core/
+/// incremental.h): it re-anonymizes the post-delta relation — reusing
+/// the prior run's clean components when a pipeline snapshot chains —
+/// audits, publishes-or-refuses, and only then swaps the base the other
+/// verbs see. Because applying a delta interns new values into
+/// dictionaries shared with the live base, updates run exclusively:
+/// work verbs hold a read lease and an update waits them out.
 class Server {
  public:
   Server(Relation base, ConstraintSet constraints, ServerOptions options);
@@ -169,10 +187,61 @@ class Server {
   /// timeout for a response that is never coming).
   bool HandleRequest(int fd, const Request& request);
 
+  /// A shared lease on the served state: holds the base relation alive
+  /// and keeps `update` out until destroyed. Move-only.
+  class ReadLease {
+   public:
+    ReadLease() = default;
+    ReadLease(ReadLease&& other) noexcept
+        : server_(other.server_), relation_(std::move(other.relation_)) {
+      other.server_ = nullptr;
+    }
+    ReadLease& operator=(ReadLease&& other) noexcept {
+      if (this != &other) {
+        if (server_ != nullptr) server_->EndRead();
+        server_ = other.server_;
+        relation_ = std::move(other.relation_);
+        other.server_ = nullptr;
+      }
+      return *this;
+    }
+    ReadLease(const ReadLease&) = delete;
+    ReadLease& operator=(const ReadLease&) = delete;
+    ~ReadLease() {
+      if (server_ != nullptr) server_->EndRead();
+    }
+    const Relation& relation() const { return *relation_; }
+    const std::shared_ptr<const Relation>& shared() const { return relation_; }
+
+   private:
+    friend class Server;
+    ReadLease(Server* server, std::shared_ptr<const Relation> relation)
+        : server_(server), relation_(std::move(relation)) {}
+    Server* server_ = nullptr;
+    std::shared_ptr<const Relation> relation_;
+  };
+
+  /// Takes a read lease on the served state, waiting out an in-progress
+  /// update. Fails kUnavailable when `token` trips during the wait.
+  [[nodiscard]] Result<ReadLease> BeginRead(const CancellationToken& token);
+  void EndRead();
+
+  /// Claims exclusive served-state access for an update: blocks new read
+  /// leases and waits out live ones. Must be paired with EndUpdate.
+  [[nodiscard]] Status BeginUpdate(const CancellationToken& token);
+  void EndUpdate();
+
   Response HandleAnonymize(const Request& request);
   Response HandleVerify(const Request& request);
   Response HandleFetch(const Request& request);
   Response HandleStats(const Request& request);
+  Response HandleUpdate(const Request& request);
+
+  /// The body of HandleUpdate, run between BeginUpdate/EndUpdate:
+  /// re-anonymizes the post-delta relation (incrementally when a prior
+  /// snapshot chains), audits, publishes-or-refuses, and swaps the
+  /// served state only after publication succeeded.
+  Response RunUpdate(const DeltaBatch& delta, DivaOptions& options);
 
   /// Admission + execution wrapper shared by the work verbs.
   Response AdmitAndRun(const Request& request,
@@ -191,9 +260,23 @@ class Server {
 
   void Log(const std::string& message) const;
 
-  const Relation base_;
   const ConstraintSet constraints_;
   const ServerOptions options_;
+
+  /// Served state. `base_` is what anonymize/verify run against; an
+  /// `update` swaps it for the post-delta relation and caches the run's
+  /// pipeline snapshot so the next delta re-colors only dirty
+  /// components. Updates are exclusive (update_active_), read verbs
+  /// share (active_leases_) — applying a delta interns into dictionaries
+  /// the live base shares, so the two must never overlap.
+  mutable Mutex state_mutex_;
+  CondVar state_cv_;
+  size_t active_leases_ DIVA_GUARDED_BY(state_mutex_) = 0;
+  bool update_active_ DIVA_GUARDED_BY(state_mutex_) = false;
+  std::shared_ptr<const Relation> base_ DIVA_GUARDED_BY(state_mutex_);
+  /// Reuse state of the last update's run; null until an update captures
+  /// one (and after a degraded update — the chain then restarts cold).
+  std::shared_ptr<const PipelineSnapshot> prior_ DIVA_GUARDED_BY(state_mutex_);
   SnapshotStore snapshots_;
   CostTracker cost_tracker_;
 

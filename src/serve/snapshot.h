@@ -28,6 +28,11 @@ struct Snapshot {
   /// Provenance: the request line that produced this snapshot.
   std::string label;
   Relation relation;
+  /// The base relation this snapshot anonymized. `verify` replays the
+  /// audit against it, so a snapshot published before an `update` swapped
+  /// the served base stays verifiable. Null when published outside the
+  /// server's handlers (tests driving the store directly).
+  std::shared_ptr<const Relation> source;
   /// The k the snapshot was anonymized for (verify re-checks against it).
   size_t k = 0;
   /// Constraint indices the producing run reported unsatisfied — the
@@ -42,18 +47,72 @@ struct Snapshot {
   bool degraded = false;
 };
 
+class SnapshotStore;
+
+/// RAII pin on one published snapshot: while any pin on an id is alive,
+/// retention (age or capacity eviction) will not remove that entry — a
+/// `fetch` streaming a snapshot out never has it disappear mid-read.
+/// Move-only; an empty pin (the id was never published, or was already
+/// evicted) is falsy. The pinned data itself is additionally kept alive
+/// by the shared_ptr, so even a post-eviction holder reads safely; the
+/// pin's job is id stability, not lifetime.
+class SnapshotPin {
+ public:
+  SnapshotPin() = default;
+  SnapshotPin(SnapshotPin&& other) noexcept
+      : store_(other.store_), snapshot_(std::move(other.snapshot_)) {
+    other.store_ = nullptr;
+  }
+  SnapshotPin& operator=(SnapshotPin&& other) noexcept {
+    if (this != &other) {
+      Release();
+      store_ = other.store_;
+      snapshot_ = std::move(other.snapshot_);
+      other.store_ = nullptr;
+    }
+    return *this;
+  }
+  SnapshotPin(const SnapshotPin&) = delete;
+  SnapshotPin& operator=(const SnapshotPin&) = delete;
+  ~SnapshotPin() { Release(); }
+
+  explicit operator bool() const { return snapshot_ != nullptr; }
+  const Snapshot& operator*() const { return *snapshot_; }
+  const Snapshot* operator->() const { return snapshot_.get(); }
+  const std::shared_ptr<const Snapshot>& get() const { return snapshot_; }
+
+ private:
+  friend class SnapshotStore;
+  SnapshotPin(SnapshotStore* store, std::shared_ptr<const Snapshot> snapshot)
+      : store_(store), snapshot_(std::move(snapshot)) {}
+  void Release();
+
+  SnapshotStore* store_ = nullptr;
+  std::shared_ptr<const Snapshot> snapshot_;
+};
+
 /// Versioned store of published snapshots with crash-safe publication:
 /// a snapshot is fully constructed *before* it becomes reachable, and
 /// insertion under the lock is the single atomic publication point. A
 /// failure (or injected fault — failpoint serve.publish) anywhere before
 /// that point leaves the store exactly as it was; no request can ever
 /// fetch a half-written snapshot.
+///
+/// Retention is swept at each publish, never in the background: age is
+/// counted in publish generations, not wall time, so which snapshots a
+/// request sequence retains is deterministic and replayable. Pinned
+/// entries (SnapshotPin) are skipped by both sweeps and reconsidered at
+/// the next publish after their pins drop.
 class SnapshotStore {
  public:
-  /// `capacity` bounds how many snapshots are retained; publishing into
-  /// a full store is refused with kUnavailable (snapshot GC is a
-  /// follow-on — see ROADMAP.md).
-  explicit SnapshotStore(size_t capacity) : capacity_(capacity) {}
+  /// `capacity` bounds retained snapshots by count; `max_age` bounds
+  /// them by publish generations — after each publish, unpinned
+  /// snapshots published `max_age` or more publishes ago are evicted
+  /// (0 disables the age bound). Publishing into a full store evicts
+  /// the oldest unpinned snapshot; it is refused with kUnavailable only
+  /// when every retained snapshot is pinned.
+  explicit SnapshotStore(size_t capacity, uint64_t max_age = 0)
+      : capacity_(capacity), max_age_(max_age) {}
 
   /// Publishes atomically and returns the assigned id.
   [[nodiscard]] Result<uint64_t> Publish(Snapshot snapshot);
@@ -61,18 +120,36 @@ class SnapshotStore {
   /// The published snapshot with this id, or null.
   std::shared_ptr<const Snapshot> Find(uint64_t id) const;
 
+  /// Find + pin in one step: the returned pin blocks retention from
+  /// evicting this snapshot until the pin is destroyed. Empty when `id`
+  /// is not published (eviction included).
+  [[nodiscard]] SnapshotPin Acquire(uint64_t id);
+
   /// Highest published id (0 when empty).
   uint64_t latest_id() const;
 
   size_t size() const;
   size_t capacity() const { return capacity_; }
 
+  /// Snapshots retired by retention (age or capacity) so far.
+  uint64_t evicted() const;
+
  private:
+  friend class SnapshotPin;
+
+  struct Entry {
+    std::shared_ptr<const Snapshot> snapshot;
+    size_t pins = 0;
+  };
+
+  void Unpin(uint64_t id);
+
   const size_t capacity_;
+  const uint64_t max_age_;
   mutable Mutex mutex_;
   uint64_t next_id_ DIVA_GUARDED_BY(mutex_) = 1;
-  std::map<uint64_t, std::shared_ptr<const Snapshot>> snapshots_
-      DIVA_GUARDED_BY(mutex_);
+  uint64_t evicted_ DIVA_GUARDED_BY(mutex_) = 0;
+  std::map<uint64_t, Entry> snapshots_ DIVA_GUARDED_BY(mutex_);
 };
 
 }  // namespace serve

@@ -16,6 +16,7 @@
 #include "common/failpoint.h"
 #include "constraint/parser.h"
 #include "core/diva.h"
+#include "core/incremental.h"
 #include "relation/csv.h"
 #include "relation/qi_groups.h"
 #include "tests/test_util.h"
@@ -56,8 +57,23 @@ Status RunPipeline(const Relation& relation,
   if (!sharded_constraints.ok()) return sharded_constraints.status();
   DivaOptions sharded_options;
   sharded_options.k = 2;
+  sharded_options.incremental = true;
   auto sharded = RunDiva(*read, *sharded_constraints, sharded_options);
   if (!sharded.ok()) return sharded.status();
+
+  // Replay a small churn through the incremental path (delta.* sites).
+  // The two-component run above captured a reusable snapshot; a delta
+  // that deletes one row and re-inserts an identical one keeps the run
+  // well-formed while exercising apply / recolor / merge.
+  if (sharded->snapshot == nullptr) {
+    return Status::Internal("two-component incremental run lost its snapshot");
+  }
+  DeltaBatch delta;
+  delta.deleted.push_back(3);
+  delta.inserted.push_back(
+      {"Male", "Caucasian", "46", "MB", "Winnipeg", "Migraine"});
+  auto replayed = ApplyDelta(*sharded->snapshot, delta, sharded_options);
+  if (!replayed.ok()) return replayed.status();
 
   // An empty Sigma leaves every row to the baseline, so each baseline's
   // failpoint is guaranteed reachable.

@@ -163,18 +163,83 @@ TEST(ServeSnapshotTest, PublishAssignsDenseIdsAndFindsBack) {
   EXPECT_EQ(store.Find(99), nullptr);
 }
 
-TEST(ServeSnapshotTest, FullStoreRefusesWithUnavailable) {
+TEST(ServeSnapshotTest, FullStoreEvictsOldestUnpinnedInsteadOfRefusing) {
+  SnapshotStore store(/*capacity=*/2);
+  for (uint64_t i = 1; i <= 3; ++i) {
+    Snapshot snapshot(MedicalRelation());
+    snapshot.audited = true;
+    auto id = store.Publish(std::move(snapshot));
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    EXPECT_EQ(*id, i);
+  }
+  // The third publish retired #1 (oldest unpinned); ids stay dense.
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.evicted(), 1u);
+  EXPECT_EQ(store.Find(1), nullptr);
+  EXPECT_NE(store.Find(2), nullptr);
+  EXPECT_NE(store.Find(3), nullptr);
+  EXPECT_EQ(store.latest_id(), 3u);
+}
+
+TEST(ServeSnapshotTest, PinBlocksEvictionAndFullyPinnedStoreRefuses) {
   SnapshotStore store(/*capacity=*/1);
   Snapshot first(MedicalRelation());
   first.audited = true;
   ASSERT_TRUE(store.Publish(std::move(first)).ok());
-  Snapshot second(MedicalRelation());
-  second.audited = true;
-  auto refused = store.Publish(std::move(second));
-  ASSERT_FALSE(refused.ok());
-  EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
-  EXPECT_EQ(store.size(), 1u);
-  EXPECT_EQ(store.latest_id(), 1u);
+
+  {
+    SnapshotPin pin = store.Acquire(1);
+    ASSERT_TRUE(static_cast<bool>(pin));
+    EXPECT_EQ(pin->id, 1u);
+    // The only retained snapshot is pinned: nothing can be evicted, so
+    // the publish is refused and the store is exactly as it was.
+    Snapshot second(MedicalRelation());
+    second.audited = true;
+    auto refused = store.Publish(std::move(second));
+    ASSERT_FALSE(refused.ok());
+    EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_EQ(store.latest_id(), 1u);
+    EXPECT_EQ(store.evicted(), 0u);
+  }
+
+  // Pin released: the next publish evicts #1 and lands.
+  Snapshot third(MedicalRelation());
+  third.audited = true;
+  auto id = store.Publish(std::move(third));
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_EQ(*id, 2u);
+  EXPECT_EQ(store.Find(1), nullptr);
+  EXPECT_EQ(store.evicted(), 1u);
+}
+
+TEST(ServeSnapshotTest, AgeRetentionCountsPublishGenerationsNotWallTime) {
+  // max_age=2: each publish retires unpinned snapshots two or more
+  // publishes old, regardless of capacity headroom.
+  SnapshotStore store(/*capacity=*/16, /*max_age=*/2);
+  for (int i = 0; i < 4; ++i) {
+    Snapshot snapshot(MedicalRelation());
+    snapshot.audited = true;
+    ASSERT_TRUE(store.Publish(std::move(snapshot)).ok());
+  }
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.evicted(), 2u);
+  EXPECT_EQ(store.Find(2), nullptr);
+  EXPECT_NE(store.Find(3), nullptr);
+  EXPECT_NE(store.Find(4), nullptr);
+
+  // A pinned snapshot outlives its age bound; unpinned peers do not.
+  SnapshotPin pin = store.Acquire(3);
+  ASSERT_TRUE(static_cast<bool>(pin));
+  for (int i = 0; i < 2; ++i) {
+    Snapshot snapshot(MedicalRelation());
+    snapshot.audited = true;
+    ASSERT_TRUE(store.Publish(std::move(snapshot)).ok());
+  }
+  EXPECT_NE(store.Find(3), nullptr);  // pinned: both age sweeps skipped it
+  EXPECT_EQ(store.Find(4), nullptr);
+  // The pinned data stays readable through the pin even while over-age.
+  EXPECT_TRUE(pin->audited);
 }
 
 TEST(ServeSnapshotTest, InjectedPublishFaultLeavesStoreUntouched) {
@@ -362,6 +427,132 @@ TEST(ServeServerTest, FetchOfUnknownSnapshotIsNotFound) {
   EXPECT_FALSE(response->ok);
   EXPECT_EQ(response->code, StatusCode::kNotFound);
   server.Stop();
+}
+
+TEST(ServeServerTest, UpdateAppliesDeltaChainsIncrementallyAndVerifies) {
+  // A disjoint-target Sigma (two conflict-graph components) so the first
+  // update's run captures a pipeline snapshot the second can chain from.
+  auto schema = MedicalSchema();
+  auto constraints =
+      ParseConstraintSet(*schema, "ETH[Asian] in [2,5]\nPRV[AB] in [1,3]\n");
+  ASSERT_TRUE(constraints.ok()) << constraints.status().ToString();
+  Server server(MedicalRelation(), std::move(*constraints), TestOptions());
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  // Publish a pre-update snapshot; it must stay verifiable afterwards.
+  Request anonymize;
+  anonymize.verb = "anonymize";
+  anonymize.params["k"] = "2";
+  auto published = client->Call(anonymize);
+  ASSERT_TRUE(published.ok()) << published.status().ToString();
+  ASSERT_TRUE(published->ok) << published->ToStatus().ToString();
+
+  // First update: no reuse chain exists yet, so it runs cold, swaps the
+  // base, and establishes the chain.
+  Request update;
+  update.verb = "update";
+  update.params["k"] = "2";
+  update.body = "- 3\n+ Male,Caucasian,46,MB,Winnipeg,Migraine\n";
+  auto first = client->Call(update);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(first->ok) << first->ToStatus().ToString();
+  EXPECT_EQ(first->Field("audited", "0"), "1");
+  EXPECT_EQ(first->Field("rows_deleted", ""), "1");
+  EXPECT_EQ(first->Field("rows_inserted", ""), "1");
+  EXPECT_EQ(first->Field("incremental", ""), "0");
+  EXPECT_EQ(first->Field("rows", ""), "10");
+  EXPECT_EQ(first->Field("snapshot", ""), "2");
+
+  // Second update: chains off the first one's snapshot.
+  Request second_update;
+  second_update.verb = "update";
+  second_update.params["k"] = "2";
+  second_update.body = "# drop the first row\n- 0\n";
+  auto second = client->Call(second_update);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  ASSERT_TRUE(second->ok) << second->ToStatus().ToString();
+  EXPECT_EQ(second->Field("audited", "0"), "1");
+  EXPECT_EQ(second->Field("incremental", ""), "1");
+  EXPECT_EQ(second->Field("rows", ""), "9");
+
+  // Anonymize now runs against the updated (9-row) base.
+  auto refreshed = client->Call(anonymize);
+  ASSERT_TRUE(refreshed.ok()) << refreshed.status().ToString();
+  ASSERT_TRUE(refreshed->ok) << refreshed->ToStatus().ToString();
+  EXPECT_EQ(refreshed->Field("rows", ""), "9");
+
+  // Every published snapshot verifies against the base it was actually
+  // produced from — including the pre-update one.
+  for (const char* id : {"1", "2", "3", "4"}) {
+    Request verify;
+    verify.verb = "verify";
+    verify.params["snapshot"] = id;
+    auto verdict = client->Call(verify);
+    ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+    ASSERT_TRUE(verdict->ok) << verdict->ToStatus().ToString();
+    EXPECT_EQ(verdict->Field("verdict", ""), "pass") << "snapshot " << id;
+  }
+
+  Request stats;
+  stats.verb = "stats";
+  auto report = client->Call(stats);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->Field("updates", ""), "2");
+  EXPECT_EQ(report->Field("snapshots_published", ""), "4");
+
+  server.Stop();
+  EXPECT_EQ(server.inflight(), 0u);
+  ServerStats final_stats = server.stats();
+  EXPECT_EQ(final_stats.requests + final_stats.protocol_errors,
+            final_stats.responses + final_stats.response_failures);
+}
+
+TEST(ServeServerTest, UpdateRejectsBadDeltasWithoutTouchingServedState) {
+  Server server(MedicalRelation(), MedicalConstraints(*MedicalSchema()),
+                TestOptions());
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  Request empty;
+  empty.verb = "update";
+  auto no_body = client->Call(empty);
+  ASSERT_TRUE(no_body.ok()) << no_body.status().ToString();
+  EXPECT_FALSE(no_body->ok);
+  EXPECT_EQ(no_body->code, StatusCode::kInvalidArgument);
+
+  Request malformed;
+  malformed.verb = "update";
+  malformed.body = "- banana\n";
+  auto rejected = client->Call(malformed);
+  ASSERT_TRUE(rejected.ok()) << rejected.status().ToString();
+  EXPECT_FALSE(rejected->ok);
+  EXPECT_EQ(rejected->code, StatusCode::kInvalidArgument);
+
+  Request out_of_range;
+  out_of_range.verb = "update";
+  out_of_range.body = "- 100000\n";
+  auto refused = client->Call(out_of_range);
+  ASSERT_TRUE(refused.ok()) << refused.status().ToString();
+  EXPECT_FALSE(refused->ok);
+
+  // Nothing was published and the base still serves at full size.
+  Request anonymize;
+  anonymize.verb = "anonymize";
+  anonymize.params["k"] = "2";
+  auto result = client->Call(anonymize);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->ok) << result->ToStatus().ToString();
+  EXPECT_EQ(result->Field("rows", ""), "10");
+  EXPECT_EQ(result->Field("snapshot", ""), "1");
+
+  server.Stop();
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.updates, 0u);
+  EXPECT_EQ(stats.requests + stats.protocol_errors,
+            stats.responses + stats.response_failures);
 }
 
 TEST(ServeServerTest, ZeroDeadlineOnIdleServerIsAuditedAndDegraded) {
